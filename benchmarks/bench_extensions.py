@@ -1,0 +1,100 @@
+"""Benches for the extension surface: implied vol, θ-schemes, LSMC,
+multi-asset, barrier+bridge, Sobol."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.brownian import price_up_and_out_call
+from repro.kernels.crank_nicolson import solve_theta
+from repro.kernels.monte_carlo import (price_american_lsmc, price_exchange)
+from repro.pricing import Option, OptionKind, ExerciseStyle, bs_call
+from repro.pricing.implied_vol import implied_vol
+from repro.rng import MT19937, NormalGenerator, Sobol
+
+
+@pytest.mark.benchmark(group="ext-implied-vol")
+def test_implied_vol_surface(benchmark, rng_np=None):
+    rng = np.random.default_rng(5)
+    n = 20_000
+    S = rng.uniform(80, 120, n)
+    X = rng.uniform(80, 120, n)
+    T = rng.uniform(0.25, 2.0, n)
+    sig = rng.uniform(0.1, 0.6, n)
+    prices = bs_call(S, X, T, 0.03, sig)
+    benchmark(implied_vol, prices, S, X, T, 0.03)
+
+
+@pytest.mark.benchmark(group="ext-fd-schemes")
+@pytest.mark.parametrize("theta", [0.5, 1.0])
+def test_theta_scheme(benchmark, theta):
+    o = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT)
+    benchmark(solve_theta, o, 128, 100, theta)
+
+
+@pytest.mark.benchmark(group="ext-american-mc")
+def test_lsmc(benchmark):
+    am = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT,
+                ExerciseStyle.AMERICAN)
+
+    def run():
+        return price_american_lsmc(am, 10_000, 50,
+                                   NormalGenerator(MT19937(1)))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ext-multi-asset")
+def test_exchange_option(benchmark):
+    z = NormalGenerator(MT19937(2)).normals(2 * 100_000).reshape(-1, 2)
+    corr = np.array([[1.0, 0.5], [0.5, 1.0]])
+    benchmark(price_exchange, [100.0, 95.0], [0.3, 0.25], corr, 1.0,
+              0.03, z)
+
+
+@pytest.mark.benchmark(group="ext-barrier")
+@pytest.mark.parametrize("corrected", [False, True],
+                         ids=["naive", "bridge"])
+def test_barrier(benchmark, corrected):
+    c = Option(100.0, 100.0, 1.0, 0.02, 0.25)
+    z = NormalGenerator(MT19937(3)).normals(20_000 * 16).reshape(-1, 16)
+    benchmark(price_up_and_out_call, c, 120.0, z, corrected)
+
+
+@pytest.mark.benchmark(group="ext-sobol")
+@pytest.mark.parametrize("dim", [4, 16, 64])
+def test_sobol_generation(benchmark, dim):
+    s = Sobol(dim)
+    benchmark(s.points, 4096)
+
+
+@pytest.mark.benchmark(group="ext-heston")
+def test_heston_semi_analytic(benchmark):
+    from repro.pricing import HestonParams, heston_call
+    p = HestonParams(kappa=2.0, theta=0.09, sigma_v=0.4, rho=-0.7,
+                     v0=0.09)
+    benchmark(heston_call, 100.0, 100.0, 1.0, 0.03, p)
+
+
+@pytest.mark.benchmark(group="ext-heston")
+def test_heston_mc(benchmark):
+    from repro.kernels.monte_carlo import price_heston_call_mc
+    from repro.pricing import HestonParams
+    p = HestonParams(kappa=2.0, theta=0.09, sigma_v=0.4, rho=-0.7,
+                     v0=0.09)
+
+    def run():
+        return price_heston_call_mc(100, 100, 1.0, 0.03, p, 4_000, 50,
+                                    NormalGenerator(MT19937(1)))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ext-scenarios")
+@pytest.mark.parametrize("scenario,kwargs", [
+    ("calibration_roundtrip", {"n_quotes": 2_000}),
+    ("risk_sweep", {"n_options": 5_000}),
+    ("model_comparison", {"n_paths": 10_000}),
+])
+def test_scenarios(benchmark, scenario, kwargs):
+    from repro.bench import run_scenario
+    benchmark(run_scenario, scenario, **kwargs)

@@ -1,0 +1,62 @@
+"""Fig. 4: Black-Scholes — functional tier timings + modeled figure.
+
+Functional benches time the real NumPy kernels at each optimization tier
+on the host (the reference tier is a genuine scalar loop and is run on a
+reduced slice); the modeled figure regenerates the paper's stacked bars
+for SNB-EP and KNC.
+"""
+
+import pytest
+
+from repro.bench import format_table, ladder_bars, run_experiment
+from repro.kernels import build_model
+from repro.kernels.black_scholes import (price_advanced, price_basic,
+                                         price_intermediate,
+                                         price_reference)
+from repro.pricing import random_batch
+
+
+class BenchFunctionalTiers:
+    pass
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+def test_reference_scalar_loop(benchmark):
+    batch = random_batch(2000, seed=1, layout="aos")
+    benchmark(price_reference, batch)
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+def test_basic_vectorized_aos(benchmark, bs_batch_factory):
+    batch = bs_batch_factory("aos")
+    benchmark(price_basic, batch)
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+def test_intermediate_soa(benchmark, bs_batch_factory):
+    batch = bs_batch_factory("soa")
+    benchmark(price_intermediate, batch)
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+def test_advanced_parity_erf(benchmark, bs_batch_factory):
+    batch = bs_batch_factory("soa")
+    benchmark(price_advanced, batch, lib="numpy")
+
+
+@pytest.mark.benchmark(group="fig4-functional")
+def test_advanced_svml_scratch(benchmark, bs_batch_factory):
+    """From-scratch SVML-style block-fused math (slower in Python but
+    the honest library-substitution data point)."""
+    batch = bs_batch_factory("soa")
+    benchmark(price_advanced, batch, lib="svml")
+
+
+@pytest.mark.benchmark(group="figure-regeneration")
+def test_fig4_modeled_figure(benchmark, capsys):
+    """Regenerate the paper's Fig. 4 (modeled stacked bars + bound)."""
+    result = benchmark(run_experiment, "fig4")
+    km = build_model("black_scholes")
+    with capsys.disabled():
+        print("\n" + format_table(result))
+        print("\n" + ladder_bars(km, scale=1e-6, unit=" Mopts/s"))

@@ -1,0 +1,41 @@
+"""Fig. 5: binomial tree — functional tier timings + modeled figure."""
+
+import pytest
+
+from repro.bench import format_table, ladder_bars, run_experiment
+from repro.kernels import build_model
+from repro.kernels.binomial import (price_basic, price_reference,
+                                    price_simd_across, price_tiled)
+
+N_STEPS = 128  # functional bench size (model runs the paper's 1024/2048)
+
+
+@pytest.mark.benchmark(group="fig5-functional")
+def test_reference_scalar(benchmark, binomial_options):
+    benchmark(price_reference, binomial_options[0], N_STEPS)
+
+
+@pytest.mark.benchmark(group="fig5-functional")
+def test_basic_inner_vectorized(benchmark, binomial_options):
+    benchmark(price_basic, binomial_options[0], N_STEPS)
+
+
+@pytest.mark.benchmark(group="fig5-functional")
+def test_simd_across_options(benchmark, binomial_options):
+    benchmark(price_simd_across, binomial_options, N_STEPS)
+
+
+@pytest.mark.benchmark(group="fig5-functional")
+def test_register_tiled(benchmark, binomial_options):
+    benchmark(price_tiled, binomial_options, N_STEPS)
+
+
+@pytest.mark.benchmark(group="figure-regeneration")
+def test_fig5_modeled_figure(benchmark, capsys):
+    result = benchmark(run_experiment, "fig5")
+    with capsys.disabled():
+        print("\n" + format_table(result))
+        for n in (1024, 2048):
+            km = build_model("binomial", n_steps=n)
+            print(f"\nN = {n}:")
+            print(ladder_bars(km, scale=1e-3, unit=" Kopts/s"))

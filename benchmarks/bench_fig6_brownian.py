@@ -1,0 +1,69 @@
+"""Fig. 6: Brownian bridge — functional tier timings + modeled figure."""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table, ladder_bars, run_experiment
+from repro.config import SMALL_SIZES
+from repro.kernels import build_model
+from repro.kernels.brownian import (build_cache_to_cache, build_interleaved,
+                                    build_reference, build_vectorized,
+                                    default_block_paths, make_schedule)
+from repro.rng import MT19937, NormalGenerator
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return make_schedule(6)  # 64 steps, as in the paper
+
+
+@pytest.mark.benchmark(group="fig6-functional")
+def test_reference_scalar(benchmark, schedule, bridge_randoms):
+    # The scalar loop: run a reduced path count.
+    sub = bridge_randoms[:256 * schedule.randoms_per_path()]
+    benchmark(build_reference, schedule, sub)
+
+
+@pytest.mark.benchmark(group="fig6-functional")
+def test_vectorized_across_paths(benchmark, schedule, bridge_randoms):
+    benchmark(build_vectorized, schedule, bridge_randoms)
+
+
+@pytest.mark.benchmark(group="fig6-functional")
+def test_interleaved_rng(benchmark, schedule):
+    n_paths = SMALL_SIZES.brownian_paths
+    block = default_block_paths(schedule, 512 * 1024)
+
+    def run():
+        gen = NormalGenerator(MT19937(3))
+        return build_interleaved(schedule, gen.normals, n_paths, block)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="fig6-functional")
+def test_cache_to_cache_consumer(benchmark, schedule):
+    n_paths = SMALL_SIZES.brownian_paths
+    block = default_block_paths(schedule, 512 * 1024)
+
+    def run():
+        gen = NormalGenerator(MT19937(3))
+        acc = {"sum": 0.0}
+
+        def consumer(block_paths):
+            acc["sum"] += float(block_paths[:, -1].sum())
+
+        build_cache_to_cache(schedule, gen.normals, n_paths, block,
+                             consumer)
+        return acc["sum"]
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="figure-regeneration")
+def test_fig6_modeled_figure(benchmark, capsys):
+    result = benchmark(run_experiment, "fig6")
+    km = build_model("brownian")
+    with capsys.disabled():
+        print("\n" + format_table(result))
+        print("\n" + ladder_bars(km, scale=1e-6, unit=" Mpaths/s"))

@@ -1,0 +1,39 @@
+"""Fig. 8: Crank-Nicolson — functional solver timings + modeled figure."""
+
+import pytest
+
+from repro.bench import format_table, ladder_bars, run_experiment
+from repro.kernels import build_model
+from repro.kernels.crank_nicolson import solve
+
+POINTS, STEPS = 128, 100  # functional bench lattice
+
+
+@pytest.mark.benchmark(group="fig8-functional")
+def test_scalar_gsor(benchmark, cn_options):
+    benchmark(solve, cn_options[0], POINTS, STEPS, "gsor")
+
+
+@pytest.mark.benchmark(group="fig8-functional")
+def test_wavefront_simd(benchmark, cn_options):
+    benchmark(solve, cn_options[0], POINTS, STEPS, "wavefront", width=8)
+
+
+@pytest.mark.benchmark(group="fig8-functional")
+def test_wavefront_transformed(benchmark, cn_options):
+    benchmark(solve, cn_options[0], POINTS, STEPS,
+              "wavefront_transformed", width=8)
+
+
+@pytest.mark.benchmark(group="fig8-functional")
+def test_red_black_ablation(benchmark, cn_options):
+    benchmark(solve, cn_options[0], POINTS, STEPS, "red_black")
+
+
+@pytest.mark.benchmark(group="figure-regeneration")
+def test_fig8_modeled_figure(benchmark, capsys):
+    result = benchmark(run_experiment, "fig8")
+    km = build_model("crank_nicolson")
+    with capsys.disabled():
+        print("\n" + format_table(result))
+        print("\n" + ladder_bars(km, scale=1e-3, unit=" Kopts/s"))

@@ -1,0 +1,20 @@
+"""The Ninja-gap table (the paper's conclusion headline)."""
+
+from repro.bench import format_table, ninja_table, run_experiment
+
+
+def test_ninja_gap_table(benchmark, capsys):
+    rows, (snb, knc) = benchmark(ninja_table)
+    with capsys.disabled():
+        print("\n" + format_table(run_experiment("ninja")))
+        print(f"\nGeometric means: SNB-EP {snb}x (paper 1.9x), "
+              f"KNC {knc}x (paper 4x)")
+    assert knc > snb
+
+
+def test_gap_direction_per_kernel(benchmark, capsys):
+    """The paper's per-kernel observation: KNC needs the optimizations
+    more than SNB-EP for most kernels."""
+    rows, _ = benchmark(ninja_table)
+    knc_wins = sum(1 for _, s, k in rows if k >= s)
+    assert knc_wins >= 4

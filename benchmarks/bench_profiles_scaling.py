@@ -1,0 +1,34 @@
+"""Cycle profiles (the VTune stand-in) and the strong-scaling sweep."""
+
+import pytest
+
+from repro.bench import (format_profile, format_table, profile_trace,
+                         run_experiment)
+from repro.kernels import build_model
+
+
+@pytest.mark.benchmark(group="profiles")
+@pytest.mark.parametrize("kernel", ["black_scholes", "binomial",
+                                    "crank_nicolson"])
+def test_profile_report(benchmark, capsys, kernel):
+    km = build_model(kernel)
+    benchmark(lambda: [profile_trace(tp.trace, tp.arch, tp.ctx)
+                       for tp in km.ladder("KNC")])
+    with capsys.disabled():
+        print("\n" + format_profile(km, "KNC"))
+
+
+@pytest.mark.benchmark(group="figure-regeneration")
+def test_scaling_experiment(benchmark, capsys):
+    result = benchmark(run_experiment, "scaling")
+    with capsys.disabled():
+        # Condensed view: final-core speedups only.
+        finals = {}
+        for kernel, platform, cores, _, speedup in result.rows:
+            finals[(kernel, platform)] = (cores, speedup)
+        print("\nStrong scaling at full chip (modeled):")
+        for (kernel, platform), (cores, sp) in sorted(finals.items()):
+            print(f"  {kernel:<26s} {platform:<7s} {sp:6.1f}x on "
+                  f"{cores} cores")
+        for n in result.notes:
+            print(f"  note: {n}")

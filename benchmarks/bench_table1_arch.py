@@ -1,0 +1,59 @@
+"""Table I regeneration + machine-model microbenchmarks.
+
+``pytest benchmarks/bench_table1_arch.py --benchmark-only``
+"""
+
+import numpy as np
+
+from repro.arch import (KNC, SNB_EP, CacheHierarchy, CostModel,
+                        ExecutionContext)
+from repro.bench import format_table, table1
+from repro.simd import OpTrace, VectorMachine
+
+
+def test_table1_regenerates(benchmark, capsys):
+    """Print the regenerated Table I (the experiment itself is asserted
+    in the unit tests; here it's rendered for the bench log)."""
+    out = format_table(benchmark(table1))
+    with capsys.disabled():
+        print("\n" + out)
+
+
+def test_cache_simulator_throughput(benchmark):
+    """Line-granular cache simulation rate (sim infrastructure cost)."""
+    h = CacheHierarchy(SNB_EP)
+
+    def sweep():
+        h.access_range(0, 64 * 4096)
+        return h.dram_accesses
+
+    benchmark(sweep)
+
+
+def test_cost_model_evaluation_rate(benchmark):
+    """Trace→cycles evaluation cost (used thousands of times by the
+    figure generators)."""
+    t = OpTrace(width=8)
+    t.op("mul", 1000)
+    t.op("fma", 1000)
+    t.load(500)
+    t.transcendental("exp", 8000)
+    t.items = 1000
+    model = CostModel(KNC)
+    ctx = ExecutionContext(unrolled=True)
+    benchmark(lambda: model.throughput(t, ctx))
+
+
+def test_vector_machine_dispatch_rate(benchmark):
+    """F64Vec op + trace recording overhead per instruction."""
+    m = VectorMachine(4, SNB_EP)
+    a = m.array(np.arange(64.0), "a")
+
+    def kernel():
+        v = m.load(a, 0)
+        w = m.load(a, 4)
+        for _ in range(50):
+            v = v.fma(w, v)
+        m.store(a, 8, v)
+
+    benchmark(kernel)

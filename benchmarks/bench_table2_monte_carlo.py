@@ -1,0 +1,46 @@
+"""Table II rows 1–2: Monte-Carlo pricing — functional + modeled."""
+
+import pytest
+
+from repro.bench import format_table, run_experiment
+from repro.config import SMALL_SIZES
+from repro.kernels.monte_carlo import (price_antithetic, price_computed,
+                                       price_stream)
+from repro.rng import MT19937, NormalGenerator
+
+
+@pytest.mark.benchmark(group="table2-functional")
+def test_stream_mode(benchmark, mc_inputs):
+    S, X, T, z = mc_inputs
+    benchmark(price_stream, S, X, T, 0.02, 0.3, z)
+
+
+@pytest.mark.benchmark(group="table2-functional")
+def test_computed_mode(benchmark, mc_inputs):
+    S, X, T, _ = mc_inputs
+
+    def run():
+        gen = NormalGenerator(MT19937(4))
+        return price_computed(S, X, T, 0.02, 0.3,
+                              SMALL_SIZES.mc_path_length, gen)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="table2-functional")
+def test_antithetic_extension(benchmark, mc_inputs):
+    S, X, T, _ = mc_inputs
+
+    def run():
+        gen = NormalGenerator(MT19937(4))
+        return price_antithetic(S, X, T, 0.02, 0.3,
+                                SMALL_SIZES.mc_path_length, gen)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="figure-regeneration")
+def test_table2_modeled(benchmark, capsys):
+    result = benchmark(run_experiment, "tab2")
+    with capsys.disabled():
+        print("\n" + format_table(result))

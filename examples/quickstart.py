@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: price options four ways and regenerate a paper figure.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+from repro.kernels.monte_carlo import price_stream
+from repro.pricing import bs_call
+from repro.rng import MT19937, NormalGenerator
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Closed-form Black-Scholes over a random batch (the Fig. 4 kernel)
+    # ------------------------------------------------------------------
+    batch = repro.random_batch(100_000, seed=42)
+    repro.price_black_scholes(batch)
+    print(f"Priced {len(batch):,} European options analytically.")
+    print(f"  first call={batch.call[0]:.4f}  put={batch.put[0]:.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. The same contract on a binomial tree (the Fig. 5 kernel)
+    # ------------------------------------------------------------------
+    contract = batch.option(0)
+    tree = repro.price_binomial([contract], n_steps=2048)[0]
+    exact = float(bs_call(contract.spot, contract.strike, contract.expiry,
+                          contract.rate, contract.vol))
+    print(f"\nBinomial (N=2048): {tree:.4f}   closed form: {exact:.4f}   "
+          f"diff: {abs(tree - exact):.2e}")
+
+    # ------------------------------------------------------------------
+    # 3. Monte-Carlo with the from-scratch Mersenne twister (Table II)
+    # ------------------------------------------------------------------
+    z = NormalGenerator(MT19937(7)).normals(200_000)
+    mc = price_stream(
+        np.array([contract.spot]), np.array([contract.strike]),
+        np.array([contract.expiry]), contract.rate, contract.vol, z)
+    print(f"Monte-Carlo (200k paths): {mc.price[0]:.4f} "
+          f"± {1.96 * mc.stderr[0]:.4f} (95%)")
+
+    # ------------------------------------------------------------------
+    # 4. An American put by Crank-Nicolson + projected SOR (Fig. 8 kernel)
+    # ------------------------------------------------------------------
+    am = repro.Option(100.0, 100.0, 1.0, 0.05, 0.3,
+                      repro.OptionKind.PUT, repro.ExerciseStyle.AMERICAN)
+    cn = repro.price_american_cn(am, n_points=256, n_steps=400)
+    print(f"\nAmerican put (CN/PSOR, 256x400): {cn.price:.4f} "
+          f"({cn.total_sweeps} PSOR sweeps, final omega {cn.final_omega:.2f})")
+
+    # ------------------------------------------------------------------
+    # 5. Regenerate the paper's Fig. 4 on the modeled machines
+    # ------------------------------------------------------------------
+    print("\n" + repro.format_table(repro.run_experiment("fig4")))
+
+
+if __name__ == "__main__":
+    main()

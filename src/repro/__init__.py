@@ -1,0 +1,54 @@
+"""repro — a reproduction of *Analysis and Optimization of Financial
+Analytics Benchmark on Modern Multi- and Many-core IA-Based
+Architectures* (SC 2012).
+
+The package provides:
+
+* :mod:`repro.kernels` — the six derivative-pricing kernels
+  (Black-Scholes, binomial tree, Brownian bridge, Monte-Carlo,
+  Crank-Nicolson/PSOR, RNG) at every optimization tier the paper defines,
+  functionally correct and numerically validated;
+* :mod:`repro.arch` / :mod:`repro.simd` — simulated SNB-EP and KNC
+  machine models (Table I), a tracing vector machine, cache simulator and
+  cycle cost model that regenerate the paper's performance figures;
+* :mod:`repro.vmath`, :mod:`repro.rng`, :mod:`repro.pricing`,
+  :mod:`repro.parallel` — the math-library, RNG, financial and
+  threading substrates;
+* :mod:`repro.bench` — one experiment per paper table/figure.
+
+Quickstart::
+
+    from repro import price_black_scholes, run_experiment, format_table
+    from repro.pricing import random_batch
+
+    batch = random_batch(100_000)
+    price_black_scholes(batch)             # fills batch.call / batch.put
+    print(format_table(run_experiment("fig4")))
+"""
+
+from . import arch, bench, kernels, parallel, pricing, rng, simd, validation, vmath
+from .bench import format_table, ladder_bars, run_all, run_experiment
+from .config import DEFAULT_CONFIG, PAPER_SIZES, SMALL_SIZES, RunConfig
+from .errors import (ConfigurationError, ConvergenceError, DomainError,
+                     ExperimentError, LayoutError, ReproError, TraceError,
+                     VectorWidthError)
+from .kernels.black_scholes import price_advanced as price_black_scholes
+from .kernels.binomial import price_tiled as price_binomial
+from .kernels.crank_nicolson import solve as price_american_cn
+from .kernels.monte_carlo import price_stream as price_monte_carlo
+from .pricing import (ExerciseStyle, Option, OptionBatch, OptionKind,
+                      random_batch)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "arch", "simd", "vmath", "rng", "pricing", "kernels", "parallel",
+    "bench", "validation",
+    "Option", "OptionBatch", "OptionKind", "ExerciseStyle", "random_batch",
+    "price_black_scholes", "price_binomial", "price_monte_carlo",
+    "price_american_cn",
+    "run_experiment", "run_all", "format_table", "ladder_bars",
+    "RunConfig", "DEFAULT_CONFIG", "PAPER_SIZES", "SMALL_SIZES",
+    "ReproError", "ConfigurationError", "LayoutError", "VectorWidthError",
+    "TraceError", "ConvergenceError", "DomainError", "ExperimentError",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+experiment <id>         regenerate a paper table/figure (or ``all``)
+figure <kernel>         the modeled stacked-bar chart for one kernel
+profile <kernel>        VTune-style cycle profile on one platform
+ninja                   the Ninja-gap table
+price ...               price one contract with every applicable engine
+platforms               the simulated machines (+ optional host calibration)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (format_profile, format_table, ladder_bars, ninja_table,
+                    run_all, run_experiment)
+from .bench.experiments import EXPERIMENTS
+from .bench.ninja import GAP_KERNELS
+from .errors import ReproError
+from .kernels import build_model
+
+_FIGSCALE = {
+    "black_scholes": (1e-6, " Mopts/s"),
+    "binomial": (1e-3, " Kopts/s"),
+    "brownian": (1e-6, " Mpaths/s"),
+    "monte_carlo": (1e-3, " Kopts/s"),
+    "crank_nicolson": (1e-3, " Kopts/s"),
+    "rng": (1e-9, " Gnums/s"),
+}
+
+
+def _cmd_experiment(args) -> int:
+    from .bench import render
+    if args.id == "all":
+        for result in run_all():
+            print(render(result, args.format))
+            print()
+        return 0
+    print(render(run_experiment(args.id), args.format))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    km = build_model(args.kernel)
+    scale, unit = _FIGSCALE[args.kernel]
+    print(ladder_bars(km, scale=scale, unit=unit))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    km = build_model(args.kernel)
+    print(format_profile(km, args.arch))
+    return 0
+
+
+def _cmd_ninja(args) -> int:
+    print(format_table(run_experiment("ninja")))
+    return 0
+
+
+def _cmd_platforms(args) -> int:
+    from .arch import PLATFORMS
+    for p in PLATFORMS:
+        print(p.describe())
+    if args.host:
+        from .arch import calibrate_host
+        print(calibrate_host().describe())
+    return 0
+
+
+def _cmd_price(args) -> int:
+    import numpy as np
+
+    from .kernels.binomial import price_basic
+    from .kernels.crank_nicolson import solve
+    from .kernels.monte_carlo import price_stream
+    from .pricing import (ExerciseStyle, Option, OptionKind, bs_call,
+                          bs_put)
+    from .rng import MT19937, NormalGenerator
+
+    kind = OptionKind.CALL if args.kind == "call" else OptionKind.PUT
+    style = (ExerciseStyle.AMERICAN if args.american
+             else ExerciseStyle.EUROPEAN)
+    opt = Option(args.spot, args.strike, args.expiry, args.rate,
+                 args.vol, kind, style)
+    print(f"{style.value} {kind.value}: S={args.spot} K={args.strike} "
+          f"T={args.expiry} r={args.rate} sigma={args.vol}")
+    if style is ExerciseStyle.EUROPEAN:
+        cf = bs_call if kind is OptionKind.CALL else bs_put
+        print(f"  closed form:    "
+              f"{float(cf(args.spot, args.strike, args.expiry, args.rate, args.vol)):.6f}")
+        z = NormalGenerator(MT19937(args.seed)).normals(args.paths)
+        mc = price_stream(np.array([args.spot]), np.array([args.strike]),
+                          np.array([args.expiry]), args.rate, args.vol, z)
+        if kind is OptionKind.CALL:
+            print(f"  Monte-Carlo:    {mc.price[0]:.6f} "
+                  f"± {1.96 * mc.stderr[0]:.6f}")
+    print(f"  binomial tree:  {price_basic(opt, args.steps):.6f}")
+    cn = solve(opt, n_points=args.grid, n_steps=max(100, args.steps // 8))
+    print(f"  Crank-Nicolson: {cn.price:.6f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Financial analytics benchmark (SC 2012 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("id", choices=sorted(EXPERIMENTS) + ["all"])
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("figure", help="modeled stacked bars for a kernel")
+    p.add_argument("kernel", choices=sorted(_FIGSCALE))
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("profile", help="cycle profile for a kernel")
+    p.add_argument("kernel", choices=sorted(GAP_KERNELS) + ["rng"])
+    p.add_argument("--arch", default="KNC", choices=["SNB-EP", "KNC"])
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("ninja", help="the Ninja-gap table")
+    p.set_defaults(fn=_cmd_ninja)
+
+    p = sub.add_parser("platforms", help="describe the machines")
+    p.add_argument("--host", action="store_true",
+                   help="also calibrate and show this host")
+    p.set_defaults(fn=_cmd_platforms)
+
+    p = sub.add_parser("price", help="price one contract, every engine")
+    p.add_argument("--spot", type=float, default=100.0)
+    p.add_argument("--strike", type=float, default=100.0)
+    p.add_argument("--expiry", type=float, default=1.0)
+    p.add_argument("--rate", type=float, default=0.05)
+    p.add_argument("--vol", type=float, default=0.3)
+    p.add_argument("--kind", choices=["call", "put"], default="call")
+    p.add_argument("--american", action="store_true")
+    p.add_argument("--paths", type=int, default=100_000)
+    p.add_argument("--steps", type=int, default=1024)
+    p.add_argument("--grid", type=int, default=192)
+    p.add_argument("--seed", type=int, default=2012)
+    p.set_defaults(fn=_cmd_price)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — normal shell usage.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

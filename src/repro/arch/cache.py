@@ -1,0 +1,190 @@
+"""Set-associative cache hierarchy simulator.
+
+Models the per-core cache stack of an :class:`~repro.arch.spec.ArchSpec`
+with true LRU replacement per set. The simulator is line-granular and
+driven with byte addresses; kernels feed it through
+:class:`~repro.simd.machine.VectorMachine`, which converts array accesses
+to address streams.
+
+For the large working sets in the benchmarks, driving every element
+through a Python-level simulator would be prohibitive, so
+:meth:`CacheHierarchy.access_range` provides an exact *aggregate* path for
+contiguous streams (one access per touched line) while
+:meth:`CacheHierarchy.access` handles irregular (gather/scatter) patterns
+element by element.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import ArchSpec, CacheSpec
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+class CacheLevel:
+    """One set-associative cache level with LRU replacement.
+
+    Each set is an :class:`~collections.OrderedDict` from line tag to
+    ``True``; ordering encodes recency (last item = most recent).
+    """
+
+    def __init__(self, spec: CacheSpec):
+        self.spec = spec
+        self.n_sets = spec.n_sets
+        self.assoc = spec.associativity
+        self.line = spec.line_size
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> tuple:
+        line_addr = addr // self.line
+        return line_addr % self.n_sets, line_addr
+
+    def lookup(self, addr: int) -> bool:
+        """Access ``addr``; return True on hit. Fills the line on miss."""
+        set_idx, tag = self._locate(addr)
+        s = self._sets[set_idx]
+        if tag in s:
+            s.move_to_end(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+            self.stats.evictions += 1
+        s[tag] = True
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Non-mutating residency probe."""
+        set_idx, tag = self._locate(addr)
+        return tag in self._sets[set_idx]
+
+    def invalidate(self) -> None:
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class CacheHierarchy:
+    """The full private-cache stack of one core (plus shared LLC share).
+
+    A shared LLC is modelled as a private slice sized
+    ``llc.size / total_cores`` — the standard approximation for
+    throughput-oriented workloads where each thread works on a disjoint
+    chunk. Lookups walk levels outward; a miss at every level is a DRAM
+    access.
+    """
+
+    def __init__(self, arch: ArchSpec):
+        self.arch = arch
+        self.levels = []
+        for c in arch.caches:
+            if c.shared:
+                per_core = c.size // arch.total_cores
+                # Keep geometry legal: shrink ways with capacity.
+                assoc = min(c.associativity, max(1, per_core // c.line_size))
+                lines = per_core // c.line_size
+                if lines == 0:
+                    raise ConfigurationError(
+                        f"{arch.name}: shared {c.name} slice smaller than a line"
+                    )
+                while lines % assoc:
+                    assoc -= 1
+                c = CacheSpec(
+                    c.name, per_core, c.line_size, assoc,
+                    shared=False, latency_cycles=c.latency_cycles,
+                )
+            self.levels.append(CacheLevel(c))
+        self.dram_accesses = 0
+        self.line = self.levels[0].line
+
+    def access(self, addr: int) -> str:
+        """Access one address; return the name of the level that hit
+        (or ``"DRAM"``)."""
+        for level in self.levels:
+            if level.lookup(addr):
+                return level.spec.name
+        self.dram_accesses += 1
+        return "DRAM"
+
+    def access_range(self, start: int, nbytes: int, stride: int = 1) -> int:
+        """Access a strided range; returns the number of DRAM lines touched.
+
+        ``stride`` is in bytes between consecutive element accesses; the
+        simulator visits each *line* in the range once per distinct line
+        touched (contiguous streams therefore cost ``nbytes/line`` lookups).
+        """
+        if nbytes <= 0:
+            return 0
+        before = self.dram_accesses
+        if stride <= self.line:
+            # Every line in [start, start+nbytes) is touched.
+            first = start // self.line
+            last = (start + nbytes - 1) // self.line
+            for line_no in range(first, last + 1):
+                self.access(line_no * self.line)
+        else:
+            n = max(1, nbytes // stride)
+            for i in range(n):
+                self.access(start + i * stride)
+        return self.dram_accesses - before
+
+    def flush(self) -> None:
+        for level in self.levels:
+            level.invalidate()
+
+    def reset_stats(self) -> None:
+        for level in self.levels:
+            level.reset_stats()
+        self.dram_accesses = 0
+
+    def stats_by_level(self) -> dict:
+        out = {lv.spec.name: lv.stats for lv in self.levels}
+        return out
+
+    def fits_in(self, level_name: str, working_set_bytes: int) -> bool:
+        """Capacity test used by tiling heuristics: does a working set of
+        the given size fit in the named level of this core's stack?"""
+        for lv in self.levels:
+            if lv.spec.name == level_name:
+                return working_set_bytes <= lv.spec.size
+        raise ConfigurationError(f"no cache level {level_name!r}")
+
+
+def working_set_fits(arch: ArchSpec, nbytes: int, level: str = "L2") -> bool:
+    """Module-level convenience: does ``nbytes`` fit in ``level`` of
+    ``arch`` (per core, with shared caches divided among cores)?"""
+    for c in arch.caches:
+        if c.name == level:
+            cap = c.size // arch.total_cores if c.shared else c.size
+            return nbytes <= cap
+    raise ConfigurationError(f"{arch.name} has no cache level {level!r}")

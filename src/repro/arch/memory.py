@@ -1,0 +1,87 @@
+"""DRAM and bandwidth model.
+
+Converts a kernel's memory traffic (bytes read/written past the caches)
+into time on a given architecture. The model is the paper's own: sustained
+bandwidth is the STREAM triad figure from Table I, and *streaming stores*
+(available on both SNB-EP and KNC) avoid the read-for-ownership traffic
+that normal stores incur — the Black-Scholes bound in Sec. IV-A3 assumes
+them, giving the ``B/40`` options/s ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import ArchSpec
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """Memory traffic of one kernel invocation, in bytes.
+
+    ``read`` and ``written`` are bytes that must cross the DRAM interface.
+    ``rfo`` is read-for-ownership traffic: bytes *read* solely because a
+    store misses and streaming stores are not used.
+    """
+
+    read: int = 0
+    written: int = 0
+    rfo: int = 0
+
+    def __post_init__(self):
+        if self.read < 0 or self.written < 0 or self.rfo < 0:
+            raise ConfigurationError("traffic components must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return self.read + self.written + self.rfo
+
+    def __add__(self, other: "Traffic") -> "Traffic":
+        return Traffic(
+            self.read + other.read,
+            self.written + other.written,
+            self.rfo + other.rfo,
+        )
+
+    def scaled(self, factor: float) -> "Traffic":
+        return Traffic(
+            int(self.read * factor),
+            int(self.written * factor),
+            int(self.rfo * factor),
+        )
+
+
+def store_traffic(nbytes: int, streaming_stores: bool) -> Traffic:
+    """Traffic for writing ``nbytes``: with streaming stores the lines go
+    straight to DRAM; without, each line is first read for ownership."""
+    if streaming_stores:
+        return Traffic(read=0, written=nbytes)
+    return Traffic(read=0, written=nbytes, rfo=nbytes)
+
+
+class MemoryModel:
+    """Time/bandwidth accounting against an architecture's DRAM."""
+
+    def __init__(self, arch: ArchSpec, efficiency: float = 1.0):
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigurationError("bandwidth efficiency must be in (0, 1]")
+        self.arch = arch
+        #: fraction of STREAM bandwidth this access pattern sustains
+        self.efficiency = efficiency
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        return self.arch.stream_bw_gbs * 1e9 * self.efficiency
+
+    def seconds(self, traffic: Traffic) -> float:
+        """Wall time to move the given traffic at sustained bandwidth."""
+        return traffic.total / self.bandwidth_bytes_per_s
+
+    def bandwidth_bound_rate(self, bytes_per_item: float) -> float:
+        """Items/s ceiling for a streaming kernel moving
+        ``bytes_per_item`` per work item (the paper's ``B/40`` bound for
+        Black-Scholes, with 24 B in + 16 B out per option)."""
+        if bytes_per_item <= 0:
+            raise ConfigurationError("bytes_per_item must be positive")
+        return self.bandwidth_bytes_per_s / bytes_per_item

@@ -1,0 +1,117 @@
+"""Roofline bounds: the horizontal lines drawn on the paper's figures.
+
+Fig. 4 carries a *bandwidth-bound* line (``B/40`` options/s for
+Black-Scholes) and Fig. 5 a *compute-bound* line (peak flops divided by
+the ``3N(N+1)/2`` flops one binomial option needs). This module computes
+both kinds of bound for any kernel from its per-item flop and byte costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import ArchSpec
+
+
+@dataclass(frozen=True)
+class KernelResource:
+    """Per-work-item resource needs of a kernel."""
+
+    name: str
+    flops_per_item: float
+    dram_bytes_per_item: float
+    #: Fraction of peak flops this kernel's instruction mix can use
+    #: (e.g. 0.5 for code with no mul/add balance or no FMA).
+    flop_efficiency: float = 1.0
+
+    def __post_init__(self):
+        if self.flops_per_item < 0 or self.dram_bytes_per_item < 0:
+            raise ConfigurationError("resource needs must be non-negative")
+        if not 0 < self.flop_efficiency <= 1:
+            raise ConfigurationError("flop_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RooflineBound:
+    """The two ceilings and the binding one, in items/s."""
+
+    compute_bound: float
+    bandwidth_bound: float
+
+    @property
+    def bound(self) -> float:
+        return min(self.compute_bound, self.bandwidth_bound)
+
+    @property
+    def binding(self) -> str:
+        return ("compute" if self.compute_bound <= self.bandwidth_bound
+                else "bandwidth")
+
+
+def roofline(arch: ArchSpec, res: KernelResource) -> RooflineBound:
+    """Items/s ceilings for ``res`` on ``arch``."""
+    if res.flops_per_item > 0:
+        compute = (arch.peak_dp_gflops * 1e9 * res.flop_efficiency
+                   / res.flops_per_item)
+    else:
+        compute = float("inf")
+    if res.dram_bytes_per_item > 0:
+        bandwidth = arch.stream_bw_gbs * 1e9 / res.dram_bytes_per_item
+    else:
+        bandwidth = float("inf")
+    return RooflineBound(compute_bound=compute, bandwidth_bound=bandwidth)
+
+
+def ridge_intensity(arch: ArchSpec) -> float:
+    """Arithmetic intensity (flops/byte) at which compute and bandwidth
+    ceilings meet for this machine."""
+    return arch.peak_dp_gflops * 1e9 / (arch.stream_bw_gbs * 1e9)
+
+
+def attainable_gflops(arch: ArchSpec, intensity: float) -> float:
+    """Classic roofline: attainable Gflop/s at a given arithmetic
+    intensity (flops per DRAM byte)."""
+    if intensity < 0:
+        raise ConfigurationError("arithmetic intensity must be non-negative")
+    return min(arch.peak_dp_gflops, arch.stream_bw_gbs * intensity)
+
+
+# ----------------------------------------------------------------------
+# The paper's published per-item resource figures
+# ----------------------------------------------------------------------
+
+def black_scholes_resource() -> KernelResource:
+    """Sec. IV-A: ~200 ops per option; 24 B in + 16 B out = 40 B/option
+    with streaming stores (the ``B/40`` bound)."""
+    return KernelResource("black_scholes", flops_per_item=200.0,
+                          dram_bytes_per_item=40.0)
+
+
+def binomial_resource(n_steps: int) -> KernelResource:
+    """Sec. IV-B: 3N(N+1)/2 flops per option, negligible DRAM traffic
+    once tiled. The mul/add mix (2 mul + 1 add per node) sustains at most
+    3/4 of a balanced-port peak and 3/4 of an FMA peak."""
+    if n_steps <= 0:
+        raise ConfigurationError("n_steps must be positive")
+    return KernelResource(
+        f"binomial_{n_steps}",
+        flops_per_item=1.5 * n_steps * (n_steps + 1),
+        dram_bytes_per_item=0.0,
+        flop_efficiency=0.75,
+    )
+
+
+def brownian_resource(n_steps: int, streamed_rng: bool) -> KernelResource:
+    """Sec. IV-C: one fma + one mul + one add per interior point per path
+    (~4 flops/step), plus one 8-byte random number per step streamed from
+    DRAM unless the RNG is interleaved into cache."""
+    if n_steps <= 0:
+        raise ConfigurationError("n_steps must be positive")
+    bytes_per = (n_steps * 8.0 + n_steps * 8.0) if streamed_rng else 0.0
+    return KernelResource(
+        f"brownian_{n_steps}",
+        flops_per_item=4.0 * n_steps,
+        dram_bytes_per_item=bytes_per,
+        flop_efficiency=0.5,  # no FMA in the core bridge compute (Sec. IV-C3)
+    )

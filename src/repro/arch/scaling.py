@@ -1,0 +1,79 @@
+"""Multicore scaling model.
+
+Projects single-core kernel time to ``n`` cores: perfectly parallel work
+divides by the core count, a serial fraction does not (Amdahl), and the
+chip-wide DRAM bandwidth forms a floor no amount of cores can cross. The
+paper's thread-parallel results (OpenMP over options/paths) are embarrassingly
+parallel with negligible serial sections, so the default serial fraction
+is tiny but non-zero (thread fork/join and reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import ArchSpec
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Amdahl + bandwidth-ceiling scaling.
+
+    Attributes
+    ----------
+    serial_fraction:
+        Fraction of single-core compute time that does not parallelise.
+    sync_overhead_s:
+        Fixed per-parallel-region cost (fork/join/barrier).
+    """
+
+    serial_fraction: float = 1e-4
+    sync_overhead_s: float = 5e-6
+
+    def __post_init__(self):
+        if not 0 <= self.serial_fraction < 1:
+            raise ConfigurationError("serial_fraction must be in [0, 1)")
+        if self.sync_overhead_s < 0:
+            raise ConfigurationError("sync_overhead_s must be non-negative")
+
+    def time(self, single_core_compute_s: float, dram_bytes: float,
+             arch: ArchSpec, cores: int) -> float:
+        """Projected wall time on ``cores`` cores of ``arch``."""
+        if cores < 1 or cores > arch.total_cores:
+            raise ConfigurationError(
+                f"cores must be in [1, {arch.total_cores}], got {cores}"
+            )
+        s = self.serial_fraction
+        compute = single_core_compute_s * (s + (1.0 - s) / cores)
+        memory = dram_bytes / (arch.stream_bw_gbs * 1e9)
+        return max(compute, memory) + self.sync_overhead_s
+
+    def speedup(self, single_core_compute_s: float, dram_bytes: float,
+                arch: ArchSpec, cores: int) -> float:
+        t1 = self.time(single_core_compute_s, dram_bytes, arch, 1)
+        tn = self.time(single_core_compute_s, dram_bytes, arch, cores)
+        return t1 / tn
+
+    def efficiency(self, single_core_compute_s: float, dram_bytes: float,
+                   arch: ArchSpec, cores: int) -> float:
+        return self.speedup(single_core_compute_s, dram_bytes, arch,
+                            cores) / cores
+
+
+def strong_scaling_curve(model: ScalingModel, single_core_compute_s: float,
+                         dram_bytes: float, arch: ArchSpec):
+    """(cores, time, speedup) tuples for 1..total_cores, doubling."""
+    points = []
+    c = 1
+    while c <= arch.total_cores:
+        t = model.time(single_core_compute_s, dram_bytes, arch, c)
+        points.append((c, t, model.speedup(
+            single_core_compute_s, dram_bytes, arch, c)))
+        c *= 2
+    if points[-1][0] != arch.total_cores:
+        c = arch.total_cores
+        points.append((c, model.time(
+            single_core_compute_s, dram_bytes, arch, c),
+            model.speedup(single_core_compute_s, dram_bytes, arch, c)))
+    return points

@@ -1,0 +1,85 @@
+"""Thread topology and placement.
+
+Models the socket/core/SMT structure of an architecture and the two
+classic OpenMP placement policies (``compact`` packs SMT siblings first,
+``scatter`` spreads across cores/sockets first). The parallel executor and
+the cost model use placements to know how many cores are active and how
+many SMT threads share each active core — which matters on KNC, where a
+single resident thread cannot saturate the vector pipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import ArchSpec
+
+
+@dataclass(frozen=True)
+class HwThread:
+    """One hardware thread's coordinates."""
+
+    socket: int
+    core: int       # core index within socket
+    smt: int        # SMT slot within core
+
+    @property
+    def global_core(self) -> tuple:
+        return (self.socket, self.core)
+
+
+def enumerate_threads(arch: ArchSpec):
+    """All hardware threads in (socket, core, smt) lexicographic order."""
+    return [
+        HwThread(s, c, t)
+        for s in range(arch.sockets)
+        for c in range(arch.cores_per_socket)
+        for t in range(arch.smt)
+    ]
+
+
+def place(arch: ArchSpec, n_threads: int, policy: str = "scatter"):
+    """Pick the hardware threads ``n_threads`` software threads bind to.
+
+    ``scatter`` fills distinct cores (round-robin over sockets) before
+    using SMT siblings; ``compact`` fills each core's SMT slots before
+    moving to the next core.
+    """
+    if n_threads < 1 or n_threads > arch.total_threads:
+        raise ConfigurationError(
+            f"n_threads must be in [1, {arch.total_threads}], got {n_threads}"
+        )
+    threads = enumerate_threads(arch)
+    if policy == "compact":
+        order = sorted(threads, key=lambda t: (t.socket, t.core, t.smt))
+    elif policy == "scatter":
+        order = sorted(threads, key=lambda t: (t.smt, t.core, t.socket))
+    else:
+        raise ConfigurationError(
+            f"unknown placement policy {policy!r} (want 'compact' or 'scatter')"
+        )
+    return order[:n_threads]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Summary of a placement the cost model consumes."""
+
+    active_cores: int
+    threads_per_core: float
+
+    def __post_init__(self):
+        if self.active_cores < 1:
+            raise ConfigurationError("placement must use at least one core")
+
+
+def placement_summary(arch: ArchSpec, n_threads: int,
+                      policy: str = "scatter") -> Placement:
+    """Active-core count and average SMT occupancy for a placement."""
+    chosen = place(arch, n_threads, policy)
+    cores = {t.global_core for t in chosen}
+    return Placement(
+        active_cores=len(cores),
+        threads_per_core=n_threads / len(cores),
+    )

@@ -1,0 +1,25 @@
+"""Benchmark harness: experiment registry (one per paper table/figure),
+Ninja-gap computation, text reporting and functional workload builders."""
+
+from .export import FORMATS, from_json, render, to_csv, to_json
+from .experiments import (EXPERIMENTS, ExperimentResult, fig4, fig5, fig6,
+                          fig8, ninja_gap, run_all, run_experiment, table1,
+                          table2)
+from .harness import (TimedRun, binomial_workload, brownian_randoms,
+                      bs_workload, cn_workload, mc_workload, time_run)
+from .ninja import GAP_KERNELS, ninja_gaps, ninja_table
+from .profile import (ProfileLine, format_profile, hotspot, profile_trace)
+from .report import format_table, ladder_bars, stacked_bars
+from .scenarios import SCENARIOS, ScenarioResult, run_scenario
+
+__all__ = [
+    "ExperimentResult", "EXPERIMENTS", "run_experiment", "run_all",
+    "table1", "fig4", "fig5", "fig6", "table2", "fig8", "ninja_gap",
+    "ninja_gaps", "ninja_table", "GAP_KERNELS",
+    "format_table", "stacked_bars", "ladder_bars",
+    "TimedRun", "time_run", "bs_workload", "binomial_workload",
+    "brownian_randoms", "mc_workload", "cn_workload",
+    "profile_trace", "hotspot", "format_profile", "ProfileLine",
+    "SCENARIOS", "ScenarioResult", "run_scenario",
+    "render", "to_json", "to_csv", "from_json", "FORMATS",
+]

@@ -1,0 +1,76 @@
+"""Machine-readable experiment exports (JSON / CSV).
+
+Downstream users regenerate the paper's artifacts into files they can
+diff, plot, or track over time:
+
+``python -m repro experiment fig5 --format json > fig5.json``
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..errors import ExperimentError
+from .experiments import ExperimentResult
+
+FORMATS = ("text", "json", "csv")
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """The experiment as a self-describing JSON document."""
+    doc = {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [list(r) for r in result.rows],
+        "notes": list(result.notes),
+    }
+    return json.dumps(doc, indent=indent, default=_coerce)
+
+
+def _coerce(obj):
+    """Make NumPy scalars and other numerics JSON-friendly."""
+    if hasattr(obj, "item"):
+        return obj.item()
+    raise TypeError(f"not JSON-serialisable: {type(obj)}")
+
+
+def from_json(text: str) -> ExperimentResult:
+    """Round-trip loader (tuples restored for rows)."""
+    doc = json.loads(text)
+    for key in ("exp_id", "title", "headers", "rows"):
+        if key not in doc:
+            raise ExperimentError(f"JSON document missing {key!r}")
+    return ExperimentResult(
+        exp_id=doc["exp_id"],
+        title=doc["title"],
+        headers=tuple(doc["headers"]),
+        rows=[tuple(r) for r in doc["rows"]],
+        notes=list(doc.get("notes", [])),
+    )
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """The rows as CSV with a header line (notes go in ``#`` comments)."""
+    buf = io.StringIO()
+    for note in result.notes:
+        buf.write(f"# {note}\n")
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def render(result: ExperimentResult, fmt: str) -> str:
+    """Dispatch on format name (``text`` | ``json`` | ``csv``)."""
+    if fmt == "text":
+        from .report import format_table
+        return format_table(result)
+    if fmt == "json":
+        return to_json(result)
+    if fmt == "csv":
+        return to_csv(result)
+    raise ExperimentError(f"unknown format {fmt!r}; want one of {FORMATS}")

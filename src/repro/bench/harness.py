@@ -1,0 +1,93 @@
+"""Functional benchmark harness.
+
+Times the *functional* NumPy kernels on the host (wall clock, real
+speedups between optimization tiers where Python can express them) and
+pairs those with the machine-model throughput for SNB-EP and KNC. The
+pytest-benchmark files under ``benchmarks/`` use these workload builders
+so every bench prices the same inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import SMALL_SIZES, WorkloadSizes
+from ..errors import ExperimentError
+from ..pricing import Option, OptionKind, random_batch
+from ..rng import MT19937, NormalGenerator
+
+
+@dataclass
+class TimedRun:
+    """One functional measurement."""
+
+    label: str
+    seconds: float
+    items: int
+
+    @property
+    def rate(self) -> float:
+        return self.items / self.seconds if self.seconds > 0 else float("inf")
+
+
+def time_run(label: str, fn, items: int, repeats: int = 3) -> TimedRun:
+    """Best-of-``repeats`` wall-clock timing of ``fn()``."""
+    if repeats < 1:
+        raise ExperimentError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return TimedRun(label=label, seconds=best, items=items)
+
+
+# ----------------------------------------------------------------------
+# Workload builders (shared by tests / benches / examples)
+# ----------------------------------------------------------------------
+
+def bs_workload(sizes: WorkloadSizes = SMALL_SIZES, layout: str = "soa",
+                seed: int = 2012):
+    """The Fig. 4 option batch."""
+    return random_batch(sizes.black_scholes_nopt, seed=seed, layout=layout)
+
+
+def binomial_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
+    """The Fig. 5 option group (shared step count)."""
+    rng = np.random.default_rng(seed)
+    n = sizes.binomial_nopt
+    return [
+        Option(spot=100.0, strike=float(s), expiry=1.0, rate=0.02, vol=0.3)
+        for s in rng.uniform(80.0, 120.0, n)
+    ]
+
+
+def brownian_randoms(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
+    """Pre-generated normals for the Fig. 6 bridge workload."""
+    gen = NormalGenerator(MT19937(seed))
+    return gen.normals(sizes.brownian_paths * sizes.brownian_steps)
+
+
+def mc_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
+    """(S, X, T, randoms) for the Table II pricing workload."""
+    rng = np.random.default_rng(seed)
+    n = sizes.mc_nopt
+    S = rng.uniform(80.0, 120.0, n)
+    X = rng.uniform(80.0, 120.0, n)
+    T = rng.uniform(0.25, 2.0, n)
+    z = NormalGenerator(MT19937(seed)).normals(sizes.mc_path_length)
+    return S, X, T, z
+
+
+def cn_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
+    """American puts for the Fig. 8 lattice workload."""
+    rng = np.random.default_rng(seed)
+    from ..pricing import ExerciseStyle
+    return [
+        Option(spot=100.0, strike=float(s), expiry=1.0, rate=0.05, vol=0.3,
+               kind=OptionKind.PUT, style=ExerciseStyle.AMERICAN)
+        for s in rng.uniform(90.0, 110.0, sizes.cn_nopt)
+    ]

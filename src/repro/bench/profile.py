@@ -1,0 +1,86 @@
+"""VTune-style cycle profiles.
+
+Sec. III-B: "we analyze the basic performance using the Intel Inspector
+XE and VTune Amplifier XE tools ... to justify the need for intermediate
+and advanced optimizations." This module is that analysis step for the
+modeled machines: it decomposes a tier's cycles per item into the cost
+model's categories (arithmetic, memory issue, gathers, transcendentals,
+loop overhead, dependency stalls) so the *reason* each optimization tier
+helps is visible, not just the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.cost import CostBreakdown, CostModel, ExecutionContext
+from ..arch.spec import ArchSpec
+from ..errors import ExperimentError
+from ..kernels.base import KernelModel
+from ..simd.trace import OpTrace
+
+
+@dataclass(frozen=True)
+class ProfileLine:
+    """One category of a cycle profile."""
+
+    category: str
+    cycles_per_item: float
+    fraction: float
+
+
+def profile_trace(trace: OpTrace, arch: ArchSpec,
+                  ctx: ExecutionContext = ExecutionContext()):
+    """Per-item cycle breakdown of one trace on one machine."""
+    if trace.items <= 0:
+        raise ExperimentError("trace has no item count")
+    bd = CostModel(arch).compute_cycles(trace, ctx)
+    alu = bd.arith_cycles + bd.transcendental_cycles
+    # Mirror CostBreakdown.total_cycles' overlap semantics: on an OOO
+    # machine memory issue hides under the ALU stream.
+    if bd.overlap_mem:
+        visible_mem = max(0.0, bd.mem_cycles - alu)
+    else:
+        visible_mem = bd.mem_cycles
+    pairs = (
+        ("arithmetic", bd.arith_cycles),
+        ("transcendental", bd.transcendental_cycles),
+        ("memory issue", visible_mem),
+        ("gather/scatter", bd.gather_cycles),
+        ("loop overhead", bd.overhead_cycles),
+        ("dependency stalls", bd.stall_cycles),
+    )
+    total = bd.total_cycles
+    out = []
+    for name, cyc in pairs:
+        out.append(ProfileLine(
+            category=name,
+            cycles_per_item=cyc / trace.items,
+            fraction=(cyc / total) if total else 0.0,
+        ))
+    return out
+
+
+def hotspot(trace: OpTrace, arch: ArchSpec,
+            ctx: ExecutionContext = ExecutionContext()) -> ProfileLine:
+    """The dominant cost category — what a profiler would flag."""
+    return max(profile_trace(trace, arch, ctx),
+               key=lambda ln: ln.cycles_per_item)
+
+
+def format_profile(km: KernelModel, arch_name: str) -> str:
+    """A VTune-flavoured text report for one kernel's ladder."""
+    lines = [f"{km.name} on {arch_name} — cycles/item by category", ""]
+    for tp in km.ladder(arch_name):
+        prof = profile_trace(tp.trace, tp.arch, tp.ctx)
+        total = sum(ln.cycles_per_item for ln in prof)
+        lines.append(f"{tp.tier.label}  ({total:.1f} cyc/item, "
+                     f"{tp.throughput:.3g} {km.unit})")
+        for ln in prof:
+            if ln.cycles_per_item <= 0:
+                continue
+            bar = "#" * max(1, int(round(30 * ln.fraction)))
+            lines.append(f"    {ln.category:<18s} {ln.cycles_per_item:9.2f}"
+                         f"  {ln.fraction:6.1%}  {bar}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

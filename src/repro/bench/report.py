@@ -1,0 +1,71 @@
+"""Text rendering of experiment results: aligned tables and ASCII
+stacked bars (the closest a terminal gets to the paper's figures)."""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .experiments import ExperimentResult
+
+
+def format_table(result: ExperimentResult, float_fmt: str = "{:.4g}") -> str:
+    """Render one experiment as an aligned text table with its notes."""
+    headers = [str(h) for h in result.headers]
+    rows = [
+        [float_fmt.format(c) if isinstance(c, float) else str(c)
+         for c in row]
+        for row in result.rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"{result.exp_id}: row width {len(row)} != header width "
+                f"{len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [result.title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if result.notes:
+        lines.append("")
+        lines.extend(f"note: {n}" for n in result.notes)
+    return "\n".join(lines)
+
+
+def stacked_bars(series: dict, width: int = 56, unit: str = "") -> str:
+    """ASCII rendition of the paper's stacked bar charts.
+
+    ``series`` maps a group label (platform) to an ordered list of
+    ``(bar_label, value)`` pairs; each group prints its tiers as
+    cumulative bars scaled to the global maximum.
+    """
+    if not series:
+        raise ExperimentError("no series to plot")
+    peak = max(v for bars in series.values() for _, v in bars)
+    if peak <= 0:
+        raise ExperimentError("all values are non-positive")
+    lines = []
+    for group, bars in series.items():
+        lines.append(f"{group}:")
+        for label, value in bars:
+            filled = max(1, int(round(width * value / peak))) if value > 0 else 0
+            lines.append(
+                f"  {label:<44s} |{'#' * filled:<{width}s}| "
+                f"{value:.4g}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def ladder_bars(kernel_model, scale: float = 1.0, unit: str = "") -> str:
+    """Stacked bars for a kernel model's tier ladder on both platforms."""
+    series = {}
+    for arch in ("SNB-EP", "KNC"):
+        series[arch] = [
+            (tp.tier.label, tp.throughput * scale)
+            for tp in kernel_model.ladder(arch)
+        ]
+    return stacked_bars(series, unit=unit)

@@ -1,0 +1,77 @@
+"""Strong-scaling experiment (extension — not a paper artifact).
+
+Projects each kernel's best tier across core counts on both machines
+using the cost model's compute/bandwidth overlay. The structural
+prediction: compute-bound kernels (binomial, Monte-Carlo,
+Crank-Nicolson) scale ~linearly to the full chip, while bandwidth-bound
+tiers (Black-Scholes advanced, Brownian-bridge intermediate) hit the
+DRAM ceiling and flatline — the reason the paper's advanced Brownian
+tiers exist at all.
+"""
+
+from __future__ import annotations
+
+from ..arch.cost import CostModel
+from ..arch.spec import PLATFORMS
+from ..kernels import build_model
+from .experiments import ExperimentResult
+
+#: (kernel, tier picker) pairs included in the sweep.
+_KERNELS = ("black_scholes", "binomial", "brownian", "monte_carlo",
+            "crank_nicolson")
+
+
+def _core_points(total: int):
+    pts = []
+    c = 1
+    while c < total:
+        pts.append(c)
+        c *= 2
+    pts.append(total)
+    return pts
+
+
+def _sweep(rows, label, arch, tp):
+    model = CostModel(arch)
+    t1 = None
+    for cores in _core_points(arch.total_cores):
+        thr = tp.trace.items / model.seconds(tp.trace, tp.ctx,
+                                             cores=cores)
+        if t1 is None:
+            t1 = thr
+        rows.append((label, arch.name, cores, thr, thr / t1))
+    return rows[-1][4] / arch.total_cores
+
+
+def scaling() -> ExperimentResult:
+    """Modeled throughput vs cores: each kernel's best tier, plus the
+    bandwidth-bound Brownian intermediate tier as the contrast case."""
+    rows = []
+    notes = []
+    for kernel in _KERNELS:
+        km = build_model(kernel)
+        for arch in PLATFORMS:
+            eff = _sweep(rows, kernel, arch, km.best(arch.name))
+            if eff < 0.6:
+                notes.append(
+                    f"{kernel} on {arch.name}: parallel efficiency "
+                    f"{eff:.0%} — bandwidth ceiling reached."
+                )
+    # The contrast: the pre-interleaving bridge streams randoms from
+    # DRAM and must flatline well before the full chip.
+    km = build_model("brownian")
+    for arch in PLATFORMS:
+        tp = km.perf("Intermediate (SIMD across paths)", arch.name)
+        eff = _sweep(rows, "brownian (streamed RNG)", arch, tp)
+        notes.append(
+            f"brownian streamed-RNG tier on {arch.name}: efficiency "
+            f"{eff:.0%} — the bandwidth wall the interleaved tier removes."
+        )
+    return ExperimentResult(
+        exp_id="scaling",
+        title="Strong scaling (modeled): best tiers + the bandwidth-bound "
+              "contrast",
+        headers=("kernel", "platform", "cores", "items/s", "speedup"),
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,149 @@
+"""What-if architecture studies.
+
+The paper characterises two fixed machines; the machine model here is
+parametric, so the natural follow-on question — *which architectural
+lever buys what, per kernel?* — is answerable directly. This module
+derives hypothetical machines from a baseline (wider SIMD, FMA added,
+in-order→OOO flipped, doubled bandwidth) and re-evaluates every kernel's
+best tier on each, producing a sensitivity table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..arch.cost import CostModel
+from ..arch.spec import KNC, SNB_EP, ArchSpec
+from ..errors import ExperimentError
+from ..kernels import build_model
+from .experiments import ExperimentResult
+from .ninja import GAP_KERNELS
+
+
+def derive(base: ArchSpec, name: str, **overrides) -> ArchSpec:
+    """A variant of ``base`` with fields replaced (peaks re-derived).
+
+    The Table I cross-check value is updated to the re-derived peak so
+    the variant stays self-consistent.
+    """
+    spec = replace(base, name=name, **overrides)
+    return replace(spec, table1_dp_gflops=spec.peak_dp_gflops,
+                   table1_sp_gflops=2 * spec.peak_dp_gflops)
+
+
+#: The levers the study pulls, as (label, base, overrides).
+VARIANTS = (
+    ("SNB-EP + FMA", SNB_EP,
+     dict(fma=True, mul_add_ports=False)),
+    ("SNB-EP + 8-wide", SNB_EP,
+     dict(simd_width_dp=8)),
+    ("SNB-EP + 2x bandwidth", SNB_EP,
+     dict(stream_bw_gbs=152.0)),
+    ("KNC out-of-order", KNC,
+     dict(out_of_order=True, fma=False, mul_add_ports=True)),
+    ("KNC + 2x bandwidth", KNC,
+     dict(stream_bw_gbs=300.0)),
+)
+
+
+def whatif() -> ExperimentResult:
+    """Sensitivity of each kernel's best tier to architectural levers."""
+    rows = []
+    for kernel in GAP_KERNELS:
+        km = build_model(kernel)
+        baselines = {a.name: km.best(a.name) for a in (SNB_EP, KNC)}
+        for label, base, overrides in VARIANTS:
+            variant = derive(base, label, **overrides)
+            ref = baselines[base.name]
+            # Re-cost the baseline tier's algorithm on the variant. The
+            # trace is re-synthesised at the variant's SIMD width using
+            # the kernel's registered builder when the width changed;
+            # otherwise the existing trace is re-costed directly.
+            if variant.simd_width_dp == base.simd_width_dp:
+                thr = CostModel(variant).throughput(ref.trace, ref.ctx)
+            else:
+                km_v = _rebuild_for(kernel, variant)
+                thr = km_v.best(variant.name).throughput \
+                    if km_v is not None else float("nan")
+            rows.append((kernel, label,
+                         thr / ref.throughput if thr == thr else
+                         float("nan")))
+    return ExperimentResult(
+        exp_id="whatif",
+        title="Architectural sensitivity: best-tier speedup per lever",
+        headers=("kernel", "variant", "speedup vs family baseline"),
+        rows=rows,
+        notes=[
+            "Traces are re-synthesised when the lever changes the SIMD "
+            "width; otherwise the baseline instruction stream is "
+            "re-costed on the variant.",
+        ],
+    )
+
+
+def _rebuild_for(kernel: str, variant: ArchSpec):
+    """Rebuild a kernel model with one platform swapped for a variant.
+
+    Each kernel's ``build()`` iterates ``PLATFORMS``; rather than
+    monkey-patching globals, re-synthesise the variant's ladder from the
+    kernel's trace constructors, which all take an ArchSpec.
+    """
+    from ..arch.cost import ExecutionContext
+    from ..kernels.base import KernelModel
+
+    if kernel == "black_scholes":
+        from ..kernels import black_scholes as m
+        km = KernelModel("black_scholes", "options/s", m.TIERS)
+        ctx = ExecutionContext(unrolled=True)
+        km.add(m.TIERS[0], variant, m.reference_trace(variant),
+               ExecutionContext(unrolled=False, streaming_stores=False))
+        km.add(m.TIERS[1], variant, m.soa_trace(variant), ctx)
+        km.add(m.TIERS[2], variant, m.advanced_trace(variant, vml=False),
+               ctx)
+        km.add(m.TIERS[3], variant, m.advanced_trace(variant, vml=True),
+               ctx)
+        return km
+    if kernel == "binomial":
+        from ..kernels import binomial as m
+        km = KernelModel("binomial", "options/s", m.TIERS)
+        km.add(m.TIERS[0], variant, m.reference_trace(variant, 1024),
+               ExecutionContext(unrolled=False))
+        km.add(m.TIERS[1], variant, m.simd_across_trace(variant, 1024),
+               ExecutionContext(unrolled=False, load_cost_factor=1.5))
+        km.add(m.TIERS[2], variant,
+               m.tiled_trace(variant, 1024, unrolled=False),
+               ExecutionContext(unrolled=False))
+        km.add(m.TIERS[3], variant,
+               m.tiled_trace(variant, 1024, unrolled=True),
+               ExecutionContext(unrolled=True))
+        return km
+    if kernel == "brownian":
+        from ..kernels import brownian as m
+        km = KernelModel("brownian", "paths/s", m.TIERS)
+        km.add(m.TIERS[0], variant, m.basic_trace(variant),
+               ExecutionContext(unrolled=False))
+        km.add(m.TIERS[1], variant, m.intermediate_trace(variant),
+               ExecutionContext(unrolled=True))
+        km.add(m.TIERS[2], variant, m.interleaved_trace(variant),
+               ExecutionContext(unrolled=True, load_cost_factor=1.5))
+        km.add(m.TIERS[3], variant, m.cache_to_cache_trace(variant),
+               ExecutionContext(unrolled=True, load_cost_factor=1.5))
+        return km
+    if kernel == "monte_carlo":
+        from ..kernels import monte_carlo as m
+        km = KernelModel("monte_carlo", "options/s", m.TIERS)
+        ctx = ExecutionContext(unrolled=True)
+        km.add(m.TIERS[0], variant, m.stream_trace(variant), ctx)
+        km.add(m.TIERS[1], variant, m.computed_trace(variant), ctx)
+        return km
+    if kernel == "crank_nicolson":
+        from ..kernels import crank_nicolson as m
+        km = KernelModel("crank_nicolson", "options/s", m.TIERS)
+        km.add(m.TIERS[0], variant, m.reference_trace(variant),
+               ExecutionContext(unrolled=False))
+        km.add(m.TIERS[1], variant, m.wavefront_trace(variant),
+               ExecutionContext(unrolled=True))
+        km.add(m.TIERS[2], variant, m.transformed_trace(variant),
+               ExecutionContext(unrolled=True))
+        return km
+    raise ExperimentError(f"no variant builder for kernel {kernel!r}")

@@ -1,0 +1,95 @@
+"""Global configuration and numeric defaults.
+
+Centralises the tunables shared across kernels and the machine model so
+tests and benchmarks can pin them in one place. Values mirror the paper's
+experimental setup (double precision throughout; Sec. IV workload sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: Double precision everywhere, as in the paper's reported results.
+DTYPE = np.float64
+
+#: Bytes per double-precision element.
+DP_BYTES = 8
+
+#: Cacheline size on both SNB-EP and KNC (bytes).
+CACHELINE_BYTES = 64
+
+#: Doubles per cacheline.
+DP_PER_LINE = CACHELINE_BYTES // DP_BYTES
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Knobs controlling a functional benchmark run.
+
+    Attributes
+    ----------
+    seed:
+        Seed for workload generation and RNG streams; runs are
+        deterministic for a fixed seed.
+    check_inputs:
+        Validate pricing inputs (positive prices, non-negative vols).
+        Disable only inside inner benchmark loops.
+    gsor_tol:
+        Squared-residual convergence tolerance for the GSOR/PSOR solver
+        (the paper's ``epsilon`` in Listing 7).
+    gsor_max_iters:
+        Safety cap on GSOR convergence iterations.
+    mc_antithetic:
+        Use antithetic variates in Monte-Carlo pricing (extension knob;
+        the paper's kernel does plain sampling).
+    """
+
+    seed: int = 2012
+    check_inputs: bool = True
+    gsor_tol: float = 1e-14
+    gsor_max_iters: int = 10_000
+    mc_antithetic: bool = False
+
+    def with_(self, **kwargs) -> "RunConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Library-wide default configuration.
+DEFAULT_CONFIG = RunConfig()
+
+
+@dataclass(frozen=True)
+class WorkloadSizes:
+    """The paper's evaluation problem sizes (Sec. IV), used by the
+    experiment registry so benches and tests agree on parameters."""
+
+    black_scholes_nopt: int = 1_000_000
+    binomial_steps: tuple = (1024, 2048)
+    binomial_nopt: int = 1024
+    brownian_steps: int = 64
+    brownian_paths: int = 65_536
+    mc_path_length: int = 262_144  # 256k paths per option (Table II)
+    mc_nopt: int = 16
+    cn_prices: int = 256
+    cn_steps: int = 1000
+    cn_nopt: int = 64
+
+
+PAPER_SIZES = WorkloadSizes()
+
+#: Scaled-down sizes for fast functional test/bench runs on one host core.
+SMALL_SIZES = WorkloadSizes(
+    black_scholes_nopt=20_000,
+    binomial_steps=(128, 256),
+    binomial_nopt=32,
+    brownian_steps=64,
+    brownian_paths=4_096,
+    mc_path_length=16_384,
+    mc_nopt=4,
+    cn_prices=128,
+    cn_steps=100,
+    cn_nopt=4,
+)

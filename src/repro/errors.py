@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch one type at an API boundary. Subclasses identify the subsystem
+that failed; they carry plain messages and never wrap silently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture/kernel/benchmark was configured inconsistently."""
+
+
+class LayoutError(ReproError):
+    """A data-layout operation (AOS/SOA transform, batch padding) failed."""
+
+
+class VectorWidthError(ReproError):
+    """An operation mixed SIMD vectors of incompatible widths."""
+
+
+class TraceError(ReproError):
+    """An :class:`~repro.simd.trace.OpTrace` was used inconsistently."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver (GSOR/PSOR) failed to reach tolerance."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class DomainError(ReproError):
+    """A pricing input was outside the valid financial domain."""
+
+
+class ExperimentError(ReproError):
+    """A benchmark experiment id is unknown or its inputs are invalid."""

@@ -1,0 +1,19 @@
+"""The six-kernel derivative-pricing benchmark (paper Sec. II/IV).
+
+Importing this package registers every kernel's performance model in
+:mod:`repro.kernels.base`'s registry, so ``build_model(name)`` works for
+``black_scholes``, ``binomial``, ``brownian``, ``monte_carlo``,
+``crank_nicolson`` and ``rng``.
+"""
+
+from . import (binomial, black_scholes, brownian, crank_nicolson,
+               monte_carlo, rng_kernel)
+from .base import (KernelModel, OptLevel, Tier, TierPerf, build_model,
+                   register_model, registered_models)
+
+__all__ = [
+    "OptLevel", "Tier", "TierPerf", "KernelModel",
+    "build_model", "register_model", "registered_models",
+    "black_scholes", "binomial", "brownian", "monte_carlo",
+    "crank_nicolson", "rng_kernel",
+]

@@ -1,0 +1,33 @@
+"""Binomial tree *basic* tier: inner-loop autovectorization.
+
+The compiler's view of Listing 2: the ``j`` loop vectorizes as a slice
+operation over the Call array (note the unavoidable unaligned read of
+``Call[j+1]`` — the shifted slice). One option at a time, one time step
+per pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pricing.options import ExerciseStyle, Option
+from .params import crr_params, intrinsic_row, leaf_values
+
+
+def price_basic(opt: Option, n_steps: int) -> float:
+    """Vectorized-inner-loop pricing of one option."""
+    params = crr_params(opt, n_steps)
+    call = leaf_values(opt, params)
+    american = opt.style is ExerciseStyle.AMERICAN
+    pu, pd = params.pu_by_df, params.pd_by_df
+    for i in range(n_steps, 0, -1):
+        # The autovectorized j-loop: one aligned and one shifted load.
+        call[:i] = pu * call[1:i + 1] + pd * call[:i]
+        if american:
+            np.maximum(call[:i], intrinsic_row(opt, params, i - 1),
+                       out=call[:i])
+    return float(call[0])
+
+
+def price_basic_batch(options, n_steps: int) -> np.ndarray:
+    return np.array([price_basic(o, n_steps) for o in options])

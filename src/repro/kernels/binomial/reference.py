@@ -1,0 +1,37 @@
+"""Binomial tree reference implementation (paper Listing 2).
+
+The scalar double loop: for each option, walk the tree backwards one
+time step at a time, updating ``Call[j] = puByDf·Call[j+1] + pdByDf·Call[j]``.
+Kept deliberately un-vectorized (it is the semantics baseline and the
+model's reference operation mix); use it at small ``N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...pricing.options import ExerciseStyle, Option
+from .params import TreeParams, crr_params, intrinsic_row, leaf_values
+
+
+def price_reference(opt: Option, n_steps: int) -> float:
+    """Price one option by the scalar backward reduction of Listing 2
+    (with the American early-exercise max when ``opt.style`` asks)."""
+    params = crr_params(opt, n_steps)
+    call = leaf_values(opt, params)
+    american = opt.style is ExerciseStyle.AMERICAN
+    for i in range(n_steps, 0, -1):
+        for j in range(i):
+            call[j] = (params.pu_by_df * call[j + 1]
+                       + params.pd_by_df * call[j])
+        if american:
+            intrinsic = intrinsic_row(opt, params, i - 1)
+            for j in range(i):
+                if intrinsic[j] > call[j]:
+                    call[j] = intrinsic[j]
+    return float(call[0])
+
+
+def price_reference_batch(options, n_steps: int) -> np.ndarray:
+    """Listing 2's outer loop: price a sequence of options one by one."""
+    return np.array([price_reference(o, n_steps) for o in options])

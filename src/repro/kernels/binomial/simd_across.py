@@ -1,0 +1,42 @@
+"""Binomial tree *intermediate* tier: SIMD across options.
+
+One option per SIMD lane (Sec. IV-B2): a group of options with a common
+step count is reduced together, the Call arrays interleaved into a
+(lanes, N+1) matrix so every step's update is a full-width aligned
+vector operation — no shifted loads, no remainder lanes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import DomainError
+from ...pricing.options import ExerciseStyle, Option
+from .params import crr_params, intrinsic_row, leaf_values
+
+
+def price_simd_across(options, n_steps: int) -> np.ndarray:
+    """Price a group of options, one per lane. All options must share
+    ``n_steps`` (the paper's batching constraint)."""
+    options = list(options)
+    if not options:
+        raise DomainError("empty option group")
+    lanes = len(options)
+    params = [crr_params(o, n_steps) for o in options]
+    call = np.empty((lanes, n_steps + 1), dtype=DTYPE)
+    for lane, (o, p) in enumerate(zip(options, params)):
+        call[lane] = leaf_values(o, p)
+    pu = np.array([p.pu_by_df for p in params], dtype=DTYPE)[:, None]
+    pd = np.array([p.pd_by_df for p in params], dtype=DTYPE)[:, None]
+    american = any(o.style is ExerciseStyle.AMERICAN for o in options)
+    if american and not all(o.style is ExerciseStyle.AMERICAN
+                            for o in options):
+        raise DomainError("mixed exercise styles in one SIMD group")
+    for i in range(n_steps, 0, -1):
+        call[:, :i] = pu * call[:, 1:i + 1] + pd * call[:, :i]
+        if american:
+            for lane, (o, p) in enumerate(zip(options, params)):
+                np.maximum(call[lane, :i], intrinsic_row(o, p, i - 1),
+                           out=call[lane, :i])
+    return call[:, 0].copy()

@@ -1,0 +1,118 @@
+"""VectorMachine implementations of the binomial reduction.
+
+These run the *same algorithms* as the functional tiers, instruction by
+instruction, on the tracing vector machine — validating the performance
+model's claims mechanically:
+
+* the reference inner loop performs one unaligned load per node-vector;
+* SIMD-across-options makes every access aligned;
+* register tiling cuts loads+stores per node by a factor of TS while
+  leaving the arithmetic count unchanged, and its peak live-register
+  count fits the target register file.
+
+Use small step counts (the machine is a Python-level interpreter).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import ConfigurationError
+from ...simd.machine import VectorMachine
+
+
+def traced_inner_loop(machine: VectorMachine, leaves: np.ndarray,
+                      pu: float, pd: float) -> float:
+    """Reference tier on the machine: vectorize over ``j`` for one
+    option. ``leaves`` has N+1 entries; N must be a multiple of the
+    machine width (remainder handling is not the point here)."""
+    n = leaves.shape[0] - 1
+    w = machine.width
+    call = machine.array(leaves, "call")
+    puv = machine.vec(pu)
+    pdv = machine.vec(pd)
+    for i in range(n, 0, -1):
+        j = 0
+        while j + w <= i:
+            hi = machine.load(call, j + 1)      # unaligned for j+1
+            lo = machine.load(call, j)
+            machine.store(call, j, puv * hi + pdv * lo)
+            machine.loop_overhead(1)
+            j += w
+        while j < i:  # scalar remainder
+            v = (pu * machine.scalar_load(call, j + 1)
+                 + pd * machine.scalar_load(call, j))
+            machine.scalar_store(call, j, v)
+            machine.trace.scalar_ops += 3
+            j += 1
+    return float(call.data[0])
+
+
+def traced_simd_across(machine: VectorMachine, leaves_by_option: np.ndarray,
+                       pu, pd) -> np.ndarray:
+    """Intermediate tier: ``width`` options, one per lane; the Call array
+    is lane-interleaved so every vector access is aligned."""
+    w = machine.width
+    if leaves_by_option.shape[0] != w:
+        raise ConfigurationError(
+            f"need exactly {w} options (one per lane), got "
+            f"{leaves_by_option.shape[0]}"
+        )
+    n = leaves_by_option.shape[1] - 1
+    interleaved = np.ascontiguousarray(leaves_by_option.T.reshape(-1),
+                                       dtype=DTYPE)
+    call = machine.array(interleaved, "call_il")
+    puv = machine.from_lanes(np.asarray(pu, dtype=DTYPE))
+    pdv = machine.from_lanes(np.asarray(pd, dtype=DTYPE))
+    for i in range(n, 0, -1):
+        for j in range(i):
+            hi = machine.load(call, (j + 1) * w)
+            lo = machine.load(call, j * w)
+            machine.store(call, j * w, puv * hi + pdv * lo)
+            machine.loop_overhead(1)
+    return call.data[:w].copy()
+
+
+def traced_tiled(machine: VectorMachine, leaves_by_option: np.ndarray,
+                 pu, pd, ts: int) -> np.ndarray:
+    """Advanced tier: Listing 3 pipeline on the machine. ``Tile`` and the
+    stream value live as F64Vec register values — only Call is memory."""
+    w = machine.width
+    if leaves_by_option.shape[0] != w:
+        raise ConfigurationError(
+            f"need exactly {w} options (one per lane), got "
+            f"{leaves_by_option.shape[0]}"
+        )
+    n = leaves_by_option.shape[1] - 1
+    if n % ts != 0:
+        raise ConfigurationError(
+            f"traced variant needs n_steps ({n}) divisible by ts ({ts})"
+        )
+    interleaved = np.ascontiguousarray(leaves_by_option.T.reshape(-1),
+                                       dtype=DTYPE)
+    call = machine.array(interleaved, "call_tl")
+    puv = machine.from_lanes(np.asarray(pu, dtype=DTYPE))
+    pdv = machine.from_lanes(np.asarray(pd, dtype=DTYPE))
+    m = n
+    while m >= ts:
+        # Triangle init: Tile[j] = (ts-1-j)-step value at index j.
+        tmp = [machine.load(call, k * w) for k in range(ts)]
+        tile = [None] * ts
+        tile[ts - 1] = tmp[ts - 1]
+        for depth in range(1, ts):
+            upto = ts - depth
+            for k in range(upto):
+                tmp[k] = puv * tmp[k + 1] + pdv * tmp[k]
+            tile[upto - 1] = tmp[upto - 1]
+        # Stream phase.
+        for i in range(ts, m + 1):
+            m1 = machine.load(call, i * w)
+            for j in range(ts - 1, -1, -1):
+                m2 = puv.fma(m1, pdv * tile[j])
+                tile[j] = m1
+                m1 = m2
+            machine.store(call, (i - ts) * w, m1)
+            machine.loop_overhead(1)
+        m -= ts
+    return call.data[:w].copy()

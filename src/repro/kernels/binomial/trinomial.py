@@ -1,0 +1,82 @@
+"""Trinomial tree pricing — the other lattice method of Fig. 1.
+
+Each node moves up/flat/down (``u = e^{σ√(2dt)}``, ``d = 1/u``) with the
+Kamrad-Ritchken/Boyle risk-neutral probabilities; one backward step is a
+3-point stencil instead of binomial's 2-point. Trinomial trees converge
+at the same O(1/N) rate with a noticeably smaller constant and map to
+the same SIMD-across-options / tiling optimizations (the 3-term update
+is one extra fma per node) — they are the natural lattice ablation for
+the Fig. 5 kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import DomainError
+from ...pricing.options import ExerciseStyle, Option
+from ...pricing.payoff import payoff
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrinomialParams:
+    """Discounted branch probabilities for one option's trinomial tree."""
+
+    n_steps: int
+    u: float
+    pu_by_df: float
+    pm_by_df: float
+    pd_by_df: float
+
+
+def trinomial_params(opt: Option, n_steps: int) -> TrinomialParams:
+    """Boyle-style parameters with the √2 stretch (always yields valid
+    probabilities for reasonable r, σ, dt)."""
+    if n_steps < 1:
+        raise DomainError("n_steps must be >= 1")
+    dt = opt.expiry / n_steps
+    u = float(np.exp(opt.vol * np.sqrt(2.0 * dt)))
+    a = np.exp(opt.rate * dt / 2.0)
+    b = np.exp(-opt.vol * np.sqrt(dt / 2.0))
+    c = np.exp(opt.vol * np.sqrt(dt / 2.0))
+    pu = ((a - b) / (c - b)) ** 2
+    pd = ((c - a) / (c - b)) ** 2
+    pm = 1.0 - pu - pd
+    if min(pu, pm, pd) < 0.0:
+        raise DomainError(
+            f"trinomial probabilities invalid (pu={pu:.4f}, pm={pm:.4f}, "
+            f"pd={pd:.4f}); refine the grid"
+        )
+    df = float(np.exp(-opt.rate * dt))
+    return TrinomialParams(n_steps=n_steps, u=u, pu_by_df=pu * df,
+                           pm_by_df=pm * df, pd_by_df=pd * df)
+
+
+def _levels(opt: Option, params: TrinomialParams, step: int) -> np.ndarray:
+    """Underlying prices at a time step (2*step+1 nodes, down to up)."""
+    j = np.arange(-step, step + 1, dtype=DTYPE)
+    return opt.spot * params.u ** j
+
+
+def price_trinomial(opt: Option, n_steps: int) -> float:
+    """Backward induction on the trinomial lattice (vectorized stencil),
+    with the American projection when asked."""
+    params = trinomial_params(opt, n_steps)
+    values = payoff(_levels(opt, params, n_steps), opt.strike, opt.kind)
+    american = opt.style is ExerciseStyle.AMERICAN
+    for step in range(n_steps - 1, -1, -1):
+        values = (params.pu_by_df * values[2:]
+                  + params.pm_by_df * values[1:-1]
+                  + params.pd_by_df * values[:-2])
+        if american:
+            intrinsic = payoff(_levels(opt, params, step), opt.strike,
+                               opt.kind)
+            values = np.maximum(values, intrinsic)
+    return float(values[0])
+
+
+def price_trinomial_batch(options, n_steps: int) -> np.ndarray:
+    return np.array([price_trinomial(o, n_steps) for o in options],
+                    dtype=DTYPE)

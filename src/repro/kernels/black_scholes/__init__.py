@@ -1,0 +1,17 @@
+"""Black-Scholes closed-form pricing kernel (paper Sec. IV-A, Fig. 4)."""
+
+from .advanced import price_advanced
+from .basic import price_basic
+from .intermediate import price_intermediate
+from .model import (BYTES_PER_OPTION, TIERS, advanced_trace,
+                    bandwidth_bound, build, reference_trace, soa_trace)
+from .reference import price_reference
+from .traced import traced_price_aos, traced_price_soa
+
+__all__ = [
+    "price_reference", "price_basic", "price_intermediate",
+    "price_advanced",
+    "build", "TIERS", "BYTES_PER_OPTION", "bandwidth_bound",
+    "reference_trace", "soa_trace", "advanced_trace",
+    "traced_price_aos", "traced_price_soa",
+]

@@ -1,0 +1,21 @@
+"""Brownian bridge construction kernel (paper Sec. IV-C, Fig. 6)."""
+
+from .barrier import (bridge_crossing_probability,
+                      gbm_paths_from_normals, price_up_and_out_call)
+from .bridge import BridgeSchedule, bridge_covariance, make_schedule
+from .interleaved import (build_cache_to_cache, build_interleaved,
+                          default_block_paths)
+from .model import (TIERS, basic_trace, build, cache_to_cache_trace,
+                    interleaved_trace, intermediate_trace)
+from .reference import build_reference
+from .vectorized import build_vectorized, randoms_to_path_major
+
+__all__ = [
+    "BridgeSchedule", "make_schedule", "bridge_covariance",
+    "build_reference", "build_vectorized", "randoms_to_path_major",
+    "build_interleaved", "build_cache_to_cache", "default_block_paths",
+    "build", "TIERS", "basic_trace", "intermediate_trace",
+    "interleaved_trace", "cache_to_cache_trace",
+    "price_up_and_out_call", "bridge_crossing_probability",
+    "gbm_paths_from_normals",
+]

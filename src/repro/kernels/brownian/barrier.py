@@ -1,0 +1,98 @@
+"""Barrier options with Brownian-bridge crossing correction.
+
+This is the bridge technique's production use case (the "immediately
+consumed" scenario of the cache-to-cache tier): pricing continuously
+monitored barrier options by Monte-Carlo. Naively, discrete monitoring
+misses barrier crossings *between* grid points and overprices knock-outs
+with O(√dt) bias; the Brownian-bridge law between two known endpoints
+gives the exact crossing probability analytically:
+
+``P(hit b | x₁, x₂) = exp(−2(b−x₁)(b−x₂)/(σ²·dt))``  (x₁, x₂ < b)
+
+so each coarse path can be weighted by its exact survival probability.
+The module prices up-and-out calls both ways; the test suite shows the
+corrected coarse estimator agrees with a brute-force fine-grid one while
+the uncorrected coarse estimator is biased high.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import DomainError
+from ..monte_carlo.reference import MCResult
+from ...pricing.options import Option, OptionKind
+from ...pricing.payoff import payoff
+
+
+def gbm_paths_from_normals(opt: Option, normals: np.ndarray) -> np.ndarray:
+    """Risk-neutral GBM paths (n_paths, n_steps+1) from (n_paths,
+    n_steps) gaussians."""
+    normals = np.asarray(normals, dtype=DTYPE)
+    if normals.ndim != 2:
+        raise DomainError("normals must be (n_paths, n_steps)")
+    n_steps = normals.shape[1]
+    dt = opt.expiry / n_steps
+    drift = (opt.rate - 0.5 * opt.vol ** 2) * dt
+    log_paths = np.concatenate(
+        [np.zeros((normals.shape[0], 1), dtype=DTYPE),
+         np.cumsum(drift + opt.vol * np.sqrt(dt) * normals, axis=1)],
+        axis=1)
+    return opt.spot * np.exp(log_paths)
+
+
+def bridge_crossing_probability(s1: np.ndarray, s2: np.ndarray,
+                                barrier: float, vol: float,
+                                dt: float) -> np.ndarray:
+    """Probability a GBM path from ``s1`` to ``s2`` over ``dt`` touches
+    the *upper* barrier, from the Brownian-bridge maximum law in log
+    space. 1 where either endpoint already breaches."""
+    if barrier <= 0 or vol <= 0 or dt <= 0:
+        raise DomainError("barrier, vol and dt must be positive")
+    b = np.log(barrier)
+    x1 = np.log(np.asarray(s1, dtype=DTYPE))
+    x2 = np.log(np.asarray(s2, dtype=DTYPE))
+    below = (x1 < b) & (x2 < b)
+    with np.errstate(over="ignore"):
+        p = np.exp(-2.0 * (b - x1) * (b - x2) / (vol * vol * dt))
+    return np.where(below, p, 1.0)
+
+
+def price_up_and_out_call(opt: Option, barrier: float,
+                          normals: np.ndarray,
+                          bridge_correction: bool = True) -> MCResult:
+    """Up-and-out call: pays ``max(S_T − K, 0)`` unless the path ever
+    touches ``barrier`` from below.
+
+    With ``bridge_correction`` each monitoring interval contributes its
+    exact survival probability; without it, only the grid points are
+    checked (the biased estimator the correction fixes).
+    """
+    if opt.kind is not OptionKind.CALL:
+        raise DomainError("up-and-out pricing here is for calls")
+    if barrier <= opt.spot:
+        raise DomainError(
+            f"up barrier {barrier} must start above spot {opt.spot}"
+        )
+    paths = gbm_paths_from_normals(opt, normals)
+    n_steps = paths.shape[1] - 1
+    dt = opt.expiry / n_steps
+    terminal = payoff(paths[:, -1], opt.strike, opt.kind)
+    if bridge_correction:
+        survive = np.ones(paths.shape[0], dtype=DTYPE)
+        for i in range(n_steps):
+            p_hit = bridge_crossing_probability(
+                paths[:, i], paths[:, i + 1], barrier, opt.vol, dt)
+            survive *= 1.0 - p_hit
+        weighted = terminal * survive
+    else:
+        alive = np.all(paths < barrier, axis=1)
+        weighted = terminal * alive
+    df = np.exp(-opt.rate * opt.expiry)
+    n = weighted.shape[0]
+    return MCResult(
+        price=np.array([df * weighted.mean()], dtype=DTYPE),
+        stderr=np.array([df * weighted.std() / np.sqrt(n)], dtype=DTYPE),
+        n_paths=n,
+    )

@@ -1,0 +1,81 @@
+"""Early-exercise boundary extraction.
+
+The free boundary ``S*(t)`` of an American put — exercise is optimal for
+``S ≤ S*(t)`` — falls out of the Crank-Nicolson/PSOR solution as the
+contact set where the value meets intrinsic. This module walks the
+lattice through time recording the boundary, the quantity a desk
+monitors for early-exercise risk and a strong qualitative check on the
+whole PDE stack (the boundary must sit below the strike, increase toward
+expiry, and approach the strike as ``t → T``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import DomainError
+from ...pricing.options import ExerciseStyle, Option, OptionKind
+from .grid import boundary_values, make_grid, s_grid, transformed_payoff
+from .gsor import gsor_solve
+
+
+@dataclass
+class ExerciseBoundary:
+    """The free boundary over calendar time.
+
+    ``times`` run from 0 (today) to the contract expiry; ``levels`` are
+    the largest spot at which immediate exercise is optimal at that
+    time (NaN where no contact point lies on the grid).
+    """
+
+    times: np.ndarray
+    levels: np.ndarray
+
+    def at(self, t: float) -> float:
+        """Interpolated boundary level at calendar time ``t``."""
+        return float(np.interp(t, self.times, self.levels))
+
+
+def exercise_boundary(opt: Option, n_points: int = 256,
+                      n_steps: int = 200, tol: float = 1e-14,
+                      contact_atol: float = 1e-6) -> ExerciseBoundary:
+    """Solve the American problem and record S*(t) at every step.
+
+    Only puts are supported (an American call on a non-dividend asset is
+    never exercised early, so its boundary is empty).
+    """
+    if opt.kind is not OptionKind.PUT:
+        raise DomainError("exercise boundary extraction is for puts")
+    if opt.style is not ExerciseStyle.AMERICAN:
+        raise DomainError("contract must be American-style")
+    grid = make_grid(opt, n_points, n_steps)
+    a = grid.alpha
+    alpha1, alpha2 = 1.0 - a, 0.5 * a
+    s = s_grid(grid)
+    u = transformed_payoff(grid, 0.0)
+    b = np.empty_like(u)
+    times = []
+    levels = []
+    for n in range(1, n_steps + 1):
+        tau = n * grid.dtau
+        g = transformed_payoff(grid, tau)
+        b[1:-1] = alpha1 * u[1:-1] + alpha2 * (u[2:] + u[:-2])
+        lo, hi = boundary_values(grid, tau, american=True)
+        u[0] = b[0] = lo
+        u[-1] = b[-1] = hi
+        gsor_solve(b, u, g, a, tol=tol)
+        # Contact set: u == g (within tolerance) where intrinsic > 0.
+        contact = np.isclose(u, g, atol=contact_atol) & (g > 0)
+        # τ measures time *from expiry*; calendar time is T − 2τ/σ².
+        t_cal = opt.expiry - 2.0 * tau / opt.vol ** 2
+        times.append(t_cal)
+        levels.append(float(s[contact].max()) if contact.any()
+                      else np.nan)
+    order = np.argsort(times)
+    return ExerciseBoundary(
+        times=np.asarray(times, dtype=DTYPE)[order],
+        levels=np.asarray(levels, dtype=DTYPE)[order],
+    )

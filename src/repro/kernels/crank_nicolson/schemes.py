@@ -1,0 +1,100 @@
+"""The full finite-difference family: explicit, implicit, and θ-schemes.
+
+Fig. 1 of the paper lists explicit and implicit finite-difference
+methods beside Crank-Nicolson; this module completes the family on the
+same heat-transformed lattice, which also makes the paper's choice of
+``α = 0.73`` concrete: the explicit scheme is only stable for
+``α ≤ ½``, so running the efficient α ≈ 1 time step *requires* the
+implicit half and its GSOR solve — exactly the trade the paper's
+Crank-Nicolson kernel embodies.
+
+``theta = 0`` is fully explicit, ``1`` fully implicit (backward Euler),
+``½`` is Crank-Nicolson. The implicit part is solved by the same PSOR
+machinery as the main kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import ConfigurationError, DomainError
+from ...pricing.options import ExerciseStyle, Option
+from .grid import (boundary_values, make_grid, price_at_spot,
+                   transformed_payoff, untransform)
+from .gsor import gsor_solve
+from .solver import CNResult
+
+
+def explicit_stability_limit() -> float:
+    """The classic FTCS bound: stable iff α = dτ/dx² ≤ ½."""
+    return 0.5
+
+
+def is_explicit_stable(alpha: float) -> bool:
+    return alpha <= explicit_stability_limit() + 1e-12
+
+
+def solve_theta(opt: Option, n_points: int = 192, n_steps: int = 400,
+                theta: float = 0.5, tol: float = 1e-14,
+                max_sweeps: int = 10_000,
+                allow_unstable: bool = False) -> CNResult:
+    """Price ``opt`` with a θ-scheme on the heat lattice.
+
+    Raises :class:`DomainError` for an unstable explicit configuration
+    unless ``allow_unstable`` (used by the stability-demonstration
+    tests, which *want* to watch it blow up).
+    """
+    if not 0.0 <= theta <= 1.0:
+        raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
+    grid = make_grid(opt, n_points, n_steps)
+    a = grid.alpha
+    if theta < 0.5:
+        # Von Neumann: stable iff alpha * (1 - 2*theta) <= 1/2.
+        if a * (1.0 - 2.0 * theta) > 0.5 and not allow_unstable:
+            raise DomainError(
+                f"theta={theta} scheme unstable at alpha={a:.3f} "
+                f"(limit alpha <= {0.5 / (1 - 2 * theta):.3f}); increase "
+                f"n_steps, or pass allow_unstable=True to demonstrate"
+            )
+    american = opt.style is ExerciseStyle.AMERICAN
+    u = transformed_payoff(grid, 0.0)
+    b = np.empty_like(u)
+    total_sweeps = 0
+    exp_c = (1.0 - theta) * a
+    for n in range(1, n_steps + 1):
+        tau = n * grid.dtau
+        g = transformed_payoff(grid, tau)
+        b[1:-1] = ((1.0 - 2.0 * exp_c) * u[1:-1]
+                   + exp_c * (u[2:] + u[:-2]))
+        u_lo, u_hi = boundary_values(grid, tau, american)
+        u[0] = b[0] = u_lo
+        u[-1] = b[-1] = u_hi
+        if theta == 0.0:
+            # Fully explicit: the new interior is b, with projection.
+            u[1:-1] = b[1:-1]
+            if american:
+                np.maximum(u, g, out=u)
+        else:
+            # Implicit part: (1 + 2θα)u - θα(u+ + u-) = b; reuse PSOR
+            # with the effective alpha' = 2θα of Listing 7's scaling.
+            eff_alpha = 2.0 * theta * a
+            stats = gsor_solve(b, u, g if american else None, eff_alpha,
+                               omega=1.0, tol=tol, max_sweeps=max_sweeps)
+            total_sweeps += stats.sweeps
+    values = untransform(grid, u, grid.tau_max)
+    return CNResult(
+        price=price_at_spot(grid, values), values=values, grid=grid,
+        total_sweeps=total_sweeps, final_omega=1.0,
+    )
+
+
+def explicit_steps_required(opt: Option, n_points: int) -> int:
+    """Minimum time steps for the fully explicit scheme to be stable on
+    this grid — the cost the implicit solve avoids (typically ~2α× the
+    CN step count)."""
+    grid = make_grid(opt, n_points, 1)
+    tau_max = grid.tau_max
+    # need dtau <= dx^2 / 2
+    max_dtau = 0.5 * grid.dx * grid.dx
+    return int(np.ceil(tau_max / max_dtau))

@@ -1,0 +1,145 @@
+"""VectorMachine wavefront PSOR: Fig. 7's claims, measured.
+
+Completes the traced-validation set (binomial tiling, Black-Scholes
+layouts, and now the GSOR wavefront): the same W-unrolled wavefront
+schedule as :mod:`repro.kernels.crank_nicolson.wavefront`, executed
+instruction by instruction on the tracing machine in both data layouts:
+
+* **direct** — a wave's lanes sit at spatial stride 2, so every access
+  to ``U``/``B``/``G`` is a gather and the update a scatter;
+* **transformed** — parity-plane storage makes every wave access a
+  unit-stride vector load/store (the Fig. 8 advanced tier).
+
+Both must produce values bit-identical to scalar GSOR with the matched
+convergence stride. Use small systems — this is a validation
+instrument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import ConfigurationError
+from ...simd.machine import VectorMachine
+from ...simd.vec import F64Vec, Mask
+
+
+def _wave_lanes(w: int, k_lo: int, k_hi: int, n: int):
+    """(k array, j array) of the nodes on wave w within the band."""
+    ks = np.arange(k_lo, k_hi + 1)
+    js = w - 2 * ks
+    valid = (js >= 1) & (js <= n - 2)
+    return ks[valid], js[valid]
+
+
+def traced_wavefront(machine: VectorMachine, b: np.ndarray,
+                     u0: np.ndarray, g: np.ndarray, alpha: float,
+                     omega: float, n_bands: int) -> np.ndarray:
+    """Run ``n_bands`` bands of width-W wavefront PSOR on the machine
+    (gathered accesses); returns the updated solution."""
+    width = machine.width
+    n = u0.shape[0]
+    if n < 2 * width + 3:
+        raise ConfigurationError(
+            f"system of {n} points too small for width {width}"
+        )
+    ua = machine.array(u0, "U")
+    ba = machine.array(b, "B")
+    ga = machine.array(g, "G")
+    coeff = machine.vec(1.0 / (1.0 + alpha))
+    ha = machine.vec(0.5 * alpha)
+    om = machine.vec(omega)
+    for band in range(n_bands):
+        k_lo = band * width + 1
+        k_hi = k_lo + width - 1
+        for w in range(2 * k_lo + 1, 2 * k_hi + (n - 2) + 1):
+            ks, js = _wave_lanes(w, k_lo, k_hi, n)
+            if js.size == 0:
+                continue
+            # Pad the lane set to full width with repeats of the last
+            # index, masked off at the store (remainder handling).
+            pad = np.concatenate([js, np.full(width - js.size, js[-1])])
+            active = Mask(np.arange(width) < js.size)
+            uj = machine.gather(ua, pad)
+            left = machine.gather(ua, pad - 1)
+            right = machine.gather(ua, pad + 1)
+            bj = machine.gather(ba, pad)
+            gj = machine.gather(ga, pad)
+            y = coeff * (bj + ha * (left + right))
+            y = uj + om * (y - uj)
+            y = y.max(gj)
+            machine.loop_overhead(1)
+            if js.size == width:
+                machine.scatter(ua, pad, y)
+            else:
+                # Masked remainder: write only the active lanes.
+                sel = y.blend(active, uj)
+                data = ua.data.copy()
+                data[js] = sel.data[:js.size]
+                ua.data[:] = data
+                machine.trace.scatter(
+                    1, lines_per_access=len({int(ua.addr(int(j)) // 64)
+                                             for j in js}))
+                machine.trace.op("blend")
+    return ua.data.copy()
+
+
+def traced_wavefront_transformed(machine: VectorMachine, b: np.ndarray,
+                                 u0: np.ndarray, g: np.ndarray,
+                                 alpha: float, omega: float,
+                                 n_bands: int) -> np.ndarray:
+    """The parity-plane variant: identical schedule, unit-stride slices.
+
+    For simplicity of the traced form the wave segments are processed in
+    full-width chunks with masked tails, exactly like real vector code.
+    """
+    width = machine.width
+    n = u0.shape[0]
+    if n < 2 * width + 3:
+        raise ConfigurationError(
+            f"system of {n} points too small for width {width}"
+        )
+    planes = {
+        "ue": machine.array(u0[0::2].copy(), "Ue"),
+        "uo": machine.array(u0[1::2].copy(), "Uo"),
+        "be": machine.array(b[0::2].copy(), "Be"),
+        "bo": machine.array(b[1::2].copy(), "Bo"),
+        "ge": machine.array(g[0::2].copy(), "Ge"),
+        "go": machine.array(g[1::2].copy(), "Go"),
+    }
+    coeff = machine.vec(1.0 / (1.0 + alpha))
+    ha = machine.vec(0.5 * alpha)
+    om = machine.vec(omega)
+    for band in range(n_bands):
+        k_lo = band * width + 1
+        k_hi = k_lo + width - 1
+        for w in range(2 * k_lo + 1, 2 * k_hi + (n - 2) + 1):
+            _, js = _wave_lanes(w, k_lo, k_hi, n)
+            if js.size == 0:
+                continue
+            p = int(w & 1)
+            ms = np.sort((js - p) // 2)
+            m_lo = int(ms[0])
+            cnt = js.size
+            cur = planes["uo"] if p else planes["ue"]
+            oth = planes["ue"] if p else planes["uo"]
+            bcur = planes["bo"] if p else planes["be"]
+            gcur = planes["go"] if p else planes["ge"]
+            left_off = m_lo if p else m_lo - 1
+            right_off = m_lo + 1 if p else m_lo
+            active = Mask(np.arange(width) < cnt)
+            uj = machine.load_masked(cur, m_lo, active)
+            left = machine.load_masked(oth, left_off, active)
+            right = machine.load_masked(oth, right_off, active)
+            bj = machine.load_masked(bcur, m_lo, active)
+            gj = machine.load_masked(gcur, m_lo, active)
+            y = coeff * (bj + ha * (left + right))
+            y = uj + om * (y - uj)
+            y = y.max(gj)
+            machine.store_masked(cur, m_lo, y, active)
+            machine.loop_overhead(1)
+    out = np.empty_like(u0)
+    out[0::2] = planes["ue"].data
+    out[1::2] = planes["uo"].data
+    return out

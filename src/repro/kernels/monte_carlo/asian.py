@@ -1,0 +1,85 @@
+"""Asian (average-price) options by Monte-Carlo, with a control variate.
+
+The arithmetic-average Asian call has no closed form — the geometric
+twin does (:func:`repro.pricing.exotic_analytic.geometric_asian_call`).
+The classic variance-reduction play prices the arithmetic option as
+
+``V_A ≈ E[A] + β·(V_G^exact − E[G])``
+
+with per-path payoffs ``A`` (arithmetic) and ``G`` (geometric) simulated
+on the *same* paths; because corr(A, G) ≈ 0.99+, the control variate
+cuts the standard error by an order of magnitude at identical cost —
+quantified by the tests and the benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import ConfigurationError
+from ...pricing.exotic_analytic import geometric_asian_call
+from ...pricing.options import Option, OptionKind
+from .lsmc import simulate_gbm_paths
+from .reference import MCResult
+
+
+def _fixing_payoffs(opt: Option, paths: np.ndarray) -> tuple:
+    """Per-path arithmetic and geometric average-call payoffs over the
+    fixings (all grid points after t=0)."""
+    fixings = paths[:, 1:]
+    arith = np.maximum(fixings.mean(axis=1) - opt.strike, 0.0)
+    geo_mean = np.exp(np.log(fixings).mean(axis=1))
+    geo = np.maximum(geo_mean - opt.strike, 0.0)
+    return arith, geo
+
+
+def price_asian_call(opt: Option, n_paths: int, n_fixings: int,
+                     normal_gen, control_variate: bool = True) -> MCResult:
+    """Arithmetic-average Asian call, optionally variance-reduced by the
+    geometric control variate."""
+    if opt.kind is not OptionKind.CALL:
+        raise ConfigurationError("this pricer handles average-price calls")
+    if n_paths < 2 or n_fixings < 1:
+        raise ConfigurationError("need n_paths >= 2 and n_fixings >= 1")
+    z = normal_gen.normals(n_paths * n_fixings).reshape(n_paths,
+                                                        n_fixings)
+    paths = simulate_gbm_paths(opt, n_paths, n_fixings, z)
+    arith, geo = _fixing_payoffs(opt, paths)
+    df = np.exp(-opt.rate * opt.expiry)
+    if not control_variate:
+        return MCResult(
+            price=np.array([df * arith.mean()], dtype=DTYPE),
+            stderr=np.array([df * arith.std() / np.sqrt(n_paths)],
+                            dtype=DTYPE),
+            n_paths=n_paths,
+        )
+    geo_exact = geometric_asian_call(opt.spot, opt.strike, opt.expiry,
+                                     opt.rate, opt.vol, n_fixings)
+    cov = np.cov(arith, geo)
+    beta = cov[0, 1] / cov[1, 1] if cov[1, 1] > 0 else 0.0
+    adjusted = df * arith - beta * (df * geo - geo_exact)
+    return MCResult(
+        price=np.array([adjusted.mean()], dtype=DTYPE),
+        stderr=np.array([adjusted.std() / np.sqrt(n_paths)], dtype=DTYPE),
+        n_paths=n_paths,
+    )
+
+
+def price_geometric_asian_mc(opt: Option, n_paths: int, n_fixings: int,
+                             normal_gen) -> MCResult:
+    """Geometric-average Asian call by plain MC — exists to be checked
+    against its closed form (the validation edge of the control
+    variate)."""
+    if n_paths < 1 or n_fixings < 1:
+        raise ConfigurationError("need n_paths >= 1 and n_fixings >= 1")
+    z = normal_gen.normals(n_paths * n_fixings).reshape(n_paths,
+                                                        n_fixings)
+    paths = simulate_gbm_paths(opt, n_paths, n_fixings, z)
+    _, geo = _fixing_payoffs(opt, paths)
+    df = np.exp(-opt.rate * opt.expiry)
+    return MCResult(
+        price=np.array([df * geo.mean()], dtype=DTYPE),
+        stderr=np.array([df * geo.std() / np.sqrt(n_paths)], dtype=DTYPE),
+        n_paths=n_paths,
+    )

@@ -1,0 +1,63 @@
+"""Heston model Monte-Carlo: full-truncation Euler simulation.
+
+Simulates the correlated (S, v) system with the standard full-truncation
+scheme (the variance is floored at zero inside the drift and diffusion,
+which keeps the discretisation unbiased-in-the-limit even when the
+Feller condition fails). Cross-validates the semi-analytic
+characteristic-function pricer and exercises the whole RNG substrate
+(two correlated streams per step).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import ConfigurationError
+from ...pricing.heston import HestonParams
+from .reference import MCResult
+
+
+def simulate_heston(S0: float, T: float, r: float, p: HestonParams,
+                    n_paths: int, n_steps: int, normal_gen) -> tuple:
+    """Terminal (S_T, v_T) arrays by full-truncation Euler.
+
+    ``normal_gen.normals(n)`` supplies the gaussians (2 per path-step:
+    one for the asset, one for the variance, correlated via ρ).
+    """
+    if S0 <= 0 or T <= 0:
+        raise ConfigurationError("S0 and T must be positive")
+    if n_paths < 1 or n_steps < 1:
+        raise ConfigurationError("n_paths and n_steps must be >= 1")
+    dt = T / n_steps
+    sqrt_dt = np.sqrt(dt)
+    rho_bar = np.sqrt(1.0 - p.rho ** 2)
+    log_s = np.full(n_paths, np.log(S0), dtype=DTYPE)
+    v = np.full(n_paths, p.v0, dtype=DTYPE)
+    for _ in range(n_steps):
+        z = normal_gen.normals(2 * n_paths)
+        z_v = z[:n_paths]
+        z_s = p.rho * z_v + rho_bar * z[n_paths:]
+        v_plus = np.maximum(v, 0.0)
+        sq = np.sqrt(v_plus)
+        log_s += (r - 0.5 * v_plus) * dt + sq * sqrt_dt * z_s
+        v = v + p.kappa * (p.theta - v_plus) * dt \
+            + p.sigma_v * sq * sqrt_dt * z_v
+    return np.exp(log_s), np.maximum(v, 0.0)
+
+
+def price_heston_call_mc(S0: float, K: float, T: float, r: float,
+                         p: HestonParams, n_paths: int, n_steps: int,
+                         normal_gen) -> MCResult:
+    """European call under Heston by Monte-Carlo."""
+    if K <= 0:
+        raise ConfigurationError("K must be positive")
+    st, _ = simulate_heston(S0, T, r, p, n_paths, n_steps, normal_gen)
+    payoff = np.maximum(st - K, 0.0)
+    df = np.exp(-r * T)
+    return MCResult(
+        price=np.array([df * payoff.mean()], dtype=DTYPE),
+        stderr=np.array([df * payoff.std() / np.sqrt(n_paths)],
+                        dtype=DTYPE),
+        n_paths=n_paths,
+    )

@@ -1,0 +1,7 @@
+"""Random-number generation kernel (paper Sec. IV-D3, Table II rows 3–4)."""
+
+from .functional import ScalarMT19937, rng_tier_rates
+from .model import TIERS, build, modeled_rate
+
+__all__ = ["build", "TIERS", "modeled_rate", "ScalarMT19937",
+           "rng_tier_rates"]

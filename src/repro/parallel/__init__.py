@@ -1,0 +1,10 @@
+"""Thread-level-parallelism substrate: domain decomposition and the
+chunked executor (the OpenMP stand-in)."""
+
+from .executor import ChunkExecutor
+from .partition import block_ranges, chunk_ranges, round_robin, simd_groups
+
+__all__ = [
+    "ChunkExecutor",
+    "block_ranges", "chunk_ranges", "round_robin", "simd_groups",
+]

@@ -1,0 +1,41 @@
+"""Payoff functions.
+
+Vectorized terminal and intrinsic payoffs for vanilla options — the
+``max(S−K, 0)`` / ``max(K−S, 0)`` primitives every kernel's leaf/boundary
+computation uses (Sec. II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DTYPE
+from ..errors import DomainError
+from .options import OptionKind
+
+
+def call_payoff(S, K) -> np.ndarray:
+    """``max(S − K, 0)``."""
+    S = np.asarray(S, dtype=DTYPE)
+    return np.maximum(S - K, 0.0)
+
+
+def put_payoff(S, K) -> np.ndarray:
+    """``max(K − S, 0)``."""
+    S = np.asarray(S, dtype=DTYPE)
+    return np.maximum(K - S, 0.0)
+
+
+def payoff(S, K, kind: OptionKind) -> np.ndarray:
+    if kind is OptionKind.CALL:
+        return call_payoff(S, K)
+    if kind is OptionKind.PUT:
+        return put_payoff(S, K)
+    raise DomainError(f"unknown option kind {kind!r}")
+
+
+def payoff_in_log_space(x, K, kind: OptionKind) -> np.ndarray:
+    """Payoff on a log-price grid ``x = ln S`` (Crank-Nicolson works in
+    log space where the Black-Scholes operator has constant
+    coefficients)."""
+    return payoff(np.exp(np.asarray(x, dtype=DTYPE)), K, kind)

@@ -1,0 +1,75 @@
+"""Workload generation: synthetic option portfolios.
+
+The paper's benchmarks run over large batches of options with randomised
+terms; this module generates them reproducibly. Parameter ranges follow
+the common financial-benchmark convention (also used by PARSEC's
+blackscholes): spots 5–100, strikes 10–100, expiries 0.2–2 years.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DTYPE
+from ..errors import DomainError
+from .options import OptionBatch
+
+
+@dataclass(frozen=True)
+class PortfolioSpec:
+    """Ranges for randomly generated option terms."""
+
+    spot_range: tuple = (5.0, 100.0)
+    strike_range: tuple = (10.0, 100.0)
+    expiry_range: tuple = (0.2, 2.0)
+    rate: float = 0.02
+    vol: float = 0.30
+
+    def __post_init__(self):
+        for name, (lo, hi) in (("spot", self.spot_range),
+                               ("strike", self.strike_range),
+                               ("expiry", self.expiry_range)):
+            if lo <= 0 or hi <= lo:
+                raise DomainError(
+                    f"{name}_range must satisfy 0 < lo < hi, got ({lo}, {hi})"
+                )
+        if self.vol <= 0:
+            raise DomainError("vol must be positive")
+
+
+def random_batch(n: int, spec: PortfolioSpec = PortfolioSpec(),
+                 seed: int = 2012, layout: str = "soa") -> OptionBatch:
+    """A reproducible random batch of ``n`` options."""
+    if n < 1:
+        raise DomainError("portfolio size must be >= 1")
+    rng = np.random.default_rng(seed)
+    S = rng.uniform(*spec.spot_range, n).astype(DTYPE)
+    X = rng.uniform(*spec.strike_range, n).astype(DTYPE)
+    T = rng.uniform(*spec.expiry_range, n).astype(DTYPE)
+    return OptionBatch(S, X, T, spec.rate, spec.vol, layout=layout)
+
+
+def atm_batch(n: int, spot: float = 100.0, expiry: float = 1.0,
+              rate: float = 0.02, vol: float = 0.30,
+              layout: str = "soa") -> OptionBatch:
+    """``n`` identical at-the-money options — the degenerate workload
+    used for convergence studies (every kernel must return the same value
+    for every slot)."""
+    S = np.full(n, spot, dtype=DTYPE)
+    return OptionBatch(S, S.copy(), np.full(n, expiry, dtype=DTYPE),
+                       rate, vol, layout=layout)
+
+
+def strike_ladder(n: int, spot: float = 100.0, lo: float = 0.5,
+                  hi: float = 1.5, expiry: float = 1.0, rate: float = 0.02,
+                  vol: float = 0.30, layout: str = "soa") -> OptionBatch:
+    """Strikes swept from ``lo·spot`` to ``hi·spot`` — monotonicity
+    test workload (call value must fall, put value must rise, in strike)."""
+    if n < 2:
+        raise DomainError("ladder needs at least 2 rungs")
+    X = np.linspace(lo * spot, hi * spot, n).astype(DTYPE)
+    S = np.full(n, spot, dtype=DTYPE)
+    return OptionBatch(S, X, np.full(n, expiry, dtype=DTYPE),
+                       rate, vol, layout=layout)

@@ -1,0 +1,58 @@
+"""RNG cost accounting for the machine model.
+
+Per-number instruction costs of the generation pipeline, used by the
+Monte-Carlo and Brownian-bridge performance models and by the Table II
+RNG-throughput rows. The counts are per *generated double* and follow the
+actual code: a twister produces one tempered 32-bit word in ~6 logic ops
+plus its share of the twist; a 53-bit uniform consumes two words; a
+Box-Muller normal consumes two uniforms and one sqrt/log/cos/sin bundle
+per pair; an ICDF normal consumes one uniform plus one invcnd element.
+"""
+
+from __future__ import annotations
+
+from ..simd.trace import OpTrace
+from ..errors import ConfigurationError
+
+#: Integer/logic instructions per tempered 32-bit word (temper = 8 ops,
+#: twist amortised ≈ 6 ops/word).
+_OPS_PER_WORD = 14
+
+#: Extra ops to assemble one 53-bit double from two words.
+_OPS_PER_UNIFORM_ASSEMBLY = 4
+
+
+def uniform_trace(n: int, width: int) -> OpTrace:
+    """Trace for generating ``n`` 53-bit uniform doubles, vectorized at
+    ``width`` DP lanes. Twister state/temper ops are 32-bit integer SIMD,
+    which packs twice as many lanes per register (``2*width``); they are
+    charged as generic vector ALU ops (``add``) since both platforms run
+    them on the vector pipe."""
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    t = OpTrace(width=width)
+    words = 2 * n
+    int_lanes = 2 * max(1, width)
+    instrs = (words * _OPS_PER_WORD + n * _OPS_PER_UNIFORM_ASSEMBLY)
+    t.op("add", instrs // int_lanes)
+    t.items = n
+    return t
+
+
+def normal_trace(n: int, width: int, method: str = "box_muller") -> OpTrace:
+    """Trace for ``n`` standard normals on top of the uniform cost."""
+    t = uniform_trace(n, width)
+    if method == "box_muller":
+        # Per pair: one log, one sqrt, one sin, one cos + ~6 muls.
+        pairs = n // 2 + (n % 2)
+        t.transcendental("log", pairs)
+        t.transcendental("sin", pairs)
+        t.transcendental("cos", pairs)
+        t.op("sqrt", pairs // max(1, width) + 1)
+        t.op("mul", 6 * pairs // max(1, width) + 1)
+    elif method == "icdf":
+        t.transcendental("invcnd", n)
+    else:
+        raise ConfigurationError(f"unknown normal method {method!r}")
+    t.items = n
+    return t

@@ -1,0 +1,224 @@
+"""Sobol low-discrepancy sequences, from scratch.
+
+Quasi-Monte-Carlo is the Brownian bridge's classic companion (the bridge
+exists in Glasserman's treatment — the paper's reference [12] — largely
+to concentrate a path's variance into the first QMC dimensions). This
+module provides a complete Sobol generator:
+
+* primitive polynomials over GF(2) found by an actual primitivity search
+  (order of ``x`` in GF(2)[x]/(p) equals ``2^d − 1``), not a copied
+  table — one polynomial per dimension, ascending degree;
+* direction numbers: the published initialisation for the first
+  dimensions, a deterministic valid (odd, ``m_i < 2^i``) fill beyond;
+* Gray-code point generation (one XOR per dimension per point);
+* optional digital random-shift scrambling for error estimation.
+
+Validated in the tests against the analytically known dimension-1
+sequence (van der Corput in base 2), equidistribution counts, and an
+integration-error comparison against pseudo-random MC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+_BITS = 32
+_SCALE = 1.0 / (1 << _BITS)
+
+#: Published direction-number initialisation for the first dimensions
+#: (degree-ascending, the classic Sobol/Joe-Kuo leading entries).
+_KNOWN_M = {
+    2: [1],
+    3: [1, 3],
+    4: [1, 3, 1],
+    5: [1, 1, 1],
+    6: [1, 1, 3, 3],
+    7: [1, 3, 5, 13],
+}
+
+
+# ----------------------------------------------------------------------
+# Primitive polynomials over GF(2)
+# ----------------------------------------------------------------------
+
+def _polymulmod(a: int, b: int, p: int, d: int) -> int:
+    """(a*b) mod p in GF(2)[x], p of degree d."""
+    r = 0
+    while b:
+        if b & 1:
+            r ^= a
+        b >>= 1
+        a <<= 1
+        if a >> d & 1:
+            a ^= p
+    return r
+
+
+def _polypowmod(base: int, e: int, p: int, d: int) -> int:
+    r = 1
+    while e:
+        if e & 1:
+            r = _polymulmod(r, base, p, d)
+        base = _polymulmod(base, base, p, d)
+        e >>= 1
+    return r
+
+
+def _prime_factors(n: int):
+    out = set()
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            out.add(f)
+            n //= f
+        f += 1
+    if n > 1:
+        out.add(n)
+    return out
+
+
+def is_primitive(poly: int, degree: int) -> bool:
+    """Is ``poly`` (bitmask, bit ``degree`` set) primitive over GF(2)?"""
+    if poly >> degree != 1 or not poly & 1:
+        return False  # must be monic with non-zero constant term
+    order = (1 << degree) - 1
+    if _polypowmod(2, order, poly, degree) != 1:
+        return False
+    for q in _prime_factors(order):
+        if _polypowmod(2, order // q, poly, degree) == 1:
+            return False
+    return True
+
+
+def primitive_polynomials(count: int):
+    """The first ``count`` primitive polynomials, ascending degree then
+    value (dimension 1 is the degree-0 van der Corput special case and
+    consumes no polynomial)."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    out = []
+    degree = 1
+    while len(out) < count:
+        base = 1 << degree
+        for low in range(1, base, 2):   # constant term must be 1
+            poly = base | low
+            if is_primitive(poly, degree):
+                out.append((degree, poly))
+                if len(out) == count:
+                    break
+        degree += 1
+        if degree > 24:
+            raise ConfigurationError(
+                f"dimension request too large ({count})"
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Direction numbers
+# ----------------------------------------------------------------------
+
+def _default_m(dim: int, degree: int):
+    """Deterministic valid initial direction numbers for dimensions
+    beyond the published table: m_i odd, < 2^i, derived from an
+    avalanche hash of (dim, i)."""
+    from .mt2203 import _splitmix32
+    out = []
+    for i in range(1, degree + 1):
+        h = _splitmix32(dim * 131 + i)
+        out.append((h % (1 << i)) | 1)
+    return out
+
+
+def direction_numbers(dim: int, degree: int, poly: int,
+                      m_init=None) -> np.ndarray:
+    """32-bit direction integers ``v_k`` for one dimension."""
+    if m_init is None:
+        m_init = _KNOWN_M.get(dim, None) or _default_m(dim, degree)
+    if len(m_init) != degree:
+        raise ConfigurationError(
+            f"dimension {dim}: need {degree} initial values, got "
+            f"{len(m_init)}"
+        )
+    for i, m in enumerate(m_init, start=1):
+        if not (m % 2 == 1 and 0 < m < (1 << i)):
+            raise ConfigurationError(
+                f"dimension {dim}: m_{i}={m} must be odd and < 2^{i}"
+            )
+    v = [0] * _BITS
+    for i in range(degree):
+        v[i] = m_init[i] << (_BITS - 1 - i)
+    for k in range(degree, _BITS):
+        vk = v[k - degree] ^ (v[k - degree] >> degree)
+        for i in range(1, degree):
+            if (poly >> (degree - i)) & 1:
+                vk ^= v[k - i]
+        v[k] = vk
+    return np.array(v, dtype=np.uint64)
+
+
+class Sobol:
+    """A ``dim``-dimensional Sobol sequence.
+
+    Parameters
+    ----------
+    dim:
+        Number of dimensions (1 .. several hundred).
+    scramble:
+        Apply a digital random shift (XOR with a fixed random vector)
+        seeded by ``seed`` — preserves the net structure, enables error
+        estimation by replication.
+    skip:
+        Points to skip from the start. The generator never emits the
+        degenerate all-zeros point (indexing starts at 1), so the
+        default ``skip=0`` already starts at (0.5, 0.5, ...).
+    """
+
+    def __init__(self, dim: int, scramble: bool = False, seed: int = 0,
+                 skip: int = 0):
+        if dim < 1:
+            raise ConfigurationError("dim must be >= 1")
+        if skip < 0:
+            raise ConfigurationError("skip must be >= 0")
+        self.dim = dim
+        self._v = np.empty((dim, _BITS), dtype=np.uint64)
+        # Dimension 1: van der Corput — v_k = 2^(31-k).
+        self._v[0] = np.array([1 << (_BITS - 1 - k) for k in range(_BITS)],
+                              dtype=np.uint64)
+        for d, (degree, poly) in enumerate(primitive_polynomials(dim - 1),
+                                           start=1):
+            self._v[d] = direction_numbers(d + 1, degree, poly)
+        self._shift = np.zeros(dim, dtype=np.uint64)
+        if scramble:
+            rng = np.random.default_rng(seed)
+            self._shift = rng.integers(0, 1 << _BITS, dim,
+                                       dtype=np.uint64)
+        self._x = np.zeros(dim, dtype=np.uint64)
+        self._n = 0
+        if skip:
+            self.points(skip)
+
+    def points(self, n: int) -> np.ndarray:
+        """The next ``n`` points, shape (n, dim), each in [0, 1)."""
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        out = np.empty((n, self.dim), dtype=np.float64)
+        x = self._x
+        for row in range(n):
+            self._n += 1
+            ctz = (self._n & -self._n).bit_length() - 1
+            x ^= self._v[:, ctz]
+            out[row] = (x ^ self._shift) * _SCALE
+        return out
+
+    def uniform53(self, n: int) -> np.ndarray:
+        """Flat stream view (row-major over dimensions) so a Sobol
+        generator can drive any consumer expecting ``uniform53`` — e.g.
+        the ICDF normal transform feeding the Brownian bridge."""
+        if n % self.dim:
+            raise ConfigurationError(
+                f"flat draws must be a multiple of dim={self.dim}"
+            )
+        return self.points(n // self.dim).reshape(-1)

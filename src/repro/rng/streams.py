@@ -1,0 +1,73 @@
+"""Parallel stream management.
+
+Gives each worker (thread/process/SIMD lane group) its own independent
+random stream, the way the paper's OpenMP Monte-Carlo does with MKL:
+
+* ``mt2203`` — one family member per worker (MKL's documented model).
+* ``philox`` — one key per logical stream, counter-partitioned per worker.
+* ``mt19937`` — a single twister sequentially block-split (exactly
+  reproducible but O(skip) setup; provided for small worker counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .mt19937 import MT19937
+from .mt2203 import MAX_STREAMS, MT2203
+from .normal import NormalGenerator
+from .philox import Philox
+
+
+class StreamSet:
+    """A set of independent per-worker generators."""
+
+    def __init__(self, generators, kind: str):
+        if not generators:
+            raise ConfigurationError("need at least one stream")
+        self.generators = list(generators)
+        self.kind = kind
+
+    def __len__(self):
+        return len(self.generators)
+
+    def __getitem__(self, i):
+        return self.generators[i]
+
+    def normal_generators(self, method: str = "box_muller"):
+        return [NormalGenerator(g, method) for g in self.generators]
+
+
+def make_streams(n_workers: int, kind: str = "mt2203", seed: int = 1,
+                 draws_per_worker: int = 1 << 20) -> StreamSet:
+    """Build ``n_workers`` independent streams of the requested kind.
+
+    ``draws_per_worker`` sizes the partitions for the split-based kinds
+    (``mt19937``/``philox``); mt2203 streams are unbounded.
+    """
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    if kind == "mt2203":
+        if n_workers > MAX_STREAMS:
+            raise ConfigurationError(
+                f"mt2203 family supports at most {MAX_STREAMS} streams"
+            )
+        gens = [MT2203(i, seed) for i in range(n_workers)]
+    elif kind == "philox":
+        base = Philox(key=seed)
+        gens = [base.split(i, n_workers, draws_per_worker)
+                for i in range(n_workers)]
+    elif kind == "mt19937":
+        if n_workers * draws_per_worker > 1 << 28:
+            raise ConfigurationError(
+                "mt19937 sequential split too large; use mt2203 or philox"
+            )
+        root = MT19937(seed)
+        gens = [root.jumped_copy(i * draws_per_worker)
+                for i in range(n_workers)]
+    else:
+        raise ConfigurationError(
+            f"unknown stream kind {kind!r} (mt2203|philox|mt19937)"
+        )
+    return StreamSet(gens, kind)

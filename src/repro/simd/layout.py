@@ -1,0 +1,194 @@
+"""Data layouts: array-of-structures vs structure-of-arrays.
+
+The paper's single most important Black-Scholes optimization is the
+AOS→SOA transform (Sec. IV-A3): in AOS, one vector load of a field gathers
+across up to ``width`` cachelines; in SOA the same load is one contiguous
+aligned access. This module provides both layouts behind one interface,
+the transforms between them, and the per-access cacheline-touch counts the
+cost model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import CACHELINE_BYTES, DP_BYTES, DTYPE
+from ..errors import LayoutError
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One named double-precision field of a record batch."""
+
+    name: str
+    #: True if the kernel writes this field (affects store traffic).
+    output: bool = False
+
+
+class RecordBatch:
+    """Base class for a batch of fixed-layout records."""
+
+    layout = "abstract"
+
+    def __init__(self, fields, n: int):
+        if n < 0:
+            raise LayoutError("record count must be non-negative")
+        names = [f.name for f in fields]
+        if len(set(names)) != len(names):
+            raise LayoutError(f"duplicate field names: {names}")
+        self.fields = tuple(fields)
+        self.n = n
+
+    @property
+    def field_names(self):
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def record_bytes(self) -> int:
+        return len(self.fields) * DP_BYTES
+
+    def get(self, name: str) -> np.ndarray:
+        raise NotImplementedError
+
+    def set(self, name: str, values) -> None:
+        raise NotImplementedError
+
+    def lines_per_vector_access(self, width: int) -> int:
+        """Distinct cachelines one ``width``-lane access of a single field
+        touches — the quantity behind the 10x KNC AOS penalty."""
+        raise NotImplementedError
+
+
+class AOSBatch(RecordBatch):
+    """Array-of-structures: records stored contiguously, field-major
+    within each record — the layout of the paper's reference code
+    (``opts[i].S``)."""
+
+    layout = "aos"
+
+    def __init__(self, fields, n: int, data: np.ndarray | None = None):
+        super().__init__(fields, n)
+        stride = len(self.fields)
+        if data is None:
+            data = np.zeros(n * stride, dtype=DTYPE)
+        else:
+            data = np.ascontiguousarray(data, dtype=DTYPE)
+            if data.shape != (n * stride,):
+                raise LayoutError(
+                    f"AOS payload must have shape ({n * stride},), "
+                    f"got {data.shape}"
+                )
+        self.data = data
+        self.stride = stride
+        self._index = {f.name: i for i, f in enumerate(self.fields)}
+
+    def get(self, name: str) -> np.ndarray:
+        """Strided view of one field across all records (no copy)."""
+        off = self._offset(name)
+        return self.data[off::self.stride]
+
+    def set(self, name: str, values) -> None:
+        off = self._offset(name)
+        self.data[off::self.stride] = values
+
+    def record(self, i: int) -> dict:
+        """One record as a dict (for scalar reference loops)."""
+        base = i * self.stride
+        return {
+            f.name: float(self.data[base + j])
+            for j, f in enumerate(self.fields)
+        }
+
+    def field_indices(self, name: str, width: int, start: int) -> np.ndarray:
+        """Element indices a ``width``-lane gather of ``name`` for records
+        ``start..start+width`` must read — feed to
+        :meth:`VectorMachine.gather`."""
+        off = self._offset(name)
+        return off + (start + np.arange(width)) * self.stride
+
+    def lines_per_vector_access(self, width: int) -> int:
+        # Consecutive records are `stride` doubles apart; a width-lane
+        # access spans (width-1)*stride + 1 doubles.
+        span_bytes = ((width - 1) * self.stride + 1) * DP_BYTES
+        return min(width, -(-span_bytes // CACHELINE_BYTES))
+
+    def _offset(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise LayoutError(
+                f"no field {name!r}; have {self.field_names}"
+            ) from None
+
+
+class SOABatch(RecordBatch):
+    """Structure-of-arrays: one contiguous array per field — the
+    SIMD-friendly layout the paper converts to."""
+
+    layout = "soa"
+
+    def __init__(self, fields, n: int, arrays: dict | None = None):
+        super().__init__(fields, n)
+        self.arrays = {}
+        for f in self.fields:
+            if arrays is not None and f.name in arrays:
+                a = np.ascontiguousarray(arrays[f.name], dtype=DTYPE)
+                if a.shape != (n,):
+                    raise LayoutError(
+                        f"SOA field {f.name!r} must have shape ({n},), "
+                        f"got {a.shape}"
+                    )
+            else:
+                a = np.zeros(n, dtype=DTYPE)
+            self.arrays[f.name] = a
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise LayoutError(
+                f"no field {name!r}; have {self.field_names}"
+            ) from None
+
+    def set(self, name: str, values) -> None:
+        self.get(name)[:] = values
+
+    def lines_per_vector_access(self, width: int) -> int:
+        span_bytes = width * DP_BYTES
+        return -(-span_bytes // CACHELINE_BYTES)
+
+
+def aos_to_soa(batch: AOSBatch) -> SOABatch:
+    """The paper's AOS→SOA transform. O(n * fields) data movement; the
+    cost model charges this movement when the transform is done inside the
+    timed region."""
+    return SOABatch(
+        batch.fields, batch.n,
+        arrays={f.name: batch.get(f.name).copy() for f in batch.fields},
+    )
+
+
+def soa_to_aos(batch: SOABatch) -> AOSBatch:
+    """Inverse transform (used to hand results back in the caller's
+    layout)."""
+    out = AOSBatch(batch.fields, batch.n)
+    for f in batch.fields:
+        out.set(f.name, batch.get(f.name))
+    return out
+
+
+def transform_traffic_bytes(batch: RecordBatch) -> int:
+    """DRAM traffic of one full-layout transform: read everything once,
+    write everything once."""
+    return 2 * batch.n * batch.record_bytes
+
+
+def make_batch(fields, n: int, layout: str) -> RecordBatch:
+    """Factory: build an empty batch in the requested layout."""
+    if layout == "aos":
+        return AOSBatch(fields, n)
+    if layout == "soa":
+        return SOABatch(fields, n)
+    raise LayoutError(f"unknown layout {layout!r} (want 'aos' or 'soa')")

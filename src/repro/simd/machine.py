@@ -1,0 +1,329 @@
+"""The software vector machine.
+
+:class:`VectorMachine` executes kernels written against the
+:class:`~repro.simd.vec.F64Vec` abstraction, recording every instruction in
+an :class:`~repro.simd.trace.OpTrace` and (optionally) driving a
+:class:`~repro.arch.cache.CacheHierarchy` with the resulting address
+stream. It plays the role of the ISA in the paper: one kernel source, two
+machines (4-wide SNB-EP, 8-wide KNC), two instruction/traffic profiles.
+
+Arrays a kernel touches must be registered via :meth:`array`, which wraps
+them in a :class:`TracedArray` carrying a synthetic base address; vector
+loads/stores then classify themselves as aligned/unaligned/gather and the
+cache simulator sees realistic line addresses.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..arch.cache import CacheHierarchy
+from ..arch.spec import ArchSpec
+from ..config import CACHELINE_BYTES, DP_BYTES, DTYPE
+from ..errors import TraceError, VectorWidthError
+from .trace import OpTrace
+from .vec import F64Vec, Mask
+
+
+class TracedArray:
+    """A NumPy array registered with a machine, carrying a base address.
+
+    Addresses are synthetic but cacheline-consistent: arrays are laid out
+    back to back on line boundaries, so conflict behaviour in the cache
+    simulator is deterministic.
+    """
+
+    __slots__ = ("data", "name", "base", "machine")
+
+    def __init__(self, data: np.ndarray, name: str, base: int, machine):
+        self.data = data
+        self.name = name
+        self.base = base
+        self.machine = machine
+
+    def addr(self, index: int) -> int:
+        return self.base + index * DP_BYTES
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return f"TracedArray({self.name!r}, len={len(self.data)}, base=0x{self.base:x})"
+
+
+class VectorMachine:
+    """Executes SIMD kernels while recording an instruction trace.
+
+    Parameters
+    ----------
+    width:
+        SIMD lane count (4 for SNB-EP style, 8 for KNC style).
+    arch:
+        Optional architecture whose per-core cache hierarchy should be
+        simulated. Without it, memory instructions are still counted but
+        no hit/miss classification happens.
+    track_registers:
+        When true, :meth:`live_vectors` pressure accounting raises if a
+        kernel keeps more simultaneously-live vectors than the
+        architecture has registers (used to validate register tiling).
+    """
+
+    def __init__(self, width: int, arch: ArchSpec | None = None,
+                 track_registers: bool = False):
+        if width < 1:
+            raise VectorWidthError(f"machine width must be >= 1, got {width}")
+        if arch is not None and width != arch.simd_width_dp:
+            raise VectorWidthError(
+                f"machine width {width} != {arch.name} SIMD width "
+                f"{arch.simd_width_dp}"
+            )
+        self.width = width
+        self.arch = arch
+        self.trace = OpTrace(width=width)
+        self.cache = CacheHierarchy(arch) if arch is not None else None
+        self.track_registers = track_registers
+        self._next_base = CACHELINE_BYTES  # never hand out address 0
+        self._arrays = {}
+        self._max_depth = 0
+        self._live_peak = 0
+
+    # ------------------------------------------------------------------
+    # Array registration
+    # ------------------------------------------------------------------
+    def array(self, data, name: str | None = None) -> TracedArray:
+        """Register ``data`` (copied to float64, line-aligned) with this
+        machine and return the traced wrapper. Always a copy — machine
+        stores never alias the caller's buffers."""
+        arr = np.array(data, dtype=DTYPE, copy=True, order="C")
+        name = name or f"arr{len(self._arrays)}"
+        if name in self._arrays:
+            raise TraceError(f"array name {name!r} already registered")
+        base = self._next_base
+        span = ((arr.nbytes + CACHELINE_BYTES - 1)
+                // CACHELINE_BYTES) * CACHELINE_BYTES
+        self._next_base = base + span + CACHELINE_BYTES
+        ta = TracedArray(arr, name, base, self)
+        self._arrays[name] = ta
+        return ta
+
+    def zeros(self, n: int, name: str | None = None) -> TracedArray:
+        return self.array(np.zeros(n, dtype=DTYPE), name)
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by F64Vec)
+    # ------------------------------------------------------------------
+    def record_op(self, op: str, depth: int) -> None:
+        self.trace.op(op)
+        if depth > self._max_depth:
+            self._max_depth = depth
+            self.trace.dependent_ops = depth
+
+    @property
+    def critical_path(self) -> int:
+        """Longest serial dependency chain observed so far."""
+        return self._max_depth
+
+    # ------------------------------------------------------------------
+    # Memory instructions
+    # ------------------------------------------------------------------
+    def _touch(self, first_addr: int, last_addr: int) -> int:
+        """Drive the cache simulator over [first, last] inclusive; return
+        number of distinct lines touched."""
+        first_line = first_addr // CACHELINE_BYTES
+        last_line = last_addr // CACHELINE_BYTES
+        nlines = last_line - first_line + 1
+        if self.cache is not None:
+            for line_no in range(first_line, last_line + 1):
+                self.cache.access(line_no * CACHELINE_BYTES)
+        return nlines
+
+    def load(self, arr: TracedArray, offset: int) -> F64Vec:
+        """Contiguous vector load of ``width`` doubles at element
+        ``offset``. Alignment is judged against the vector size, as the
+        hardware does."""
+        self._check_bounds(arr, offset, self.width)
+        first = arr.addr(offset)
+        last = arr.addr(offset + self.width - 1) + DP_BYTES - 1
+        aligned = first % (self.width * DP_BYTES) == 0
+        self.trace.load(1, aligned=aligned)
+        if not aligned:
+            # An unaligned vector load splits/realigns internally.
+            self.trace.op("shuffle")
+        self._touch(first, last)
+        return F64Vec(
+            arr.data[offset:offset + self.width].copy(), machine=self
+        )
+
+    def store(self, arr: TracedArray, offset: int, vec: F64Vec) -> None:
+        """Contiguous vector store of ``vec`` at element ``offset``."""
+        self._require_width(vec)
+        self._check_bounds(arr, offset, self.width)
+        arr.data[offset:offset + self.width] = vec.data
+        self.trace.store(1)
+        self._touch(arr.addr(offset),
+                    arr.addr(offset + self.width - 1) + DP_BYTES - 1)
+
+    def gather(self, arr: TracedArray, indices) -> F64Vec:
+        """Indexed vector load; cost scales with distinct lines touched."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.shape != (self.width,):
+            raise VectorWidthError(
+                f"gather needs {self.width} indices, got shape {idx.shape}"
+            )
+        if idx.min() < 0 or idx.max() >= len(arr.data):
+            raise TraceError(
+                f"gather out of bounds on {arr.name!r}: "
+                f"[{idx.min()}, {idx.max()}] vs len {len(arr.data)}"
+            )
+        lines = {arr.addr(int(i)) // CACHELINE_BYTES for i in idx}
+        if self.cache is not None:
+            for line_no in sorted(lines):
+                self.cache.access(line_no * CACHELINE_BYTES)
+        self.trace.gather(1, lines_per_access=len(lines))
+        return F64Vec(arr.data[idx].copy(), machine=self)
+
+    def scatter(self, arr: TracedArray, indices, vec: F64Vec) -> None:
+        """Indexed vector store; cost scales with distinct lines touched."""
+        self._require_width(vec)
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.shape != (self.width,):
+            raise VectorWidthError(
+                f"scatter needs {self.width} indices, got shape {idx.shape}"
+            )
+        if idx.min() < 0 or idx.max() >= len(arr.data):
+            raise TraceError(
+                f"scatter out of bounds on {arr.name!r}: "
+                f"[{idx.min()}, {idx.max()}] vs len {len(arr.data)}"
+            )
+        if len(np.unique(idx)) != len(idx):
+            raise TraceError("scatter indices must be unique within a vector")
+        arr.data[idx] = vec.data
+        lines = {arr.addr(int(i)) // CACHELINE_BYTES for i in idx}
+        if self.cache is not None:
+            for line_no in sorted(lines):
+                self.cache.access(line_no * CACHELINE_BYTES)
+        self.trace.scatter(1, lines_per_access=len(lines))
+
+    def load_masked(self, arr: TracedArray, offset: int,
+                    mask: "Mask") -> F64Vec:
+        """Masked vector load: inactive lanes read as zero. Costs a full
+        load slot plus a blend — the remainder-handling instruction the
+        paper's Sec. IV-B1 charges for non-multiple trip counts."""
+        self._require_mask(mask)
+        active = int(mask.data.sum())
+        if active == 0:
+            self.trace.op("blend")
+            return F64Vec(np.zeros(self.width, dtype=DTYPE), machine=self)
+        last = offset + int(np.max(np.nonzero(mask.data)[0]))
+        self._check_bounds(arr, offset, last - offset + 1)
+        first_addr = arr.addr(offset)
+        aligned = first_addr % (self.width * DP_BYTES) == 0
+        self.trace.load(1, aligned=aligned)
+        self.trace.op("blend")
+        self._touch(first_addr, arr.addr(last) + DP_BYTES - 1)
+        data = np.zeros(self.width, dtype=DTYPE)
+        idx = np.nonzero(mask.data)[0]
+        data[idx] = arr.data[offset + idx]
+        return F64Vec(data, machine=self)
+
+    def store_masked(self, arr: TracedArray, offset: int, vec: F64Vec,
+                     mask: "Mask") -> None:
+        """Masked vector store: only active lanes are written."""
+        self._require_width(vec)
+        self._require_mask(mask)
+        if not mask.data.any():
+            self.trace.op("blend")
+            return
+        last = offset + int(np.max(np.nonzero(mask.data)[0]))
+        self._check_bounds(arr, offset, last - offset + 1)
+        idx = np.nonzero(mask.data)[0]
+        arr.data[offset + idx] = vec.data[idx]
+        self.trace.store(1)
+        self.trace.op("blend")
+        self._touch(arr.addr(offset), arr.addr(last) + DP_BYTES - 1)
+
+    def scalar_load(self, arr: TracedArray, index: int) -> float:
+        self._check_bounds(arr, index, 1)
+        self.trace.load(1)
+        self._touch(arr.addr(index), arr.addr(index) + DP_BYTES - 1)
+        return float(arr.data[index])
+
+    def scalar_store(self, arr: TracedArray, index: int, value: float) -> None:
+        self._check_bounds(arr, index, 1)
+        arr.data[index] = value
+        self.trace.store(1)
+        self._touch(arr.addr(index), arr.addr(index) + DP_BYTES - 1)
+
+    # ------------------------------------------------------------------
+    # Value construction
+    # ------------------------------------------------------------------
+    def vec(self, value: float) -> F64Vec:
+        """Broadcast a scalar into a vector bound to this machine."""
+        return F64Vec.broadcast(value, self.width, machine=self)
+
+    def from_lanes(self, values) -> F64Vec:
+        """Build a vector from per-lane values (insert sequence: counted
+        as ``width`` shuffles, matching hardware insert cost)."""
+        arr = np.asarray(values, dtype=DTYPE)
+        if arr.shape != (self.width,):
+            raise VectorWidthError(
+                f"need {self.width} lane values, got shape {arr.shape}"
+            )
+        self.trace.op("shuffle", self.width)
+        return F64Vec(arr, machine=self)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def loop_overhead(self, iters: int = 1, instrs_per_iter: int = 2) -> None:
+        """Record loop-control instructions (compare+branch and address
+        update) for ``iters`` iterations; unrolled code calls this less."""
+        self.trace.overhead(iters * instrs_per_iter)
+
+    def reset(self) -> None:
+        self.trace = OpTrace(width=self.width)
+        self._max_depth = 0
+        if self.cache is not None:
+            self.cache.reset_stats()
+            self.cache.flush()
+
+    def dram_traffic_from_cache(self) -> int:
+        """Bytes that went to DRAM according to the cache simulator."""
+        if self.cache is None:
+            raise TraceError("machine has no cache hierarchy attached")
+        return self.cache.dram_accesses * CACHELINE_BYTES
+
+    def finalize_dram(self) -> None:
+        """Copy simulated-cache DRAM traffic into the trace (reads only;
+        callers distinguish write traffic themselves when it matters)."""
+        if self.cache is not None:
+            self.trace.bytes_read = self.cache.dram_accesses * CACHELINE_BYTES
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_width(self, vec: F64Vec) -> None:
+        if vec.width != self.width:
+            raise VectorWidthError(
+                f"vector width {vec.width} != machine width {self.width}"
+            )
+
+    def _require_mask(self, mask: Mask) -> None:
+        if mask.width != self.width:
+            raise VectorWidthError(
+                f"mask width {mask.width} != machine width {self.width}"
+            )
+
+    @staticmethod
+    def _check_bounds(arr: TracedArray, offset: int, n: int) -> None:
+        if offset < 0 or offset + n > len(arr.data):
+            raise TraceError(
+                f"access [{offset}, {offset + n}) out of bounds on "
+                f"{arr.name!r} (len {len(arr.data)})"
+            )

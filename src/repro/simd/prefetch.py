@@ -1,0 +1,75 @@
+"""Software prefetch modeling.
+
+The paper's *intermediate* tier includes "manual insertion of software
+prefetches for data structures that do not fit in the cache"
+(Sec. III-B). A prefetch costs one issue slot but converts a demand miss
+(a stall of DRAM latency) into an overlapped transfer. We model a prefetch
+schedule as a coverage fraction over a kernel's miss stream: covered
+misses cost only the prefetch instruction; uncovered misses cost the full
+latency on in-order cores (OOO cores already hide most of it with their
+reorder window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..arch.spec import ArchSpec
+
+#: DRAM demand-miss latency in core cycles (typical for both platforms'
+#: eras; the exact value only shifts un-prefetched in-order kernels).
+DRAM_LATENCY_CYCLES = 230.0
+
+#: Fraction of a demand miss an OOO window hides without any prefetching.
+OOO_HIDE_FRACTION = 0.85
+
+
+@dataclass(frozen=True)
+class PrefetchSchedule:
+    """A software-prefetch plan for one streaming data structure.
+
+    Attributes
+    ----------
+    distance:
+        Prefetch distance in cachelines ahead of use. 0 disables.
+    coverage:
+        Fraction of the miss stream the schedule covers (a well-placed
+        steady-state stream prefetch covers ~all but the first
+        ``distance`` lines).
+    """
+
+    distance: int = 8
+    coverage: float = 0.95
+
+    def __post_init__(self):
+        if self.distance < 0:
+            raise ConfigurationError("prefetch distance must be >= 0")
+        if not 0.0 <= self.coverage <= 1.0:
+            raise ConfigurationError("coverage must be in [0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.distance > 0 and self.coverage > 0
+
+
+def miss_stall_cycles(arch: ArchSpec, misses: int,
+                      schedule: PrefetchSchedule | None = None,
+                      smt_threads: int | None = None) -> float:
+    """Stall cycles a core pays for ``misses`` DRAM demand misses.
+
+    SMT divides the exposed latency (other threads issue while one
+    waits); software prefetching removes covered misses entirely (they
+    still pay one issue slot each, charged here).
+    """
+    if misses < 0:
+        raise ConfigurationError("miss count must be non-negative")
+    smt = smt_threads or arch.smt
+    exposed = DRAM_LATENCY_CYCLES / max(1, smt)
+    if arch.out_of_order:
+        exposed *= (1.0 - OOO_HIDE_FRACTION)
+    if schedule is not None and schedule.enabled:
+        covered = misses * schedule.coverage
+        uncovered = misses - covered
+        return uncovered * exposed + covered * 1.0
+    return misses * exposed

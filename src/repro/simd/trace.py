@@ -1,0 +1,243 @@
+"""Instruction/traffic trace of a kernel execution.
+
+An :class:`OpTrace` records what a kernel *did* in architecture-neutral
+terms: how many vector arithmetic instructions of each kind, how many
+vector loads/stores (and whether aligned), how many cachelines were touched
+by gathers/scatters, how many transcendental elements were evaluated, and
+how many bytes crossed the DRAM interface. The cost model
+(:mod:`repro.arch.cost`) then turns one trace into cycles for any
+:class:`~repro.arch.spec.ArchSpec` — this is how a single algorithmic
+description yields both SNB-EP and KNC throughput, exactly as one C kernel
+compiled twice did in the paper.
+
+Traces are recorded by :class:`~repro.simd.machine.VectorMachine` (for
+kernels written against the SIMD abstraction) or synthesised analytically
+by each kernel's ``model.py`` (the paper's "intuitive performance models").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..errors import TraceError
+
+#: Vector arithmetic opcode names the cost model understands.
+ARITH_OPS = frozenset(
+    {"mul", "add", "sub", "fma", "div", "sqrt", "max", "min", "cmp",
+     "blend", "mov", "cvt", "shuffle"}
+)
+
+#: Flops contributed per lane by each opcode (mov/blend/shuffle move data,
+#: not arithmetic; div/sqrt count 1 as is conventional).
+FLOPS_PER_LANE = {
+    "mul": 1, "add": 1, "sub": 1, "fma": 2, "div": 1, "sqrt": 1,
+    "max": 1, "min": 1, "cmp": 1, "blend": 0, "mov": 0, "cvt": 0,
+    "shuffle": 0,
+}
+
+#: Approximate flop-equivalents of one transcendental element, used only
+#: for arithmetic-intensity reporting (cycle cost is separate and per-arch).
+TRANSCENDENTAL_FLOPS = {
+    "exp": 20, "log": 20, "erf": 25, "cnd": 30, "invcnd": 35,
+    "sin": 20, "cos": 20, "pow": 40, "recip": 5, "rsqrt": 5,
+}
+
+
+@dataclass
+class OpTrace:
+    """Mutable counters describing one kernel execution.
+
+    Attributes
+    ----------
+    width:
+        SIMD lane count the kernel was recorded at (1 = scalar code).
+    vector_ops:
+        Counter of vector arithmetic instructions by opcode.
+    scalar_ops:
+        Scalar ALU/FPU instructions (loop control folded into
+        ``overhead_instrs``).
+    loads / stores:
+        Vector (or scalar, width=1) memory instructions to *contiguous*
+        addresses.
+    unaligned_loads:
+        Subset of ``loads`` that straddle an alignment boundary (the
+        binomial reference code's ``Call[j+1]`` pattern) — these cost an
+        extra shuffle/split on both architectures.
+    gathers / scatters:
+        Irregular vector memory instructions, with ``gather_lines`` /
+        ``scatter_lines`` counting the cachelines each touched. AOS layouts
+        make these touch up to ``width`` lines per access (Sec. IV-A3).
+    transcendentals:
+        Counter of *elements* (not instructions) evaluated per function.
+    bytes_read / bytes_written:
+        DRAM-level traffic in bytes. Kernels that stay in cache record 0.
+    rfo_bytes:
+        Read-for-ownership bytes (stores without streaming-store).
+    overhead_instrs:
+        Loop/address bookkeeping instructions.
+    dependent_ops:
+        Vector arithmetic instructions on the longest serial dependency
+        chain. An in-order core stalls on these unless SMT or unrolling
+        hides the latency; an OOO core mostly does not.
+    items:
+        Work items (options, paths) this trace covers — used to derive
+        per-item cost.
+    """
+
+    width: int = 1
+    vector_ops: Counter = field(default_factory=Counter)
+    scalar_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    unaligned_loads: int = 0
+    gathers: int = 0
+    scatters: int = 0
+    gather_lines: int = 0
+    scatter_lines: int = 0
+    transcendentals: Counter = field(default_factory=Counter)
+    bytes_read: int = 0
+    bytes_written: int = 0
+    rfo_bytes: int = 0
+    overhead_instrs: int = 0
+    dependent_ops: int = 0
+    items: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def op(self, name: str, count: int = 1, dependent: bool = False) -> None:
+        """Record ``count`` vector arithmetic instructions of kind ``name``."""
+        if name not in ARITH_OPS:
+            raise TraceError(f"unknown vector opcode {name!r}")
+        if count < 0:
+            raise TraceError("op count must be non-negative")
+        self.vector_ops[name] += count
+        if dependent:
+            self.dependent_ops += count
+
+    def transcendental(self, name: str, elements: int) -> None:
+        if name not in TRANSCENDENTAL_FLOPS:
+            raise TraceError(f"unknown transcendental {name!r}")
+        if elements < 0:
+            raise TraceError("element count must be non-negative")
+        self.transcendentals[name] += elements
+
+    def load(self, count: int = 1, aligned: bool = True) -> None:
+        self.loads += count
+        if not aligned:
+            self.unaligned_loads += count
+
+    def store(self, count: int = 1) -> None:
+        self.stores += count
+
+    def gather(self, count: int = 1, lines_per_access: int = 1) -> None:
+        self.gathers += count
+        self.gather_lines += count * lines_per_access
+
+    def scatter(self, count: int = 1, lines_per_access: int = 1) -> None:
+        self.scatters += count
+        self.scatter_lines += count * lines_per_access
+
+    def dram(self, read: int = 0, written: int = 0, rfo: int = 0) -> None:
+        self.bytes_read += read
+        self.bytes_written += written
+        self.rfo_bytes += rfo
+
+    def overhead(self, count: int = 1) -> None:
+        self.overhead_instrs += count
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    @property
+    def arith_instrs(self) -> int:
+        return sum(self.vector_ops.values())
+
+    @property
+    def mem_instrs(self) -> int:
+        return self.loads + self.stores + self.gathers + self.scatters
+
+    @property
+    def total_instrs(self) -> int:
+        # A transcendental element batch executes as inlined vector code;
+        # its instruction count is architecture-specific and accounted in
+        # the cost model, not here.
+        return (self.arith_instrs + self.mem_instrs + self.scalar_ops
+                + self.overhead_instrs)
+
+    @property
+    def flops(self) -> float:
+        """Total double-precision flops including transcendental
+        flop-equivalents (for arithmetic-intensity reporting)."""
+        arith = sum(
+            FLOPS_PER_LANE[op] * n * self.width
+            for op, n in self.vector_ops.items()
+        ) + self.scalar_ops
+        trans = sum(
+            TRANSCENDENTAL_FLOPS[f] * n for f, n in self.transcendentals.items()
+        )
+        return float(arith + trans)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written + self.rfo_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per DRAM byte; ``inf`` for fully cache-resident traces."""
+        if self.dram_bytes == 0:
+            return float("inf")
+        return self.flops / self.dram_bytes
+
+    def per_item(self) -> "OpTrace":
+        """Return a scaled copy normalised to one work item."""
+        if self.items <= 0:
+            raise TraceError("trace has no item count; set .items first")
+        return self.scaled(1.0 / self.items, items=1)
+
+    def scaled(self, factor: float, items: int | None = None) -> "OpTrace":
+        """Return a copy with every counter multiplied by ``factor``."""
+        t = OpTrace(width=self.width)
+        t.vector_ops = Counter(
+            {k: v * factor for k, v in self.vector_ops.items()}
+        )
+        t.transcendentals = Counter(
+            {k: v * factor for k, v in self.transcendentals.items()}
+        )
+        for attr in ("scalar_ops", "loads", "stores", "unaligned_loads",
+                     "gathers", "scatters", "gather_lines", "scatter_lines",
+                     "bytes_read", "bytes_written", "rfo_bytes",
+                     "overhead_instrs", "dependent_ops"):
+            setattr(t, attr, getattr(self, attr) * factor)
+        t.items = items if items is not None else int(self.items * factor)
+        return t
+
+    def merge(self, other: "OpTrace") -> "OpTrace":
+        """Accumulate ``other`` into this trace (in place, returns self).
+
+        Widths must match unless one side is empty.
+        """
+        if other.width != self.width and self.total_instrs and other.total_instrs:
+            raise TraceError(
+                f"cannot merge traces of width {self.width} and {other.width}"
+            )
+        if not self.total_instrs:
+            self.width = other.width
+        self.vector_ops += other.vector_ops
+        self.transcendentals += other.transcendentals
+        for attr in ("scalar_ops", "loads", "stores", "unaligned_loads",
+                     "gathers", "scatters", "gather_lines", "scatter_lines",
+                     "bytes_read", "bytes_written", "rfo_bytes",
+                     "overhead_instrs", "dependent_ops", "items"):
+            setattr(self, attr, getattr(self, attr) + getattr(other, attr))
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"OpTrace(width={self.width}, items={self.items}, "
+            f"arith={self.arith_instrs:.3g}, mem={self.mem_instrs:.3g}, "
+            f"trans={dict(self.transcendentals)}, "
+            f"flops={self.flops:.3g}, dram={self.dram_bytes:.3g}B, "
+            f"AI={self.arithmetic_intensity:.3g})"
+        )

@@ -1,0 +1,254 @@
+"""SIMD value classes: the Python analogue of ``F64vec4`` / ``F64vec8``.
+
+A :class:`F64Vec` is a fixed-width vector of doubles with infix operators,
+mirroring the C++ vector classes the paper uses for outer-loop
+vectorization (Sec. III-B, point 3). When a vector is bound to a
+:class:`~repro.simd.machine.VectorMachine`, every operation is recorded in
+the machine's :class:`~repro.simd.trace.OpTrace`, and dependency depth is
+propagated so the critical-path length of the computation can be measured
+— the quantity that distinguishes in-order KNC from out-of-order SNB-EP.
+
+Unbound vectors compute without recording, so the same kernel source can
+be run purely functionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DTYPE
+from ..errors import VectorWidthError
+
+
+class Mask:
+    """Per-lane boolean mask produced by vector comparisons."""
+
+    __slots__ = ("data", "width")
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=bool)
+        self.width = self.data.shape[0]
+
+    def __and__(self, other: "Mask") -> "Mask":
+        return Mask(self.data & other.data)
+
+    def __or__(self, other: "Mask") -> "Mask":
+        return Mask(self.data | other.data)
+
+    def __invert__(self) -> "Mask":
+        return Mask(~self.data)
+
+    def any(self) -> bool:
+        return bool(self.data.any())
+
+    def all(self) -> bool:
+        return bool(self.data.all())
+
+    def count(self) -> int:
+        return int(self.data.sum())
+
+    def __repr__(self):
+        return f"Mask({self.data.tolist()})"
+
+
+class F64Vec:
+    """A ``width``-lane double-precision SIMD register value.
+
+    Operations between two vectors require equal widths; scalars broadcast.
+    Instances are immutable value objects: every operation returns a new
+    vector whose ``depth`` is one more than the deepest operand, which lets
+    the machine compute the serial dependency chain of a kernel.
+    """
+
+    __slots__ = ("data", "machine", "depth")
+
+    def __init__(self, data, machine=None, depth: int = 0):
+        arr = np.asarray(data, dtype=DTYPE)
+        if arr.ndim != 1:
+            raise VectorWidthError(f"F64Vec needs a 1-D payload, got {arr.ndim}-D")
+        self.data = arr
+        self.machine = machine
+        self.depth = depth
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def broadcast(cls, value: float, width: int, machine=None) -> "F64Vec":
+        v = cls(np.full(width, value, dtype=DTYPE), machine=machine)
+        if machine is not None:
+            machine.trace.op("mov")
+        return v
+
+    @classmethod
+    def zeros(cls, width: int, machine=None) -> "F64Vec":
+        return cls(np.zeros(width, dtype=DTYPE), machine=machine)
+
+    @property
+    def width(self) -> int:
+        return self.data.shape[0]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "F64Vec":
+        if isinstance(other, F64Vec):
+            if other.width != self.width:
+                raise VectorWidthError(
+                    f"width mismatch: {self.width} vs {other.width}"
+                )
+            return other
+        return F64Vec(
+            np.full(self.width, float(other), dtype=DTYPE),
+            machine=self.machine,
+        )
+
+    def _emit(self, op: str, result: np.ndarray, *operands) -> "F64Vec":
+        machine = self.machine
+        for o in operands:
+            if isinstance(o, F64Vec) and o.machine is not None:
+                machine = machine or o.machine
+        depth = 1 + max(
+            (o.depth for o in operands if isinstance(o, F64Vec)), default=0
+        )
+        if machine is not None:
+            machine.record_op(op, depth)
+        return F64Vec(result, machine=machine, depth=depth)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        o = self._coerce(other)
+        return self._emit("add", self.data + o.data, self, o)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        return self._emit("sub", self.data - o.data, self, o)
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        return self._emit("sub", o.data - self.data, self, o)
+
+    def __mul__(self, other):
+        o = self._coerce(other)
+        return self._emit("mul", self.data * o.data, self, o)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        o = self._coerce(other)
+        return self._emit("div", self.data / o.data, self, o)
+
+    def __rtruediv__(self, other):
+        o = self._coerce(other)
+        return self._emit("div", o.data / self.data, self, o)
+
+    def __neg__(self):
+        return self._emit("sub", -self.data, self)
+
+    def fma(self, mul: "F64Vec", add: "F64Vec") -> "F64Vec":
+        """Fused ``self * mul + add`` — a single instruction on KNC; on
+        architectures without FMA the cost model splits it back into a
+        dependent mul+add pair."""
+        m = self._coerce(mul)
+        a = self._coerce(add)
+        return self._emit("fma", self.data * m.data + a.data, self, m, a)
+
+    def sqrt(self) -> "F64Vec":
+        return self._emit("sqrt", np.sqrt(self.data), self)
+
+    def max(self, other) -> "F64Vec":
+        o = self._coerce(other)
+        return self._emit("max", np.maximum(self.data, o.data), self, o)
+
+    def min(self, other) -> "F64Vec":
+        o = self._coerce(other)
+        return self._emit("min", np.minimum(self.data, o.data), self, o)
+
+    # ------------------------------------------------------------------
+    # Comparison / blending
+    # ------------------------------------------------------------------
+    def _cmp(self, other, fn) -> Mask:
+        o = self._coerce(other)
+        if self.machine is not None:
+            self.machine.record_op("cmp", self.depth + 1)
+        return Mask(fn(self.data, o.data))
+
+    def __lt__(self, other):
+        return self._cmp(other, np.less)
+
+    def __le__(self, other):
+        return self._cmp(other, np.less_equal)
+
+    def __gt__(self, other):
+        return self._cmp(other, np.greater)
+
+    def __ge__(self, other):
+        return self._cmp(other, np.greater_equal)
+
+    def blend(self, mask: Mask, other) -> "F64Vec":
+        """Per-lane select: lane from ``self`` where mask is set, else
+        from ``other``."""
+        o = self._coerce(other)
+        if mask.width != self.width:
+            raise VectorWidthError(
+                f"mask width {mask.width} != vector width {self.width}"
+            )
+        return self._emit(
+            "blend", np.where(mask.data, self.data, o.data), self, o
+        )
+
+    # ------------------------------------------------------------------
+    # Horizontal ops
+    # ------------------------------------------------------------------
+    def hsum(self) -> float:
+        """Horizontal sum across lanes (log2(width) shuffle+add pairs)."""
+        if self.machine is not None:
+            steps = max(1, int(np.log2(self.width))) if self.width > 1 else 0
+            self.machine.trace.op("shuffle", steps)
+            self.machine.trace.op("add", steps)
+        return float(self.data.sum())
+
+    def hmax(self) -> float:
+        if self.machine is not None:
+            steps = max(1, int(np.log2(self.width))) if self.width > 1 else 0
+            self.machine.trace.op("shuffle", steps)
+            self.machine.trace.op("max", steps)
+        return float(self.data.max())
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "F64Vec":
+        return self._emit("mov", self.data.copy(), self)
+
+    def to_array(self) -> np.ndarray:
+        return self.data.copy()
+
+    def __getitem__(self, lane: int) -> float:
+        return float(self.data[lane])
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __repr__(self):
+        return f"F64Vec({self.data.tolist()}, depth={self.depth})"
+
+
+def F64vec4(data, machine=None) -> F64Vec:
+    """AVX-style 4-wide constructor (paper's ``F64vec4``)."""
+    v = F64Vec(data, machine=machine)
+    if v.width != 4:
+        raise VectorWidthError(f"F64vec4 needs 4 lanes, got {v.width}")
+    return v
+
+
+def F64vec8(data, machine=None) -> F64Vec:
+    """KNC-style 8-wide constructor (paper's ``F64vec8``)."""
+    v = F64Vec(data, machine=machine)
+    if v.width != 8:
+        raise VectorWidthError(f"F64vec8 needs 8 lanes, got {v.width}")
+    return v

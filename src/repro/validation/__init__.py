@@ -1,0 +1,12 @@
+"""Validation utilities: convergence-rate measurement and golden fixtures."""
+
+from .convergence import (mc_error_within_clt, observed_order,
+                          richardson_extrapolate)
+from .golden import (AMERICAN_PUT_ANCHOR, BS_GOLDEN,
+                     MT19937_ARRAY_SEED_FIRST, MT19937_SEED_5489_FIRST)
+
+__all__ = [
+    "observed_order", "richardson_extrapolate", "mc_error_within_clt",
+    "BS_GOLDEN", "MT19937_SEED_5489_FIRST", "MT19937_ARRAY_SEED_FIRST",
+    "AMERICAN_PUT_ANCHOR",
+]

@@ -1,0 +1,44 @@
+"""Numerical-convergence utilities.
+
+Shared by the test suite and examples to assert the textbook rates:
+binomial O(1/N) to Black-Scholes, Monte-Carlo O(P^-1/2), Crank-Nicolson
+O(dx^2 + dtau^2) on smooth (European) payoffs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def observed_order(errors, scales) -> float:
+    """Least-squares slope of log(error) vs log(scale): the empirical
+    convergence order. ``scales`` are the discretisation measures (1/N,
+    1/sqrt(P), dx, ...)."""
+    errors = np.asarray(errors, dtype=float)
+    scales = np.asarray(scales, dtype=float)
+    if errors.shape != scales.shape or errors.size < 2:
+        raise ConfigurationError("need >= 2 matching error/scale points")
+    if np.any(errors <= 0) or np.any(scales <= 0):
+        raise ConfigurationError("errors and scales must be positive")
+    slope, _ = np.polyfit(np.log(scales), np.log(errors), 1)
+    return float(slope)
+
+
+def richardson_extrapolate(coarse: float, fine: float, ratio: float,
+                           order: float) -> float:
+    """Richardson extrapolation of two resolutions to the limit."""
+    if ratio <= 1:
+        raise ConfigurationError("ratio must exceed 1")
+    factor = ratio ** order
+    return (factor * fine - coarse) / (factor - 1.0)
+
+
+def mc_error_within_clt(estimate: float, truth: float, stderr: float,
+                        n_sigma: float = 4.0) -> bool:
+    """Is a Monte-Carlo estimate within ``n_sigma`` standard errors of
+    truth? (The probabilistic acceptance test for MC results.)"""
+    if stderr < 0:
+        raise ConfigurationError("stderr must be non-negative")
+    return abs(estimate - truth) <= n_sigma * max(stderr, 1e-300)

@@ -1,0 +1,32 @@
+"""Golden reference values.
+
+Hand-checked fixtures (closed-form values computed independently) used
+as hard-coded anchors in the test suite, so a regression in the vmath
+stack cannot silently re-baseline the oracles that validate the kernels.
+"""
+
+from __future__ import annotations
+
+#: (S, X, T, r, sigma) -> (call, put), values from the Black-Scholes
+#: closed form evaluated with mpmath-grade precision.
+BS_GOLDEN = {
+    (100.0, 100.0, 1.0, 0.05, 0.2): (10.450583572185565, 5.573526022256971),
+    (100.0, 110.0, 0.5, 0.02, 0.3): (5.071235559904636, 13.976717272313117),
+    (42.0, 40.0, 0.5, 0.10, 0.2): (4.759422392871532, 0.8085993729000922),
+    (100.0, 100.0, 1.0, 0.02, 0.3): (12.821581392691420, 10.841448723366952),
+}
+
+#: MT19937 first tempered outputs after init_genrand(5489)
+#: (mt19937ar reference).
+MT19937_SEED_5489_FIRST = (3499211612, 581869302, 3890346734, 3586334585,
+                           545404204)
+
+#: MT19937 first outputs after init_by_array([0x123, 0x234, 0x345, 0x456]).
+#: Cross-checked against NumPy's RandomState array seeding (bit-identical
+#: state) and the reference init_by_array algorithm.
+MT19937_ARRAY_SEED_FIRST = (1067595299, 955945823, 477289528, 4107218783,
+                            4228976476)
+
+#: American put (S=100, K=100, T=1, r=0.05, sigma=0.3): high-resolution
+#: binomial value (N=8192), used as the cross-method anchor for CN/binomial.
+AMERICAN_PUT_ANCHOR = 9.8701

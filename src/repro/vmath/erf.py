@@ -1,0 +1,86 @@
+"""From-scratch vectorized error function and complement.
+
+Two regimes, both fully vectorized with a branch-free select:
+
+* ``|x| ≤ 2.5`` — the Maclaurin series
+  ``erf(x) = 2/√π · Σ (−1)ⁿ x^(2n+1) / (n!(2n+1))`` with enough terms
+  that truncation is below double rounding for the regime (alternating
+  series with mild cancellation; worst-case relative error ~1e-13 near
+  the switch point).
+* ``|x| > 2.5`` — the Legendre continued fraction for ``erfc``,
+  ``erfc(x) = e^{−x²}/√π · 1/(x + ½/(x + 1/(x + 3/2/(x + …))))``,
+  evaluated bottom-up at fixed depth (converges fast for x > 2).
+
+The paper's Black-Scholes optimization replaces ``cnd`` by ``erf`` via
+``cnd(x) = (1 + erf(x/√2))/2`` precisely because ``erf`` is cheaper; both
+functions here carry that cost difference into the machine model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DTYPE
+from .exp import vexp
+
+_TWO_OVER_SQRT_PI = 1.1283791670955126
+_ONE_OVER_SQRT_PI = 0.5641895835477563
+
+#: Series terms: at |x| = 2.5 the terms peak near n ≈ x² ≈ 6 and decay
+#: factorially; 48 terms leaves truncation far below rounding.
+_SERIES_TERMS = 48
+
+#: Continued-fraction depth for the tail regime (x > 2.5); depth 40 gives
+#: full double accuracy well past the switch point.
+_CF_DEPTH = 40
+
+#: Regime switch point.
+_SWITCH = 2.5
+
+
+def _erf_series(x: np.ndarray) -> np.ndarray:
+    """Maclaurin series for |x| <= _SWITCH (garbage outside, masked off
+    by the caller)."""
+    xs = np.clip(x, -_SWITCH, _SWITCH)  # keep the series finite off-regime
+    x2 = xs * xs
+    term = xs.copy()          # x^(2n+1)/n! running factor, n = 0
+    acc = xs / 1.0            # n = 0 contribution (x / (0! * 1))
+    for n in range(1, _SERIES_TERMS):
+        term = term * (-x2 / n)
+        acc = acc + term / (2 * n + 1)
+    return _TWO_OVER_SQRT_PI * acc
+
+
+def _erfc_cf(x: np.ndarray) -> np.ndarray:
+    """Legendre continued fraction for erfc(x), x > 0 (used for
+    x > _SWITCH; garbage below ~0.5, masked off by the caller)."""
+    xs = np.maximum(x, _SWITCH)  # keep the CF well-conditioned off-regime
+    f = np.zeros_like(xs)
+    for k in range(_CF_DEPTH, 0, -1):
+        f = (0.5 * k) / (xs + f)
+    return _ONE_OVER_SQRT_PI * vexp(-xs * xs) / (xs + f)
+
+
+def verf(x) -> np.ndarray:
+    """Vectorized ``erf(x)`` for double arrays (from-scratch)."""
+    x = np.asarray(x, dtype=DTYPE)
+    ax = np.abs(x)
+    series = _erf_series(ax)
+    tail = 1.0 - _erfc_cf(ax)
+    mag = np.where(ax <= _SWITCH, series, tail)
+    out = np.where(x < 0, -mag, mag)
+    out = np.where(np.isnan(x), np.nan, out)
+    return out
+
+
+def verfc(x) -> np.ndarray:
+    """Vectorized ``erfc(x)`` with full relative accuracy in the positive
+    tail (where ``1 − erf`` would cancel catastrophically)."""
+    x = np.asarray(x, dtype=DTYPE)
+    ax = np.abs(x)
+    tail = _erfc_cf(ax)               # accurate for ax > switch
+    series = 1.0 - _erf_series(ax)    # fine for ax <= switch
+    pos = np.where(ax <= _SWITCH, series, tail)
+    out = np.where(x < 0, 2.0 - pos, pos)
+    out = np.where(np.isnan(x), np.nan, out)
+    return out

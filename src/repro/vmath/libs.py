@@ -1,0 +1,165 @@
+"""SVML- and VML-style vector math library facades.
+
+The paper distinguishes two vendor math paths (Sec. IV-A3):
+
+* **SVML** (Short Vector Math Library) — transcendentals inlined into the
+  vector loop by the compiler, consuming/producing registers: no extra
+  memory traffic, small cache footprint. Modelled here by *block-fused*
+  evaluation.
+* **VML** (Vector Math Library, part of MKL) — array-call interface, one
+  whole-array pass per function: extra sweeps over memory, larger
+  footprint, but better per-element cost at large batch sizes. Modelled by
+  whole-array evaluation plus explicit traffic accounting.
+
+On SNB-EP VML wins for Black-Scholes; on KNC it shows no benefit over
+SVML — the facades reproduce exactly this trade-off through their traffic
+profiles.
+
+Each facade optionally records into an :class:`~repro.simd.trace.OpTrace`:
+transcendental element counts always, and (VML only) the intermediate
+array traffic its calling convention implies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DP_BYTES, DTYPE
+from ..simd.trace import OpTrace
+from .cnd import vcnd, vcnd_via_erf, vpdf
+from .erf import verf, verfc
+from .exp import vexp, vexp_blocked
+from .invcnd import vinvcnd
+from .log import vlog, vlog_blocked
+
+
+class VectorMathLib:
+    """Common facade: ``exp``/``log``/``erf``/``erfc``/``cnd``/``invcnd``
+    over double arrays, with optional trace recording."""
+
+    name = "abstract"
+    #: True when a call streams its operand+result through memory
+    #: (array-call convention) rather than staying in registers.
+    array_call = False
+
+    def __init__(self, trace: OpTrace | None = None):
+        self.trace = trace
+
+    # -- internal ------------------------------------------------------
+    def _account(self, func: str, x: np.ndarray) -> None:
+        if self.trace is not None:
+            self.trace.transcendental(func, int(x.size))
+            if self.array_call:
+                # One read of the operand + one write of the result that
+                # would have stayed in registers under inlined SVML code.
+                self.trace.dram(read=x.size * DP_BYTES,
+                                written=x.size * DP_BYTES)
+
+    def _eval(self, func: str, x) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        self._account(func, x)
+        return self._impl(func, x)
+
+    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public ops ----------------------------------------------------
+    def exp(self, x) -> np.ndarray:
+        return self._eval("exp", x)
+
+    def log(self, x) -> np.ndarray:
+        return self._eval("log", x)
+
+    def erf(self, x) -> np.ndarray:
+        return self._eval("erf", x)
+
+    def cnd(self, x) -> np.ndarray:
+        return self._eval("cnd", x)
+
+    def invcnd(self, x) -> np.ndarray:
+        return self._eval("invcnd", x)
+
+    def pdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=DTYPE)
+        self._account("exp", x)  # φ costs one exp plus a couple of muls
+        return vpdf(x)
+
+
+class SVMLLib(VectorMathLib):
+    """Inlined short-vector math: block-fused from-scratch kernels."""
+
+    name = "svml"
+    array_call = False
+
+    def __init__(self, trace: OpTrace | None = None, block: int = 1024):
+        super().__init__(trace)
+        self.block = block
+
+    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+        if func == "exp":
+            return vexp_blocked(x, self.block)
+        if func == "log":
+            return vlog_blocked(x, self.block)
+        if func == "erf":
+            return verf(x)
+        if func == "cnd":
+            return vcnd_via_erf(x)
+        if func == "invcnd":
+            return vinvcnd(x)
+        raise KeyError(func)
+
+
+class VMLLib(VectorMathLib):
+    """Array-call math: whole-array passes (charges memory traffic)."""
+
+    name = "vml"
+    array_call = True
+
+    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+        if func == "exp":
+            return vexp(x)
+        if func == "log":
+            return vlog(x)
+        if func == "erf":
+            return verf(x)
+        if func == "cnd":
+            return vcnd(x)
+        if func == "invcnd":
+            return vinvcnd(x)
+        raise KeyError(func)
+
+
+class NumpyLib(VectorMathLib):
+    """Platform-native ufuncs (NumPy/scipy): the fast functional path used
+    inside timed benchmark loops. Semantics match the from-scratch kernels
+    to ~1e-13 relative (asserted in tests)."""
+
+    name = "numpy"
+    array_call = False
+
+    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+        if func == "exp":
+            return np.exp(x)
+        if func == "log":
+            return np.log(x)
+        if func == "erf":
+            from scipy.special import erf as _erf
+            return _erf(x)
+        if func == "cnd":
+            from scipy.special import ndtr as _ndtr
+            return _ndtr(x)
+        if func == "invcnd":
+            from scipy.special import ndtri as _ndtri
+            return _ndtri(x)
+        raise KeyError(func)
+
+
+def get_lib(name: str, trace: OpTrace | None = None) -> VectorMathLib:
+    """Factory for the three library facades."""
+    libs = {"svml": SVMLLib, "vml": VMLLib, "numpy": NumpyLib}
+    try:
+        return libs[name](trace)
+    except KeyError:
+        raise KeyError(
+            f"unknown math lib {name!r}; want one of {sorted(libs)}"
+        ) from None

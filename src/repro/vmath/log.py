@@ -1,0 +1,57 @@
+"""From-scratch vectorized double-precision natural logarithm.
+
+Decomposes ``x = m · 2^e`` with ``m`` normalised into
+``[√½, √2)``, then evaluates ``log m = 2·atanh(t)`` with
+``t = (m−1)/(m+1)`` — ``|t| ≤ 0.1716``, where the odd atanh series
+truncated at t²¹ is accurate below double rounding. Reconstruction uses
+the same split-ln2 constants as :mod:`repro.vmath.exp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DTYPE
+from .exp import _LN2_HI, _LN2_LO
+from .poly import horner
+
+#: Coefficients of atanh(t)/t in t²: 1, 1/3, 1/5, ... 1/21.
+_ATANH_COEFFS = tuple(1.0 / (2 * k + 1) for k in range(11))
+
+
+def vlog(x) -> np.ndarray:
+    """Vectorized ``ln(x)`` for double arrays (from-scratch).
+
+    Domain behaviour mirrors IEEE ``log``: 0 → −inf, negative → NaN,
+    inf → inf, NaN propagates.
+    """
+    x = np.asarray(x, dtype=DTYPE)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        m, e = np.frexp(x)  # x = m * 2**e, m in [0.5, 1)
+        # Renormalise m into [sqrt(0.5), sqrt(2)) so |t| is small.
+        small = m < np.sqrt(0.5)
+        m = np.where(small, 2.0 * m, m)
+        e = np.where(small, e - 1, e)
+        t = (m - 1.0) / (m + 1.0)
+        t2 = t * t
+        logm = 2.0 * t * horner(t2, _ATANH_COEFFS)
+        ef = e.astype(DTYPE)
+        out = (ef * _LN2_HI + logm) + ef * _LN2_LO
+        out = np.where(x == 0.0, -np.inf, out)
+        out = np.where(x < 0.0, np.nan, out)
+        out = np.where(np.isinf(x) & (x > 0), np.inf, out)
+        out = np.where(np.isnan(x), np.nan, out)
+    return out
+
+
+def vlog_blocked(x, block: int = 1024, out: np.ndarray | None = None) -> np.ndarray:
+    """Cache-blocked evaluation (see :func:`repro.vmath.exp.vexp_blocked`)."""
+    x = np.asarray(x, dtype=DTYPE)
+    if out is None:
+        out = np.empty_like(x)
+    flat_in = x.reshape(-1)
+    flat_out = out.reshape(-1)
+    for start in range(0, flat_in.size, block):
+        stop = min(start + block, flat_in.size)
+        flat_out[start:stop] = vlog(flat_in[start:stop])
+    return out

@@ -1,0 +1,156 @@
+"""Cache simulator tests: LRU, associativity, hierarchy, aggregates."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP, CacheHierarchy, CacheLevel, working_set_fits
+from repro.arch.spec import CacheSpec
+from repro.errors import ConfigurationError
+
+
+def small_cache(size=1024, line=64, assoc=2):
+    return CacheLevel(CacheSpec("T", size, line_size=line, associativity=assoc))
+
+
+class TestCacheLevel:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.lookup(0)
+        assert c.lookup(0)
+        assert c.stats.misses == 1 and c.stats.hits == 1
+
+    def test_same_line_hits(self):
+        c = small_cache()
+        c.lookup(0)
+        assert c.lookup(63)          # same 64B line
+        assert not c.lookup(64)      # next line
+
+    def test_lru_eviction_within_set(self):
+        c = small_cache(size=1024, line=64, assoc=2)  # 8 sets
+        set_stride = 8 * 64          # addresses mapping to set 0
+        c.lookup(0)
+        c.lookup(set_stride)
+        c.lookup(2 * set_stride)     # evicts addr 0 (LRU)
+        assert not c.lookup(0)
+        assert c.stats.evictions >= 1
+
+    def test_lru_recency_update(self):
+        c = small_cache(size=1024, line=64, assoc=2)
+        s = 8 * 64
+        c.lookup(0)
+        c.lookup(s)
+        c.lookup(0)                  # refresh 0
+        c.lookup(2 * s)              # should evict s, not 0
+        assert c.lookup(0)
+        assert not c.lookup(s)
+
+    def test_contains_is_non_mutating(self):
+        c = small_cache()
+        c.lookup(0)
+        h0 = c.stats.hits
+        assert c.contains(0)
+        assert c.stats.hits == h0
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.lookup(0)
+        c.invalidate()
+        assert not c.contains(0)
+        assert c.resident_lines == 0
+
+    def test_working_set_fits_no_capacity_misses(self):
+        c = small_cache(size=1024, line=64, assoc=2)
+        lines = 1024 // 64
+        for sweep in range(3):
+            for i in range(lines):
+                c.lookup(i * 64)
+        assert c.stats.misses == lines  # cold misses only
+
+    def test_working_set_exceeds_capacity_thrashes(self):
+        c = small_cache(size=1024, line=64, assoc=2)
+        lines = 2 * (1024 // 64)
+        for sweep in range(3):
+            for i in range(lines):
+                c.lookup(i * 64)
+        # Sequential sweep over 2x capacity with LRU: every access misses.
+        assert c.stats.hits == 0
+
+    def test_hit_rate(self):
+        c = small_cache()
+        assert c.stats.hit_rate == 0.0
+        c.lookup(0)
+        c.lookup(0)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def test_miss_cascades_to_dram(self):
+        h = CacheHierarchy(SNB_EP)
+        assert h.access(0) == "DRAM"
+        assert h.dram_accesses == 1
+        assert h.access(0) == "L1"
+
+    def test_l2_catches_l1_evictions(self):
+        h = CacheHierarchy(KNC)
+        l1_lines = 32 * 1024 // 64
+        # Fill beyond L1 but within L2.
+        for i in range(2 * l1_lines):
+            h.access(i * 64)
+        # The first line fell out of L1 but should sit in L2.
+        assert h.access(0) == "L2"
+
+    def test_shared_llc_sliced_per_core(self):
+        h = CacheHierarchy(SNB_EP)
+        l3 = h.levels[-1]
+        assert l3.spec.size == 20 * 1024 * 1024 // 16
+
+    def test_access_range_contiguous(self):
+        h = CacheHierarchy(SNB_EP)
+        n = h.access_range(0, 64 * 10)
+        assert n == 10
+        assert h.access_range(0, 64 * 10) == 0  # all cached now
+
+    def test_access_range_strided(self):
+        h = CacheHierarchy(SNB_EP)
+        touched = h.access_range(0, 64 * 128, stride=128)
+        assert touched == 64  # every other line
+
+    def test_access_range_empty(self):
+        h = CacheHierarchy(SNB_EP)
+        assert h.access_range(0, 0) == 0
+
+    def test_flush_and_reset(self):
+        h = CacheHierarchy(SNB_EP)
+        h.access(0)
+        h.reset_stats()
+        assert h.dram_accesses == 0
+        h.flush()
+        assert h.access(0) == "DRAM"
+
+    def test_stats_by_level(self):
+        h = CacheHierarchy(SNB_EP)
+        h.access(0)
+        stats = h.stats_by_level()
+        assert set(stats) == {"L1", "L2", "L3"}
+        assert stats["L1"].misses == 1
+
+    def test_fits_in(self):
+        h = CacheHierarchy(KNC)
+        assert h.fits_in("L1", 16 * 1024)
+        assert not h.fits_in("L1", 64 * 1024)
+        with pytest.raises(ConfigurationError):
+            h.fits_in("L9", 1)
+
+
+class TestWorkingSetFits:
+    def test_private_level(self):
+        assert working_set_fits(KNC, 500 * 1024, "L2")
+        assert not working_set_fits(KNC, 600 * 1024, "L2")
+
+    def test_shared_level_divided(self):
+        per_core = 20 * 1024 * 1024 // 16
+        assert working_set_fits(SNB_EP, per_core, "L3")
+        assert not working_set_fits(SNB_EP, per_core + 64, "L3")
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigurationError):
+            working_set_fits(SNB_EP, 1, "L4")

@@ -1,0 +1,86 @@
+"""Property-based cache-simulator validation against a reference model.
+
+A set-associative LRU cache has a simple executable specification: per
+set, an ordered list of at most ``assoc`` tags, evicting the
+least-recently-used. Hypothesis drives both the simulator and the
+specification with the same random address streams; hit/miss sequences
+must match exactly.
+"""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import CacheLevel
+from repro.arch.spec import CacheSpec
+
+
+class RefLRU:
+    """Executable specification of set-associative LRU."""
+
+    def __init__(self, size, line, assoc):
+        self.line = line
+        self.assoc = assoc
+        self.n_sets = (size // line) // assoc
+        self.sets = [OrderedDict() for _ in range(self.n_sets)]
+
+    def access(self, addr):
+        tag = addr // self.line
+        s = self.sets[tag % self.n_sets]
+        if tag in s:
+            s.move_to_end(tag)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[tag] = True
+        return False
+
+
+geometries = st.sampled_from([
+    (512, 64, 1),      # direct mapped
+    (1024, 64, 2),
+    (2048, 64, 4),
+    (4096, 64, 8),     # fully... no: 64 lines, 8 ways, 8 sets
+    (512, 64, 8),      # fully associative (8 lines, 8 ways)
+])
+
+
+@given(geometries,
+       st.lists(st.integers(min_value=0, max_value=1 << 14),
+                min_size=1, max_size=400))
+@settings(max_examples=100, deadline=None)
+def test_simulator_matches_specification(geometry, addresses):
+    size, line, assoc = geometry
+    sim = CacheLevel(CacheSpec("T", size, line_size=line,
+                               associativity=assoc))
+    ref = RefLRU(size, line, assoc)
+    for addr in addresses:
+        assert sim.lookup(addr) == ref.access(addr), addr
+
+
+@given(geometries,
+       st.lists(st.integers(min_value=0, max_value=1 << 14),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_stats_consistent(geometry, addresses):
+    size, line, assoc = geometry
+    sim = CacheLevel(CacheSpec("T", size, line_size=line,
+                               associativity=assoc))
+    for addr in addresses:
+        sim.lookup(addr)
+    assert sim.stats.accesses == len(addresses)
+    assert sim.stats.hits + sim.stats.misses == len(addresses)
+    assert sim.resident_lines <= (size // line)
+    # Misses minus evictions equals lines currently resident.
+    assert sim.stats.misses - sim.stats.evictions == sim.resident_lines
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 12),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_immediate_rereference_always_hits(addresses):
+    sim = CacheLevel(CacheSpec("T", 1024, line_size=64, associativity=2))
+    for addr in addresses:
+        sim.lookup(addr)
+        assert sim.lookup(addr)  # the line was just filled

@@ -1,0 +1,241 @@
+"""Cost model tests: issue rules, penalties, throughput and bounds."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP, CostModel, ExecutionContext, cycles_per_item
+from repro.arch.cost import UNALIGNED_EXTRA
+from repro.errors import ConfigurationError
+from repro.simd import OpTrace
+
+
+def trace_with(width=4, items=1, **ops):
+    t = OpTrace(width=width)
+    for name, n in ops.items():
+        t.op(name, n)
+    t.items = items
+    return t
+
+
+class TestIssueRules:
+    def test_snb_mul_add_overlap(self):
+        """Balanced mul/add mixes dual-issue on SNB-EP."""
+        t = trace_with(width=4, mul=100, add=100)
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        assert bd.arith_cycles == pytest.approx(100)
+
+    def test_snb_imbalanced_mix_is_port_bound(self):
+        t = trace_with(width=4, mul=300, add=100)
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        assert bd.arith_cycles == pytest.approx(300)
+
+    def test_knc_single_pipe_sums(self):
+        t = trace_with(width=8, mul=100, add=100)
+        bd = CostModel(KNC).compute_cycles(t)
+        assert bd.arith_cycles == pytest.approx(200)
+
+    def test_fma_one_slot_on_knc(self):
+        t_fma = trace_with(width=8, fma=100)
+        t_split = trace_with(width=8, mul=100, add=100)
+        m = CostModel(KNC)
+        assert (m.compute_cycles(t_fma).arith_cycles
+                < m.compute_cycles(t_split).arith_cycles)
+
+    def test_fma_occupies_both_ports_on_snb(self):
+        """Without an FMA unit, a fused op costs a mul and an add slot."""
+        t = trace_with(width=4, fma=100)
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        assert bd.arith_cycles == pytest.approx(100)
+        # ...so fma+mul mix can't hide the mul.
+        t2 = trace_with(width=4, fma=100, mul=100)
+        bd2 = CostModel(SNB_EP).compute_cycles(t2)
+        assert bd2.arith_cycles == pytest.approx(200)
+
+    def test_div_long_latency(self):
+        t = trace_with(width=4, div=10)
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        assert bd.arith_cycles >= 200
+
+    def test_ooo_overlaps_mem_with_alu(self):
+        t = trace_with(width=4, mul=100)
+        t.load(200)
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        # loads at 2/cycle fully hide under 100 mul cycles
+        assert bd.total_cycles == pytest.approx(100)
+
+    def test_inorder_mem_shares_pipe(self):
+        t = trace_with(width=8, mul=100)
+        t.load(100)
+        bd = CostModel(KNC).compute_cycles(t)
+        assert bd.total_cycles == pytest.approx(200)
+
+
+class TestPenalties:
+    def test_unaligned_load_extra(self):
+        for arch, cls in ((SNB_EP, "ooo"), (KNC, "inorder")):
+            t0 = trace_with(width=arch.simd_width_dp, mul=1)
+            t0.load(10)
+            t1 = trace_with(width=arch.simd_width_dp, mul=1)
+            t1.load(10, aligned=False)
+            m = CostModel(arch)
+            diff = (m.compute_cycles(t1).mem_cycles
+                    - m.compute_cycles(t0).mem_cycles)
+            assert diff == pytest.approx(10 * UNALIGNED_EXTRA[cls])
+
+    def test_gather_cost_scales_with_lines(self):
+        t1 = trace_with(width=8, mul=1)
+        t1.gather(10, lines_per_access=1)
+        t8 = trace_with(width=8, mul=1)
+        t8.gather(10, lines_per_access=8)
+        m = CostModel(KNC)
+        assert (m.compute_cycles(t8).gather_cycles
+                == 8 * m.compute_cycles(t1).gather_cycles)
+
+    def test_load_cost_factor(self):
+        t = trace_with(width=4, mul=1)
+        t.load(100)
+        m = CostModel(SNB_EP)
+        base = m.compute_cycles(t).mem_cycles
+        spill = m.compute_cycles(
+            t, ExecutionContext(load_cost_factor=2.0)).mem_cycles
+        assert spill == pytest.approx(2 * base)
+
+    def test_scalar_transcendental_penalty_inorder(self):
+        tv = OpTrace(width=8)
+        tv.transcendental("exp", 1000)
+        ts = OpTrace(width=1)
+        ts.transcendental("exp", 1000)
+        m = CostModel(KNC)
+        ratio = (m.compute_cycles(ts).transcendental_cycles
+                 / m.compute_cycles(tv).transcendental_cycles)
+        assert ratio == pytest.approx(5.5)
+
+    def test_scalar_transcendental_penalty_factor_ooo_smaller(self):
+        """The scalar/vector blow-up factor is smaller out of order."""
+        def factor(arch, width):
+            tv = OpTrace(width=width)
+            tv.transcendental("exp", 1000)
+            ts = OpTrace(width=1)
+            ts.transcendental("exp", 1000)
+            m = CostModel(arch)
+            return (m.compute_cycles(ts).transcendental_cycles
+                    / m.compute_cycles(tv).transcendental_cycles)
+        assert factor(SNB_EP, 4) < factor(KNC, 8)
+
+
+class TestStalls:
+    def test_inorder_dependent_chain_stalls(self):
+        t = trace_with(width=8, items=1, fma=100)
+        t.dependent_ops = 100
+        m = CostModel(KNC)
+        stalled = m.compute_cycles(t, ExecutionContext(unrolled=False))
+        unrolled = m.compute_cycles(t, ExecutionContext(unrolled=True))
+        assert stalled.stall_cycles > 0
+        assert unrolled.stall_cycles == 0
+
+    def test_ooo_hides_vector_chains(self):
+        t = trace_with(width=4, items=1, fma=100)
+        t.dependent_ops = 100
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        assert bd.stall_cycles == 0
+
+    def test_ooo_scalar_loop_carried_chain_stalls(self):
+        t = OpTrace(width=1)
+        t.scalar_ops = 100
+        t.dependent_ops = 100
+        t.items = 1
+        bd = CostModel(SNB_EP).compute_cycles(t)
+        assert bd.stall_cycles > 0
+
+    def test_smt_hides_scalar_chain(self):
+        t = OpTrace(width=1)
+        t.scalar_ops = 100
+        t.dependent_ops = 100
+        t.items = 1
+        m = CostModel(SNB_EP)
+        one = m.compute_cycles(t, ExecutionContext(smt_threads=1))
+        two = m.compute_cycles(t, ExecutionContext(smt_threads=2))
+        assert two.stall_cycles == pytest.approx(one.stall_cycles / 2)
+
+    def test_knc_single_thread_issue_penalty(self):
+        t = trace_with(width=8, mul=100)
+        m = CostModel(KNC)
+        one = m.compute_cycles(t, ExecutionContext(smt_threads=1))
+        two = m.compute_cycles(t, ExecutionContext(smt_threads=2))
+        assert one.arith_cycles == pytest.approx(2 * two.arith_cycles)
+
+
+class TestTimeAndThroughput:
+    def test_compute_bound_seconds(self):
+        t = trace_with(width=4, items=1000, mul=16_000, add=16_000)
+        m = CostModel(SNB_EP)
+        secs = m.seconds(t)
+        expected = 16_000 / (2.7e9 * 16)
+        assert secs == pytest.approx(expected, rel=1e-6)
+
+    def test_bandwidth_bound_seconds(self):
+        t = trace_with(width=4, items=1000, mul=1)
+        t.dram(read=76_000_000)   # 1ms at 76 GB/s
+        assert CostModel(SNB_EP).seconds(t) == pytest.approx(1e-3)
+
+    def test_throughput_inverse_of_seconds(self):
+        t = trace_with(width=4, items=500, mul=10_000)
+        m = CostModel(SNB_EP)
+        assert m.throughput(t) == pytest.approx(500 / m.seconds(t))
+
+    def test_no_streaming_stores_adds_rfo(self):
+        t = trace_with(width=4, items=1, mul=1)
+        t.dram(written=1_000_000)
+        m = CostModel(SNB_EP)
+        with_ss = m.seconds(t, ExecutionContext(streaming_stores=True))
+        without = m.seconds(t, ExecutionContext(streaming_stores=False))
+        assert without == pytest.approx(2 * with_ss)
+
+    def test_is_bandwidth_bound(self):
+        stream = trace_with(width=4, items=1, mul=1)
+        stream.dram(read=10**9)
+        compute = trace_with(width=4, items=1, div=10**6)
+        m = CostModel(SNB_EP)
+        assert m.is_bandwidth_bound(stream)
+        assert not m.is_bandwidth_bound(compute)
+
+    def test_cores_bounds_checked(self):
+        t = trace_with(width=4, items=1, mul=1)
+        m = CostModel(SNB_EP)
+        with pytest.raises(ConfigurationError):
+            m.seconds(t, cores=0)
+        with pytest.raises(ConfigurationError):
+            m.seconds(t, cores=17)
+
+    def test_throughput_requires_items(self):
+        t = OpTrace(width=4)
+        t.op("mul", 1)
+        with pytest.raises(ConfigurationError):
+            CostModel(SNB_EP).throughput(t)
+
+    def test_cycles_per_item_helper(self):
+        t = trace_with(width=4, items=10, mul=100, add=100)
+        assert cycles_per_item(t, SNB_EP) == pytest.approx(10.0)
+
+
+class TestCrossArchitectureSanity:
+    def test_vector_flops_favor_knc(self):
+        """Pure balanced flops: KNC chip should win by ~3x (Table I)."""
+        t = trace_with(width=4, items=1000, fma=100_000)
+        t8 = trace_with(width=8, items=1000, fma=50_000)
+        ctx = ExecutionContext(unrolled=True)
+        snb = CostModel(SNB_EP).throughput(t, ctx)
+        knc = CostModel(KNC).throughput(t8, ctx)
+        assert 2.5 < knc / snb < 3.5
+
+    def test_scalar_code_favors_snb_per_core(self):
+        """One OOO core runs scalar code far faster than one KNC core;
+        at chip level the 60 cores roughly cancel it (Sec. IV-E3)."""
+        t = OpTrace(width=1)
+        t.scalar_ops = 1_000_000
+        t.items = 1000
+        snb = CostModel(SNB_EP).throughput(t, cores=1)
+        knc = CostModel(KNC).throughput(t, cores=1)
+        assert snb > 2 * knc
+        chip_ratio = (CostModel(KNC).throughput(t)
+                      / CostModel(SNB_EP).throughput(t))
+        assert 0.7 < chip_ratio < 1.5

@@ -1,0 +1,40 @@
+"""Host-calibration tests (light: micro-benchmarks are noisy)."""
+
+import pytest
+
+from repro.arch import (calibrate_host, measure_flops,
+                        measure_stream_bandwidth, ridge_intensity,
+                        roofline, black_scholes_resource)
+from repro.errors import ConfigurationError
+
+
+class TestMeasurements:
+    def test_bandwidth_positive_and_sane(self):
+        bw = measure_stream_bandwidth(nbytes=8 * 1024 * 1024, repeats=2)
+        assert 0.1 < bw < 10_000  # GB/s
+
+    def test_flops_positive_and_sane(self):
+        gf = measure_flops(repeats=2)
+        assert 0.01 < gf < 10_000
+
+    def test_tiny_measurement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_stream_bandwidth(nbytes=100)
+
+
+class TestCalibratedSpec:
+    @pytest.fixture(scope="class")
+    def host(self):
+        return calibrate_host()
+
+    def test_spec_is_self_consistent(self, host):
+        host.validate_against_table1()
+
+    def test_usable_in_roofline(self, host):
+        rb = roofline(host, black_scholes_resource())
+        assert rb.bound > 0
+        assert ridge_intensity(host) > 0
+
+    def test_single_core(self, host):
+        assert host.total_cores == 1
+        assert host.total_threads == 1

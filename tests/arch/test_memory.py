@@ -1,0 +1,63 @@
+"""Memory/bandwidth model tests."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP, MemoryModel, Traffic, store_traffic
+from repro.errors import ConfigurationError
+
+
+class TestTraffic:
+    def test_total(self):
+        t = Traffic(read=100, written=50, rfo=25)
+        assert t.total == 175
+
+    def test_add(self):
+        t = Traffic(1, 2, 3) + Traffic(10, 20, 30)
+        assert (t.read, t.written, t.rfo) == (11, 22, 33)
+
+    def test_scaled(self):
+        t = Traffic(100, 200, 300).scaled(0.5)
+        assert (t.read, t.written, t.rfo) == (50, 100, 150)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Traffic(read=-1)
+
+
+class TestStoreTraffic:
+    def test_streaming_store_skips_rfo(self):
+        t = store_traffic(1000, streaming_stores=True)
+        assert t.written == 1000 and t.rfo == 0
+
+    def test_normal_store_pays_rfo(self):
+        t = store_traffic(1000, streaming_stores=False)
+        assert t.written == 1000 and t.rfo == 1000
+        assert t.total == 2000
+
+
+class TestMemoryModel:
+    def test_seconds_at_stream_bandwidth(self):
+        m = MemoryModel(SNB_EP)
+        assert m.seconds(Traffic(read=76_000_000_000)) == pytest.approx(1.0)
+
+    def test_efficiency_scales_time(self):
+        full = MemoryModel(KNC, efficiency=1.0)
+        half = MemoryModel(KNC, efficiency=0.5)
+        t = Traffic(read=10**9)
+        assert half.seconds(t) == pytest.approx(2 * full.seconds(t))
+
+    def test_bad_efficiency(self):
+        for eff in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                MemoryModel(SNB_EP, efficiency=eff)
+
+    def test_black_scholes_b_over_40_bound(self):
+        """The paper's Fig. 4 bound: B/40 options per second."""
+        snb = MemoryModel(SNB_EP).bandwidth_bound_rate(40)
+        knc = MemoryModel(KNC).bandwidth_bound_rate(40)
+        assert snb == pytest.approx(76e9 / 40)
+        assert knc == pytest.approx(150e9 / 40)
+
+    def test_bound_requires_positive_bytes(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(SNB_EP).bandwidth_bound_rate(0)

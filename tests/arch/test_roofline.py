@@ -1,0 +1,103 @@
+"""Roofline bound tests against the paper's published ceilings."""
+
+import pytest
+
+from repro.arch import (KNC, SNB_EP, KernelResource, attainable_gflops,
+                        binomial_resource, black_scholes_resource,
+                        brownian_resource, ridge_intensity, roofline)
+from repro.errors import ConfigurationError
+
+
+class TestRoofline:
+    def test_bandwidth_bound_kernel(self):
+        res = KernelResource("stream", flops_per_item=1,
+                             dram_bytes_per_item=1000)
+        rb = roofline(SNB_EP, res)
+        assert rb.binding == "bandwidth"
+        assert rb.bound == pytest.approx(76e9 / 1000)
+
+    def test_compute_bound_kernel(self):
+        res = KernelResource("dense", flops_per_item=10**6,
+                             dram_bytes_per_item=8)
+        rb = roofline(SNB_EP, res)
+        assert rb.binding == "compute"
+        assert rb.bound == pytest.approx(SNB_EP.peak_dp_gflops * 1e9 / 1e6)
+
+    def test_zero_traffic_means_infinite_bw_bound(self):
+        res = KernelResource("cached", flops_per_item=100,
+                             dram_bytes_per_item=0)
+        assert roofline(KNC, res).bandwidth_bound == float("inf")
+
+    def test_flop_efficiency_lowers_compute_ceiling(self):
+        full = KernelResource("a", 1000, 0, flop_efficiency=1.0)
+        half = KernelResource("a", 1000, 0, flop_efficiency=0.5)
+        assert (roofline(KNC, half).compute_bound
+                == pytest.approx(roofline(KNC, full).compute_bound / 2))
+
+    def test_invalid_resources(self):
+        with pytest.raises(ConfigurationError):
+            KernelResource("x", -1, 0)
+        with pytest.raises(ConfigurationError):
+            KernelResource("x", 1, 0, flop_efficiency=0)
+
+
+class TestRidgeAndAttainable:
+    def test_ridge_intensity(self):
+        # peak / bandwidth: SNB ~4.5 flops/byte, KNC ~7 flops/byte.
+        assert ridge_intensity(SNB_EP) == pytest.approx(345.6 / 76.0)
+        assert ridge_intensity(KNC) == pytest.approx(1046.4 / 150.0)
+
+    def test_attainable_below_ridge_is_linear(self):
+        assert attainable_gflops(SNB_EP, 1.0) == pytest.approx(76.0)
+
+    def test_attainable_above_ridge_is_flat(self):
+        assert attainable_gflops(SNB_EP, 100.0) == pytest.approx(
+            SNB_EP.peak_dp_gflops)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            attainable_gflops(SNB_EP, -1.0)
+
+
+class TestPaperResources:
+    def test_black_scholes_bound_matches_b_over_40(self):
+        res = black_scholes_resource()
+        assert roofline(SNB_EP, res).bandwidth_bound == pytest.approx(1.9e9)
+        assert roofline(KNC, res).bandwidth_bound == pytest.approx(3.75e9)
+
+    def test_black_scholes_is_bandwidth_bound_once_optimized(self):
+        # 200 flops / 40 bytes = 5 flops/byte is just above SNB's ridge
+        # and below KNC's: the paper's "SNB near the bound, KNC more
+        # compute-bound" split.
+        res = black_scholes_resource()
+        assert roofline(SNB_EP, res).binding == "compute"
+        snb_gap = (roofline(SNB_EP, res).compute_bound
+                   / roofline(SNB_EP, res).bandwidth_bound)
+        assert 0.8 < snb_gap < 1.0  # nearly at the bandwidth roof
+
+    def test_binomial_flops_formula(self):
+        res = binomial_resource(1024)
+        assert res.flops_per_item == pytest.approx(1.5 * 1024 * 1025)
+
+    def test_binomial_bound_scale_with_steps(self):
+        b1 = roofline(KNC, binomial_resource(1024)).compute_bound
+        b2 = roofline(KNC, binomial_resource(2048)).compute_bound
+        assert b1 / b2 == pytest.approx(4.0, rel=0.01)
+
+    def test_binomial_bound_values(self):
+        # Fig. 5's line: ~165 Kopts/s SNB, ~500 Kopts/s KNC at N=1024.
+        assert roofline(SNB_EP, binomial_resource(1024)).compute_bound \
+            == pytest.approx(164.6e3, rel=0.01)
+        assert roofline(KNC, binomial_resource(1024)).compute_bound \
+            == pytest.approx(498.5e3, rel=0.01)
+
+    def test_binomial_validates_steps(self):
+        with pytest.raises(ConfigurationError):
+            binomial_resource(0)
+
+    def test_brownian_streamed_vs_interleaved(self):
+        streamed = brownian_resource(64, streamed_rng=True)
+        cached = brownian_resource(64, streamed_rng=False)
+        assert streamed.dram_bytes_per_item > 0
+        assert cached.dram_bytes_per_item == 0
+        assert roofline(KNC, streamed).binding == "bandwidth"

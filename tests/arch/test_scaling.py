@@ -1,0 +1,60 @@
+"""Multicore scaling model tests."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP, ScalingModel, strong_scaling_curve
+from repro.errors import ConfigurationError
+
+
+class TestScalingModel:
+    def test_perfect_parallel_limit(self):
+        m = ScalingModel(serial_fraction=0.0, sync_overhead_s=0.0)
+        assert m.time(16.0, 0, SNB_EP, 16) == pytest.approx(1.0)
+        assert m.speedup(16.0, 0, SNB_EP, 16) == pytest.approx(16.0)
+
+    def test_amdahl_limits_speedup(self):
+        m = ScalingModel(serial_fraction=0.1, sync_overhead_s=0.0)
+        s = m.speedup(1.0, 0, KNC, 60)
+        assert s < 1.0 / 0.1  # Amdahl ceiling
+        assert s == pytest.approx(1.0 / (0.1 + 0.9 / 60))
+
+    def test_bandwidth_floor(self):
+        m = ScalingModel(serial_fraction=0.0, sync_overhead_s=0.0)
+        # 76 GB of traffic: 1 second at full SNB bandwidth no matter the cores.
+        t = m.time(0.5, 76e9, SNB_EP, 16)
+        assert t == pytest.approx(1.0)
+
+    def test_efficiency_declines(self):
+        m = ScalingModel(serial_fraction=0.01)
+        e2 = m.efficiency(1.0, 0, SNB_EP, 2)
+        e16 = m.efficiency(1.0, 0, SNB_EP, 16)
+        assert e2 > e16
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ScalingModel(serial_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            ScalingModel(sync_overhead_s=-1.0)
+
+    def test_invalid_cores(self):
+        m = ScalingModel()
+        with pytest.raises(ConfigurationError):
+            m.time(1.0, 0, SNB_EP, 0)
+        with pytest.raises(ConfigurationError):
+            m.time(1.0, 0, SNB_EP, 64)
+
+
+class TestCurve:
+    def test_curve_covers_doublings_and_total(self):
+        m = ScalingModel()
+        pts = strong_scaling_curve(m, 1.0, 0, KNC)
+        cores = [c for c, _, _ in pts]
+        assert cores[0] == 1
+        assert cores[-1] == 60
+        assert 32 in cores
+
+    def test_curve_monotone_speedup(self):
+        m = ScalingModel(serial_fraction=1e-4)
+        pts = strong_scaling_curve(m, 10.0, 0, SNB_EP)
+        speedups = [s for _, _, s in pts]
+        assert speedups == sorted(speedups)

@@ -1,0 +1,61 @@
+"""Topology and placement tests."""
+
+import pytest
+
+from repro.arch import (KNC, SNB_EP, enumerate_threads, place,
+                        placement_summary)
+from repro.errors import ConfigurationError
+
+
+class TestEnumeration:
+    def test_counts(self):
+        assert len(enumerate_threads(SNB_EP)) == 32
+        assert len(enumerate_threads(KNC)) == 240
+
+    def test_coordinates_unique(self):
+        threads = enumerate_threads(SNB_EP)
+        assert len({(t.socket, t.core, t.smt) for t in threads}) == 32
+
+
+class TestPlacement:
+    def test_scatter_spreads_cores_first(self):
+        chosen = place(SNB_EP, 16, policy="scatter")
+        assert len({t.global_core for t in chosen}) == 16
+        assert all(t.smt == 0 for t in chosen)
+
+    def test_compact_packs_smt_first(self):
+        chosen = place(SNB_EP, 4, policy="compact")
+        assert len({t.global_core for t in chosen}) == 2
+        assert {t.smt for t in chosen} == {0, 1}
+
+    def test_scatter_wraps_to_smt_after_all_cores(self):
+        chosen = place(SNB_EP, 20, policy="scatter")
+        smt1 = [t for t in chosen if t.smt == 1]
+        assert len(smt1) == 4
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            place(SNB_EP, 0)
+        with pytest.raises(ConfigurationError):
+            place(SNB_EP, 33)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            place(SNB_EP, 4, policy="spiral")
+
+
+class TestSummary:
+    def test_scatter_summary(self):
+        s = placement_summary(KNC, 60, policy="scatter")
+        assert s.active_cores == 60
+        assert s.threads_per_core == pytest.approx(1.0)
+
+    def test_full_occupancy(self):
+        s = placement_summary(KNC, 240, policy="compact")
+        assert s.active_cores == 60
+        assert s.threads_per_core == pytest.approx(4.0)
+
+    def test_compact_few_threads(self):
+        s = placement_summary(SNB_EP, 2, policy="compact")
+        assert s.active_cores == 1
+        assert s.threads_per_core == pytest.approx(2.0)

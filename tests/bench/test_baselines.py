@@ -1,0 +1,51 @@
+"""Golden-baseline regression tests.
+
+``baselines/*.json`` pin the modeled numbers of every paper artifact at
+release time. Any change to the cost model, a kernel's trace synthesis
+or an architecture preset that shifts a figure shows up here as an
+explicit diff — re-baselining is a deliberate act (regenerate with
+``python -m repro experiment <id> --format json``), not an accident.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.bench import from_json, run_experiment
+from repro.bench.experiments import PAPER_EXPERIMENTS
+
+BASELINES = Path(__file__).resolve().parents[2] / "baselines"
+
+
+def _cells_close(a, b, rel=1e-9):
+    if isinstance(a, float) or isinstance(b, float):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) and math.isnan(fb):
+            return True
+        return math.isclose(fa, fb, rel_tol=rel, abs_tol=1e-12)
+    return a == b
+
+
+class TestBaselinesPresent:
+    def test_every_paper_experiment_has_a_baseline(self):
+        for exp_id in PAPER_EXPERIMENTS:
+            assert (BASELINES / f"{exp_id}.json").exists(), exp_id
+
+    def test_baselines_are_valid_json(self):
+        for path in BASELINES.glob("*.json"):
+            json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("exp_id", sorted(PAPER_EXPERIMENTS))
+class TestRegeneration:
+    def test_matches_baseline(self, exp_id):
+        baseline = from_json((BASELINES / f"{exp_id}.json").read_text())
+        fresh = run_experiment(exp_id)
+        assert tuple(fresh.headers) == baseline.headers
+        assert len(fresh.rows) == len(baseline.rows), exp_id
+        for got, want in zip(fresh.rows, baseline.rows):
+            assert len(got) == len(want)
+            for g, w in zip(got, want):
+                assert _cells_close(g, w), (exp_id, got, want)

@@ -1,0 +1,70 @@
+"""Experiment export tests: JSON round-trip, CSV shape, dispatch."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench import from_json, render, run_experiment, to_csv, to_json
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def tab1():
+    return run_experiment("tab1")
+
+
+class TestJSON:
+    def test_valid_json(self, tab1):
+        doc = json.loads(to_json(tab1))
+        assert doc["exp_id"] == "tab1"
+        assert len(doc["rows"]) == 2
+
+    def test_roundtrip(self, tab1):
+        back = from_json(to_json(tab1))
+        assert back.exp_id == tab1.exp_id
+        assert back.headers == tuple(tab1.headers)
+        assert [tuple(r) for r in back.rows] \
+            == [tuple(r) for r in tab1.rows]
+        assert back.notes == tab1.notes
+
+    def test_numpy_scalars_serialisable(self):
+        """Figure experiments carry numpy floats — they must export."""
+        for exp_id in ("fig4", "tab2"):
+            json.loads(to_json(run_experiment(exp_id)))
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ExperimentError):
+            from_json('{"title": "x"}')
+
+
+class TestCSV:
+    def test_parsable_with_header(self, tab1):
+        text = to_csv(tab1)
+        data_lines = [l for l in text.splitlines()
+                      if not l.startswith("#")]
+        rows = list(csv.reader(io.StringIO("\n".join(data_lines))))
+        assert tuple(rows[0]) == tuple(str(h) for h in tab1.headers)
+        assert len(rows) == 1 + len(tab1.rows)
+
+    def test_notes_become_comments(self, tab1):
+        assert to_csv(tab1).startswith("# ")
+
+
+class TestRender:
+    def test_all_formats(self, tab1):
+        assert "SNB-EP" in render(tab1, "text")
+        assert '"exp_id"' in render(tab1, "json")
+        assert "platform," in render(tab1, "csv")
+
+    def test_unknown_format(self, tab1):
+        with pytest.raises(ExperimentError):
+            render(tab1, "yaml")
+
+    def test_every_experiment_exports_everywhere(self):
+        for exp_id in EXPERIMENTS:
+            result = run_experiment(exp_id)
+            for fmt in ("text", "json", "csv"):
+                assert render(result, fmt)

@@ -1,0 +1,60 @@
+"""Functional-harness tests: workload builders and timing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (TimedRun, binomial_workload, brownian_randoms,
+                         bs_workload, cn_workload, mc_workload, time_run)
+from repro.config import SMALL_SIZES
+from repro.errors import ExperimentError
+from repro.pricing import ExerciseStyle
+
+
+class TestTimeRun:
+    def test_measures_and_rates(self):
+        r = time_run("t", lambda: sum(range(1000)), items=1000)
+        assert isinstance(r, TimedRun)
+        assert r.seconds > 0
+        assert r.rate == pytest.approx(1000 / r.seconds)
+
+    def test_best_of_repeats(self):
+        calls = []
+        time_run("t", lambda: calls.append(1), items=1, repeats=5)
+        assert len(calls) == 5
+
+    def test_repeats_validated(self):
+        with pytest.raises(ExperimentError):
+            time_run("t", lambda: None, items=1, repeats=0)
+
+
+class TestWorkloadBuilders:
+    def test_bs_workload_size_and_layout(self):
+        b = bs_workload(SMALL_SIZES, layout="aos")
+        assert len(b) == SMALL_SIZES.black_scholes_nopt
+        assert b.layout == "aos"
+
+    def test_bs_workload_deterministic(self):
+        a = bs_workload(SMALL_SIZES)
+        b = bs_workload(SMALL_SIZES)
+        assert np.array_equal(a.S, b.S)
+
+    def test_binomial_workload(self):
+        opts = binomial_workload(SMALL_SIZES)
+        assert len(opts) == SMALL_SIZES.binomial_nopt
+        assert all(80 <= o.strike <= 120 for o in opts)
+
+    def test_brownian_randoms_sized_for_paths(self):
+        z = brownian_randoms(SMALL_SIZES)
+        assert z.size == (SMALL_SIZES.brownian_paths
+                          * SMALL_SIZES.brownian_steps)
+        assert abs(z.mean()) < 0.05
+
+    def test_mc_workload(self):
+        S, X, T, z = mc_workload(SMALL_SIZES)
+        assert S.shape == (SMALL_SIZES.mc_nopt,)
+        assert z.size == SMALL_SIZES.mc_path_length
+
+    def test_cn_workload_all_american_puts(self):
+        opts = cn_workload(SMALL_SIZES)
+        assert len(opts) == SMALL_SIZES.cn_nopt
+        assert all(o.style is ExerciseStyle.AMERICAN for o in opts)

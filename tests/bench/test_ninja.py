@@ -1,0 +1,43 @@
+"""Ninja-gap computation tests."""
+
+import pytest
+
+from repro.bench import GAP_KERNELS, ninja_gaps, ninja_table
+
+
+class TestNinjaGaps:
+    def test_per_kernel_gaps_positive(self):
+        for kernel in GAP_KERNELS:
+            gaps = ninja_gaps(kernel)
+            assert gaps["SNB-EP"] >= 1.0
+            assert gaps["KNC"] >= 1.0
+
+    def test_knc_gap_at_least_snb_for_most_kernels(self):
+        larger = sum(
+            ninja_gaps(k)["KNC"] >= ninja_gaps(k)["SNB-EP"]
+            for k in GAP_KERNELS
+        )
+        assert larger >= 4  # the paper's qualitative conclusion
+
+    def test_table_shape(self):
+        rows, (snb, knc) = ninja_table()
+        assert len(rows) == len(GAP_KERNELS)
+        assert knc > snb
+
+    def test_geomean_is_geometric(self):
+        rows, (snb, _) = ninja_table()
+        prod = 1.0
+        for _, s, _ in rows:
+            prod *= s
+        assert snb == pytest.approx(prod ** (1 / len(rows)), abs=0.01)
+
+    def test_averages_in_paper_ballpark(self):
+        _, (snb, knc) = ninja_table()
+        assert 1.3 < snb < 4.0   # paper: 1.9
+        assert 2.5 < knc < 8.0   # paper: 4.0
+
+    def test_monte_carlo_gap_is_smallest(self):
+        """Sec. IV-D: MC reaches peak with basic optimizations only —
+        its gap must be the smallest of the suite."""
+        gaps = {k: ninja_gaps(k)["SNB-EP"] for k in GAP_KERNELS}
+        assert gaps["monte_carlo"] == min(gaps.values())

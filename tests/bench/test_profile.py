@@ -1,0 +1,99 @@
+"""Cycle-profile (VTune stand-in) tests."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP, ExecutionContext
+from repro.bench import format_profile, hotspot, profile_trace
+from repro.errors import ExperimentError
+from repro.kernels import build_model
+from repro.simd import OpTrace
+
+
+def _trace(**kw):
+    t = OpTrace(width=4)
+    t.items = kw.pop("items", 10)
+    for k, v in kw.items():
+        if k == "exp":
+            t.transcendental("exp", v)
+        elif k == "loads":
+            t.load(v)
+        else:
+            t.op(k, v)
+    return t
+
+
+class TestProfileTrace:
+    def test_fractions_sum_to_one(self):
+        t = _trace(mul=100, add=50, exp=200, loads=30)
+        prof = profile_trace(t, KNC)
+        assert sum(p.fraction for p in prof) == pytest.approx(1.0)
+
+    def test_categories_complete(self):
+        prof = profile_trace(_trace(mul=10), SNB_EP)
+        names = {p.category for p in prof}
+        assert names == {"arithmetic", "transcendental", "memory issue",
+                         "gather/scatter", "loop overhead",
+                         "dependency stalls"}
+
+    def test_per_item_normalisation(self):
+        t1 = _trace(mul=100, items=10)
+        t2 = _trace(mul=200, items=20)
+        p1 = profile_trace(t1, KNC)[0].cycles_per_item
+        p2 = profile_trace(t2, KNC)[0].cycles_per_item
+        assert p1 == pytest.approx(p2)
+
+    def test_requires_items(self):
+        t = OpTrace(width=4)
+        t.op("mul", 1)
+        with pytest.raises(ExperimentError):
+            profile_trace(t, KNC)
+
+    def test_ooo_memory_hidden_under_alu(self):
+        """On SNB-EP a load stream lighter than the ALU stream should
+        show ~zero visible memory cycles."""
+        t = _trace(mul=1000, loads=100)
+        prof = {p.category: p for p in profile_trace(t, SNB_EP)}
+        assert prof["memory issue"].cycles_per_item == 0.0
+
+    def test_inorder_memory_visible(self):
+        t = _trace(mul=1000, loads=100)
+        t8 = OpTrace(width=8)
+        t8.op("mul", 1000)
+        t8.load(100)
+        t8.items = 10
+        prof = {p.category: p for p in profile_trace(t8, KNC)}
+        assert prof["memory issue"].cycles_per_item > 0
+
+
+class TestHotspot:
+    def test_transcendental_dominates_black_scholes(self):
+        """The profile must explain Fig. 4: Black-Scholes is math-library
+        bound at every tier."""
+        km = build_model("black_scholes")
+        for arch in ("SNB-EP", "KNC"):
+            for tp in km.ladder(arch):
+                spot = hotspot(tp.trace, tp.arch, tp.ctx)
+                assert spot.category == "transcendental", (arch,
+                                                           tp.tier.label)
+
+    def test_binomial_reference_hotspot_is_memory_or_arith(self):
+        km = build_model("binomial")
+        tp = km.reference("SNB-EP")
+        spot = hotspot(tp.trace, tp.arch, tp.ctx)
+        assert spot.category in ("memory issue", "arithmetic")
+
+    def test_cn_reference_hotspot_is_stalls_or_arith(self):
+        """Fig. 8's story: scalar GSOR is latency/ALU bound."""
+        km = build_model("crank_nicolson")
+        tp = km.reference("SNB-EP")
+        spot = hotspot(tp.trace, tp.arch, tp.ctx)
+        assert spot.category in ("dependency stalls", "arithmetic")
+
+
+class TestFormat:
+    def test_report_renders(self):
+        km = build_model("black_scholes")
+        out = format_profile(km, "KNC")
+        assert "black_scholes on KNC" in out
+        assert "transcendental" in out
+        assert "#" in out

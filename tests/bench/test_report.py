@@ -1,0 +1,63 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.bench import format_table, ladder_bars, stacked_bars
+from repro.bench.experiments import ExperimentResult
+from repro.errors import ExperimentError
+from repro.kernels import build_model
+
+
+class TestFormatTable:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="x", title="A title",
+            headers=("name", "value"),
+            rows=[("alpha", 1.5), ("beta", 2.25)],
+            notes=["a note"],
+        )
+
+    def test_contains_everything(self):
+        out = format_table(self._result())
+        assert "A title" in out
+        assert "alpha" in out and "1.5" in out
+        assert "note: a note" in out
+
+    def test_columns_aligned(self):
+        out = format_table(self._result())
+        lines = out.splitlines()
+        header = next(l for l in lines if l.startswith("name"))
+        sep = next(l for l in lines if l.startswith("-"))
+        assert len(header.rstrip()) <= len(sep) + 2
+
+    def test_row_width_mismatch_detected(self):
+        bad = ExperimentResult("x", "t", ("a", "b"), rows=[(1,)])
+        with pytest.raises(ExperimentError):
+            format_table(bad)
+
+
+class TestStackedBars:
+    def test_bars_scale_to_peak(self):
+        out = stacked_bars({"A": [("t1", 50.0), ("t2", 100.0)]}, width=40)
+        lines = [l for l in out.splitlines() if "|" in l]
+        fills = [l.split("|")[1].count("#") for l in lines]
+        assert fills[1] == 40
+        assert fills[0] == 20
+
+    def test_multi_group(self):
+        out = stacked_bars({"A": [("x", 1.0)], "B": [("x", 2.0)]})
+        assert "A:" in out and "B:" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            stacked_bars({})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ExperimentError):
+            stacked_bars({"A": [("x", 0.0)]})
+
+    def test_ladder_bars_runs_on_real_model(self):
+        km = build_model("black_scholes")
+        out = ladder_bars(km, scale=1e-6, unit="M")
+        assert "SNB-EP:" in out and "KNC:" in out
+        assert "#" in out

@@ -1,0 +1,54 @@
+"""Strong-scaling experiment tests."""
+
+import pytest
+
+from repro.bench import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("scaling")
+
+
+def _series(result, kernel, platform):
+    return [(r[2], r[4]) for r in result.rows
+            if r[0] == kernel and r[1] == platform]
+
+
+class TestScaling:
+    def test_speedup_monotone_everywhere(self, result):
+        kernels = {r[0] for r in result.rows}
+        for k in kernels:
+            for p in ("SNB-EP", "KNC"):
+                sp = [s for _, s in _series(result, k, p)]
+                assert sp == sorted(sp), (k, p)
+
+    def test_compute_bound_kernels_scale_linearly(self, result):
+        for k in ("binomial", "monte_carlo", "crank_nicolson"):
+            series = _series(result, k, "KNC")
+            cores, speedup = series[-1]
+            assert cores == 60
+            assert speedup > 0.95 * 60
+
+    def test_bandwidth_bound_tier_flatlines(self, result):
+        series = _series(result, "brownian (streamed RNG)", "KNC")
+        cores, speedup = series[-1]
+        assert cores == 60
+        assert speedup < 0.5 * 60  # the wall
+
+    def test_flatline_is_at_the_dram_bound(self, result):
+        """Saturated throughput equals bandwidth / bytes-per-path."""
+        rows = [r for r in result.rows
+                if r[0] == "brownian (streamed RNG)" and r[1] == "KNC"]
+        saturated = rows[-1][3]
+        bytes_per_path = 64 * 8 + 65 * 8
+        assert saturated == pytest.approx(150e9 / bytes_per_path,
+                                          rel=1e-6)
+
+    def test_notes_name_the_wall(self, result):
+        assert any("bandwidth wall" in n for n in result.notes)
+
+    def test_single_core_speedup_is_one(self, result):
+        for r in result.rows:
+            if r[2] == 1:
+                assert r[4] == pytest.approx(1.0)

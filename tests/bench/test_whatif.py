@@ -1,0 +1,72 @@
+"""Architectural what-if study tests."""
+
+import math
+
+import pytest
+
+from repro.arch import KNC, SNB_EP
+from repro.bench import run_experiment
+from repro.bench.whatif import VARIANTS, derive
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("whatif")
+
+
+def _speedup(result, kernel, variant):
+    for k, v, s in result.rows:
+        if k == kernel and v == variant:
+            return s
+    raise KeyError((kernel, variant))
+
+
+class TestDerive:
+    def test_rederives_peaks(self):
+        v = derive(SNB_EP, "snb-fma", fma=True, mul_add_ports=False)
+        v.validate_against_table1()
+        assert v.peak_dp_gflops == pytest.approx(SNB_EP.peak_dp_gflops)
+
+    def test_wider_simd_doubles_peak(self):
+        v = derive(SNB_EP, "snb-8", simd_width_dp=8)
+        assert v.peak_dp_gflops == pytest.approx(
+            2 * SNB_EP.peak_dp_gflops)
+
+    def test_all_variants_constructible(self):
+        for label, base, over in VARIANTS:
+            derive(base, label, **over).validate_against_table1()
+
+
+class TestSensitivity:
+    def test_rows_cover_kernels_and_variants(self, result):
+        assert len(result.rows) == 5 * len(VARIANTS)
+        assert all(math.isfinite(s) for _, _, s in result.rows)
+
+    def test_bandwidth_bound_kernel_ignores_simd(self, result):
+        """Black-Scholes best tier sits at the DRAM roof: wider SIMD
+        buys nothing, more bandwidth does."""
+        assert _speedup(result, "black_scholes",
+                        "SNB-EP + 8-wide") == pytest.approx(1.0)
+        assert _speedup(result, "black_scholes",
+                        "SNB-EP + 2x bandwidth") > 1.0
+
+    def test_compute_bound_kernel_scales_with_simd(self, result):
+        assert _speedup(result, "binomial",
+                        "SNB-EP + 8-wide") == pytest.approx(2.0, rel=0.05)
+
+    def test_fma_helps_the_fma_shaped_kernel(self, result):
+        """The binomial pipeline is mul+fma per node — an FMA-capable
+        SNB-EP nearly doubles it; the transcendental-bound kernels
+        don't care."""
+        assert _speedup(result, "binomial", "SNB-EP + FMA") > 1.5
+        assert _speedup(result, "black_scholes",
+                        "SNB-EP + FMA") == pytest.approx(1.0, abs=0.1)
+
+    def test_bandwidth_does_not_help_cache_resident_kernels(self, result):
+        for kernel in ("binomial", "crank_nicolson", "monte_carlo"):
+            assert _speedup(result, kernel,
+                            "KNC + 2x bandwidth") == pytest.approx(1.0)
+
+    def test_ooo_knc_helps_stall_bound_kernels(self, result):
+        assert _speedup(result, "crank_nicolson",
+                        "KNC out-of-order") > 1.3

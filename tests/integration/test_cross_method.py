@@ -1,0 +1,88 @@
+"""Cross-method integration: all four pricing methods must agree.
+
+The strongest validation of the whole stack: the closed form, the
+binomial tree, Crank-Nicolson and Monte-Carlo are four independent code
+paths (analytic vmath, lattice reduction, PDE+PSOR, stochastic
+simulation) that must produce the same European prices — and the two
+American-capable methods must agree with each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.binomial import price_basic as binomial_price
+from repro.kernels.crank_nicolson import solve as cn_solve
+from repro.kernels.monte_carlo import price_stream
+from repro.pricing import (ExerciseStyle, Option, OptionKind, bs_call,
+                           bs_put)
+from repro.rng import MT19937, NormalGenerator
+from repro.validation import mc_error_within_clt
+
+CONTRACTS = [
+    # (S, X, T, r, sigma)
+    (100.0, 100.0, 1.0, 0.05, 0.2),
+    (100.0, 110.0, 0.5, 0.02, 0.3),
+    (90.0, 80.0, 2.0, 0.03, 0.25),
+]
+
+
+class TestEuropeanAgreement:
+    @pytest.mark.parametrize("params", CONTRACTS)
+    def test_binomial_vs_closed_form(self, params):
+        S, X, T, r, sig = params
+        o = Option(S, X, T, r, sig)
+        exact = float(bs_call(S, X, T, r, sig))
+        assert binomial_price(o, 4096) == pytest.approx(exact, abs=0.01)
+
+    @pytest.mark.parametrize("params", CONTRACTS)
+    def test_crank_nicolson_vs_closed_form(self, params):
+        S, X, T, r, sig = params
+        o = Option(S, X, T, r, sig, OptionKind.PUT)
+        exact = float(bs_put(S, X, T, r, sig))
+        res = cn_solve(o, n_points=192, n_steps=200)
+        assert res.price == pytest.approx(exact, abs=0.03)
+
+    @pytest.mark.parametrize("params", CONTRACTS)
+    def test_monte_carlo_vs_closed_form(self, params):
+        S, X, T, r, sig = params
+        z = NormalGenerator(MT19937(123)).normals(120_000)
+        res = price_stream(np.array([S]), np.array([X]), np.array([T]),
+                           r, sig, z)
+        exact = float(bs_call(S, X, T, r, sig))
+        assert mc_error_within_clt(res.price[0], exact, res.stderr[0])
+
+    def test_four_way_agreement_atm(self):
+        S, X, T, r, sig = 100.0, 100.0, 1.0, 0.05, 0.2
+        exact = float(bs_call(S, X, T, r, sig))
+        tree = binomial_price(Option(S, X, T, r, sig), 4096)
+        z = NormalGenerator(MT19937(7)).normals(200_000)
+        mc = price_stream(np.array([S]), np.array([X]), np.array([T]),
+                          r, sig, z)
+        # CN on the call:
+        cn = cn_solve(Option(S, X, T, r, sig, OptionKind.CALL),
+                      n_points=192, n_steps=200).price
+        assert tree == pytest.approx(exact, abs=0.01)
+        assert cn == pytest.approx(exact, abs=0.03)
+        assert abs(mc.price[0] - exact) < 4 * mc.stderr[0]
+
+
+class TestAmericanAgreement:
+    @pytest.mark.parametrize("strike", [90.0, 100.0, 110.0])
+    def test_binomial_vs_crank_nicolson(self, strike):
+        o = Option(100.0, strike, 1.0, 0.05, 0.3, OptionKind.PUT,
+                   ExerciseStyle.AMERICAN)
+        tree = binomial_price(o, 4096)
+        cn = cn_solve(o, n_points=256, n_steps=400).price
+        assert cn == pytest.approx(tree, rel=0.004)
+
+    def test_early_exercise_premium_consistent(self):
+        """Both methods must agree on the early-exercise premium, not
+        just the raw price."""
+        am = Option(100.0, 110.0, 1.0, 0.05, 0.3, OptionKind.PUT,
+                    ExerciseStyle.AMERICAN)
+        eu = Option(100.0, 110.0, 1.0, 0.05, 0.3, OptionKind.PUT)
+        prem_tree = binomial_price(am, 2048) - binomial_price(eu, 2048)
+        prem_cn = (cn_solve(am, n_points=192, n_steps=300).price
+                   - cn_solve(eu, n_points=192, n_steps=300).price)
+        assert prem_tree > 0 and prem_cn > 0
+        assert prem_cn == pytest.approx(prem_tree, rel=0.05)

@@ -1,0 +1,72 @@
+"""Trace/model consistency: the analytic performance models' instruction
+counts must match what the tracing vector machine measures when it runs
+the same algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.arch import SNB_EP
+from repro.kernels.binomial import (crr_params, leaf_values,
+                                    simd_across_trace, tiled_trace,
+                                    traced_simd_across, traced_tiled)
+from repro.pricing import Option
+from repro.simd import VectorMachine
+
+
+def _workload(n_steps):
+    opts = [Option(100, 90 + 4 * i, 1.0, 0.02, 0.3) for i in range(4)]
+    ps = [crr_params(o, n_steps) for o in opts]
+    leaves = np.array([leaf_values(o, p) for o, p in zip(opts, ps)])
+    return leaves, [p.pu_by_df for p in ps], [p.pd_by_df for p in ps]
+
+
+class TestBinomialModelVsMachine:
+    N = 32
+
+    def test_simd_across_arithmetic_matches(self):
+        """Model predicts 3 arith instructions per node-vector; the
+        machine-run of the same algorithm must agree within 10%."""
+        leaves, pu, pd = _workload(self.N)
+        m = VectorMachine(4, SNB_EP)
+        traced_simd_across(m, leaves, pu, pd)
+        model = simd_across_trace(SNB_EP, self.N, n_options=4)
+        measured_arith = (m.trace.vector_ops["mul"]
+                          + m.trace.vector_ops["add"])
+        model_arith = (model.vector_ops["mul"] + model.vector_ops["add"])
+        assert measured_arith == pytest.approx(model_arith, rel=0.1)
+
+    def test_simd_across_memory_matches(self):
+        leaves, pu, pd = _workload(self.N)
+        m = VectorMachine(4, SNB_EP)
+        traced_simd_across(m, leaves, pu, pd)
+        model = simd_across_trace(SNB_EP, self.N, n_options=4)
+        assert m.trace.loads == pytest.approx(model.loads, rel=0.1)
+        assert m.trace.stores == pytest.approx(model.stores, rel=0.1)
+
+    def test_tiled_memory_reduction_matches_model(self):
+        """The model claims tiling divides memory instructions by ~TS.
+        At small N the model's stream-load count is conservative (it
+        charges nodes/TS where the pipeline actually streams fewer), so
+        the measured reduction must be at least the modeled one and of
+        the same order."""
+        leaves, pu, pd = _workload(self.N)
+        ts = 8
+        m_simd = VectorMachine(4, SNB_EP)
+        traced_simd_across(m_simd, leaves, pu, pd)
+        m_tile = VectorMachine(4, SNB_EP)
+        traced_tiled(m_tile, leaves, pu, pd, ts=ts)
+        measured_ratio = m_simd.trace.mem_instrs / m_tile.trace.mem_instrs
+        model_simd = simd_across_trace(SNB_EP, self.N, n_options=4)
+        model_tile = tiled_trace(SNB_EP, self.N, n_options=4, ts=ts)
+        model_ratio = model_simd.mem_instrs / model_tile.mem_instrs
+        assert measured_ratio >= model_ratio * 0.9
+        assert measured_ratio <= model_ratio * 2.0
+
+    def test_cache_behaviour_small_tree_is_l1_resident(self):
+        """One option group's Call array (~1 KB) must be L1-resident —
+        the premise of the Fig. 5 model's load costs."""
+        leaves, pu, pd = _workload(self.N)
+        m = VectorMachine(4, SNB_EP)
+        traced_simd_across(m, leaves, pu, pd)
+        stats = m.cache.stats_by_level()["L1"]
+        assert stats.hit_rate > 0.95

@@ -1,0 +1,115 @@
+"""Asian option tests: geometric closed form, control variate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.kernels.monte_carlo import (price_asian_call,
+                                       price_geometric_asian_mc)
+from repro.pricing import (Option, OptionKind, bs_call, digital_call,
+                           digital_parity_residual, digital_put,
+                           geometric_asian_call)
+from repro.rng import MT19937, NormalGenerator
+from repro.validation import mc_error_within_clt
+
+
+@pytest.fixture(scope="module")
+def contract():
+    return Option(100, 100, 1.0, 0.02, 0.3)
+
+
+class TestDigitalClosedForms:
+    def test_parity(self, rng_np):
+        S = rng_np.uniform(50, 150, 1000)
+        X = rng_np.uniform(50, 150, 1000)
+        T = rng_np.uniform(0.1, 2, 1000)
+        c = digital_call(S, X, T, 0.03, 0.25)
+        p = digital_put(S, X, T, 0.03, 0.25)
+        assert np.max(np.abs(digital_parity_residual(c, p, T, 0.03))) \
+            < 1e-12
+
+    def test_deep_itm_approaches_discount_factor(self):
+        c = digital_call(np.array([1000.0]), np.array([10.0]),
+                         np.array([1.0]), 0.05, 0.2)
+        assert c[0] == pytest.approx(np.exp(-0.05), abs=1e-10)
+
+    def test_is_strike_derivative_of_vanilla(self):
+        """Digital call = −∂C/∂K of the vanilla call."""
+        h = 1e-3
+        up = float(bs_call(100, 100 + h, 1.0, 0.03, 0.25))
+        dn = float(bs_call(100, 100 - h, 1.0, 0.03, 0.25))
+        fd = -(up - dn) / (2 * h)
+        dig = float(digital_call(np.array([100.0]), np.array([100.0]),
+                                 np.array([1.0]), 0.03, 0.25)[0])
+        assert dig == pytest.approx(fd, rel=1e-5)
+
+    def test_mc_agreement(self, rng_np):
+        """Digital priced by raw simulation matches the closed form."""
+        z = rng_np.standard_normal(400_000)
+        st = 100 * np.exp((0.03 - 0.5 * 0.25 ** 2) + 0.25 * z)
+        mc = np.exp(-0.03) * (st > 100).mean()
+        exact = float(digital_call(np.array([100.0]), np.array([100.0]),
+                                   np.array([1.0]), 0.03, 0.25)[0])
+        assert mc == pytest.approx(exact, abs=0.005)
+
+
+class TestGeometricAsian:
+    def test_mc_matches_closed_form(self, contract):
+        res = price_geometric_asian_mc(contract, 60_000, 16,
+                                       NormalGenerator(MT19937(1)))
+        exact = geometric_asian_call(100, 100, 1.0, 0.02, 0.3, 16)
+        assert mc_error_within_clt(res.price[0], exact, res.stderr[0])
+
+    def test_below_vanilla(self, contract):
+        """Averaging reduces volatility: Asian < vanilla."""
+        exact = geometric_asian_call(100, 100, 1.0, 0.02, 0.3, 16)
+        vanilla = float(bs_call(100, 100, 1.0, 0.02, 0.3))
+        assert 0 < exact < vanilla
+
+    def test_single_fixing_is_vanilla(self):
+        """With one fixing at T the average IS the terminal price."""
+        g = geometric_asian_call(100, 95, 1.0, 0.03, 0.25, 1)
+        v = float(bs_call(100, 95, 1.0, 0.03, 0.25))
+        assert g == pytest.approx(v, rel=1e-10)
+
+    def test_many_fixings_monotone(self):
+        vals = [geometric_asian_call(100, 100, 1.0, 0.02, 0.3, n)
+                for n in (1, 4, 16, 64)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            geometric_asian_call(100, 100, 1.0, 0.02, 0.3, 0)
+
+
+class TestControlVariate:
+    def test_plain_and_cv_agree(self, contract):
+        plain = price_asian_call(contract, 60_000, 16,
+                                 NormalGenerator(MT19937(5)),
+                                 control_variate=False)
+        cv = price_asian_call(contract, 60_000, 16,
+                              NormalGenerator(MT19937(6)),
+                              control_variate=True)
+        tol = 4 * (plain.stderr[0] + cv.stderr[0])
+        assert abs(plain.price[0] - cv.price[0]) < tol
+
+    def test_order_of_magnitude_variance_reduction(self, contract):
+        plain = price_asian_call(contract, 40_000, 16,
+                                 NormalGenerator(MT19937(5)),
+                                 control_variate=False)
+        cv = price_asian_call(contract, 40_000, 16,
+                              NormalGenerator(MT19937(5)),
+                              control_variate=True)
+        assert cv.stderr[0] < plain.stderr[0] / 5
+
+    def test_arithmetic_above_geometric(self, contract):
+        """AM-GM: the arithmetic-average option dominates."""
+        cv = price_asian_call(contract, 60_000, 16,
+                              NormalGenerator(MT19937(7)))
+        geo = geometric_asian_call(100, 100, 1.0, 0.02, 0.3, 16)
+        assert cv.price[0] > geo
+
+    def test_put_kind_rejected(self):
+        o = Option(100, 100, 1.0, 0.02, 0.3, OptionKind.PUT)
+        with pytest.raises(ConfigurationError):
+            price_asian_call(o, 100, 4, NormalGenerator(MT19937(1)))

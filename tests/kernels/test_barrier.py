@@ -1,0 +1,126 @@
+"""Barrier-option tests: the bridge crossing correction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.kernels.brownian import (bridge_crossing_probability,
+                                    gbm_paths_from_normals,
+                                    price_up_and_out_call)
+from repro.pricing import Option, OptionKind, bs_call
+from repro.rng import MT19937, NormalGenerator
+
+
+@pytest.fixture(scope="module")
+def contract():
+    return Option(100.0, 100.0, 1.0, 0.02, 0.25, OptionKind.CALL)
+
+
+def _normals(seed, n_paths, n_steps):
+    return NormalGenerator(MT19937(seed)).normals(
+        n_paths * n_steps).reshape(n_paths, n_steps)
+
+
+class TestCrossingProbability:
+    def test_endpoint_breach_is_certain(self):
+        p = bridge_crossing_probability(np.array([130.0]),
+                                        np.array([90.0]), 120.0, 0.3,
+                                        0.01)
+        assert p[0] == 1.0
+
+    def test_far_below_is_negligible(self):
+        p = bridge_crossing_probability(np.array([50.0]),
+                                        np.array([51.0]), 120.0, 0.3,
+                                        0.01)
+        assert p[0] < 1e-100
+
+    def test_monotone_in_proximity(self):
+        s = np.array([100.0, 110.0, 118.0])
+        p = bridge_crossing_probability(s, s, 120.0, 0.3, 0.01)
+        assert p[0] < p[1] < p[2] < 1.0
+
+    def test_monotone_in_dt(self):
+        s1 = np.array([110.0])
+        s2 = np.array([110.0])
+        p_short = bridge_crossing_probability(s1, s2, 120.0, 0.3, 0.001)
+        p_long = bridge_crossing_probability(s1, s2, 120.0, 0.3, 0.1)
+        assert p_short < p_long
+
+    def test_matches_empirical_crossing_rate(self):
+        """The analytic bridge law vs brute force: simulate fine paths
+        between fixed endpoints and count crossings."""
+        vol, dt, barrier = 0.3, 0.05, 115.0
+        s1 = s2 = 105.0
+        p_exact = float(bridge_crossing_probability(
+            np.array([s1]), np.array([s2]), barrier, vol, dt)[0])
+        # Brute force: Brownian bridges in log space, 200 substeps.
+        rng = np.random.default_rng(5)
+        n, m = 40_000, 200
+        z = rng.standard_normal((n, m))
+        w = np.cumsum(z * np.sqrt(dt / m), axis=1) * vol
+        t = np.linspace(dt / m, dt, m)
+        # pin the endpoint: bridge = w - (t/dt) * (w_end - target_delta)
+        target = np.log(s2 / s1)
+        bridge = w - (t / dt)[None, :] * (w[:, -1:] - target)
+        x = np.log(s1) + bridge
+        hit = (x.max(axis=1) >= np.log(barrier)).mean()
+        assert hit == pytest.approx(p_exact, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            bridge_crossing_probability(np.array([1.0]), np.array([1.0]),
+                                        -1.0, 0.3, 0.1)
+
+
+class TestUpAndOutPricing:
+    def test_bounded_by_vanilla(self, contract):
+        z = _normals(1, 60_000, 32)
+        res = price_up_and_out_call(contract, 130.0, z)
+        vanilla = float(bs_call(100, 100, 1.0, 0.02, 0.25))
+        assert 0 < res.price[0] < vanilla
+
+    def test_high_barrier_approaches_vanilla(self, contract):
+        z = _normals(2, 60_000, 32)
+        res = price_up_and_out_call(contract, 500.0, z)
+        vanilla = float(bs_call(100, 100, 1.0, 0.02, 0.25))
+        assert res.price[0] == pytest.approx(vanilla,
+                                             abs=4 * res.stderr[0] + 0.02)
+
+    def test_uncorrected_coarse_biased_high(self, contract):
+        """Discrete monitoring misses crossings: the naive estimator
+        must exceed the bridge-corrected one."""
+        z = _normals(3, 60_000, 16)
+        naive = price_up_and_out_call(contract, 120.0, z,
+                                      bridge_correction=False)
+        fixed = price_up_and_out_call(contract, 120.0, z,
+                                      bridge_correction=True)
+        assert naive.price[0] > fixed.price[0] + 2 * fixed.stderr[0]
+
+    def test_corrected_coarse_matches_fine_grid(self, contract):
+        """The whole point: 16 monitored steps + bridge correction agree
+        with 512-step brute force."""
+        coarse = price_up_and_out_call(contract, 120.0,
+                                       _normals(4, 60_000, 16))
+        fine = price_up_and_out_call(contract, 120.0,
+                                     _normals(5, 30_000, 512),
+                                     bridge_correction=True)
+        tol = 4 * (coarse.stderr[0] + fine.stderr[0])
+        assert abs(coarse.price[0] - fine.price[0]) < tol
+
+    def test_uncorrected_fine_grid_converges_down(self, contract):
+        """Refining the naive estimator moves it toward the corrected
+        value from above."""
+        z16 = _normals(6, 40_000, 16)
+        z256 = _normals(6, 40_000, 256)
+        c16 = price_up_and_out_call(contract, 120.0, z16,
+                                    bridge_correction=False)
+        c256 = price_up_and_out_call(contract, 120.0, z256,
+                                     bridge_correction=False)
+        assert c256.price[0] < c16.price[0]
+
+    def test_validation(self, contract):
+        with pytest.raises(DomainError):
+            price_up_and_out_call(contract, 90.0, _normals(1, 10, 4))
+        put = Option(100, 100, 1.0, 0.02, 0.25, OptionKind.PUT)
+        with pytest.raises(DomainError):
+            price_up_and_out_call(put, 130.0, _normals(1, 10, 4))

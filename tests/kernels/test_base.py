@@ -1,0 +1,103 @@
+"""Kernel infrastructure tests: tiers, ladders, registry, ninja gap."""
+
+import pytest
+
+from repro.arch import SNB_EP
+from repro.errors import ConfigurationError
+from repro.kernels import (KernelModel, OptLevel, Tier, build_model,
+                           register_model, registered_models)
+from repro.simd import OpTrace
+
+
+def _trace(items=10, muls=100):
+    t = OpTrace(width=4)
+    t.op("mul", muls)
+    t.items = items
+    return t
+
+
+TIERS = (
+    Tier(OptLevel.REFERENCE, "ref", "reference"),
+    Tier(OptLevel.ADVANCED, "adv", "advanced"),
+)
+
+
+class TestOptLevel:
+    def test_order(self):
+        assert OptLevel.REFERENCE.order < OptLevel.BASIC.order
+        assert OptLevel.BASIC.order < OptLevel.INTERMEDIATE.order
+        assert OptLevel.INTERMEDIATE.order < OptLevel.ADVANCED.order
+
+
+class TestKernelModel:
+    def test_add_and_perf(self):
+        km = KernelModel("k", "items/s", TIERS)
+        tp = km.add(TIERS[0], SNB_EP, _trace())
+        assert tp.throughput > 0
+        assert km.perf("ref", "SNB-EP") is tp
+
+    def test_missing_perf(self):
+        km = KernelModel("k", "items/s", TIERS)
+        with pytest.raises(ConfigurationError):
+            km.perf("ref", "SNB-EP")
+
+    def test_trace_needs_items(self):
+        km = KernelModel("k", "items/s", TIERS)
+        t = OpTrace(width=4)
+        t.op("mul", 1)
+        with pytest.raises(ConfigurationError):
+            km.add(TIERS[0], SNB_EP, t)
+
+    def test_ladder_in_tier_order(self):
+        km = KernelModel("k", "items/s", TIERS)
+        km.add(TIERS[1], SNB_EP, _trace(muls=10))
+        km.add(TIERS[0], SNB_EP, _trace(muls=100))
+        labels = [tp.tier.label for tp in km.ladder("SNB-EP")]
+        assert labels == ["ref", "adv"]
+
+    def test_ninja_gap(self):
+        km = KernelModel("k", "items/s", TIERS)
+        km.add(TIERS[0], SNB_EP, _trace(muls=100))
+        km.add(TIERS[1], SNB_EP, _trace(muls=20))
+        assert km.ninja_gap("SNB-EP") == pytest.approx(5.0)
+
+    def test_best_and_reference(self):
+        km = KernelModel("k", "items/s", TIERS)
+        km.add(TIERS[0], SNB_EP, _trace(muls=100))
+        km.add(TIERS[1], SNB_EP, _trace(muls=20))
+        assert km.best("SNB-EP").tier.label == "adv"
+        assert km.reference("SNB-EP").tier.label == "ref"
+
+    def test_empty_arch_rejected(self):
+        km = KernelModel("k", "items/s", TIERS)
+        with pytest.raises(ConfigurationError):
+            km.best("KNC")
+
+    def test_cycles_per_item(self):
+        km = KernelModel("k", "items/s", TIERS)
+        tp = km.add(TIERS[0], SNB_EP, _trace(items=10, muls=100))
+        assert tp.cycles_per_item == pytest.approx(10.0)
+
+
+class TestRegistry:
+    def test_all_kernels_registered(self):
+        names = registered_models()
+        for expected in ("black_scholes", "binomial", "brownian",
+                         "monte_carlo", "crank_nicolson", "rng"):
+            assert expected in names
+
+    def test_build_model_dispatch(self):
+        km = build_model("black_scholes")
+        assert km.name == "black_scholes"
+
+    def test_build_model_kwargs(self):
+        km = build_model("binomial", n_steps=512)
+        assert km.name == "binomial_512"
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            build_model("fft")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_model("black_scholes", lambda: None)

@@ -1,0 +1,212 @@
+"""Brownian-bridge kernel tests: exact tier equality, Wiener statistics,
+interleaving, Fig. 6 shape."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernels.brownian import (BridgeSchedule, bridge_covariance,
+                                    build, build_cache_to_cache,
+                                    build_interleaved, build_reference,
+                                    build_vectorized, default_block_paths,
+                                    make_schedule)
+from repro.rng import MT19937, NormalGenerator
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return make_schedule(6)  # 64 steps, the paper's workload
+
+
+@pytest.fixture(scope="module")
+def randoms():
+    return NormalGenerator(MT19937(77)).normals(256 * 64)
+
+
+class TestSchedule:
+    def test_sizes(self, schedule):
+        assert schedule.n_steps == 64
+        assert schedule.n_points == 65
+        assert schedule.randoms_per_path() == 64
+
+    def test_level_table_shapes(self, schedule):
+        for d in range(schedule.depth):
+            assert schedule.w_l[d].shape == (1 << d,)
+            assert schedule.w_r[d].shape == (1 << d,)
+            assert schedule.sig[d].shape == (1 << d,)
+
+    def test_uniform_grid_coefficients(self, schedule):
+        """Dyadic uniform grid: w = 1/2 and sig_d = sqrt(T/2^(d+2))."""
+        for d in range(schedule.depth):
+            assert np.allclose(schedule.w_l[d], 0.5)
+            assert np.allclose(schedule.w_r[d], 0.5)
+            assert np.allclose(schedule.sig[d],
+                               np.sqrt(1.0 / (1 << (d + 2))))
+
+    def test_last_sig(self, schedule):
+        assert schedule.last_sig == pytest.approx(1.0)
+
+    def test_horizon_scaling(self):
+        s4 = make_schedule(3, horizon=4.0)
+        assert s4.last_sig == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_schedule(0)
+        with pytest.raises(ConfigurationError):
+            make_schedule(3, horizon=-1.0)
+
+
+class TestTierEquality:
+    def test_vectorized_bitwise_equals_reference(self, schedule, randoms):
+        ref = build_reference(schedule, randoms)
+        vec = build_vectorized(schedule, randoms)
+        assert np.array_equal(ref, vec)
+
+    def test_interleaved_bitwise_equals_reference(self, schedule, randoms):
+        ref = build_reference(schedule, randoms)
+        idx = {"i": 0}
+
+        def source(n):
+            out = randoms[idx["i"]:idx["i"] + n]
+            idx["i"] += n
+            return out
+
+        il = build_interleaved(schedule, source, 256, block_paths=48)
+        assert np.array_equal(ref, il)
+
+    def test_cache_to_cache_feeds_identical_blocks(self, schedule, randoms):
+        ref = build_reference(schedule, randoms)
+        idx = {"i": 0}
+
+        def source(n):
+            out = randoms[idx["i"]:idx["i"] + n]
+            idx["i"] += n
+            return out
+
+        seen = []
+        build_cache_to_cache(schedule, source, 256, 100, seen.append)
+        assert np.array_equal(np.vstack(seen), ref)
+
+    @given(st.integers(1, 5), st.integers(1, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_equality_any_depth(self, depth, n_paths):
+        sch = make_schedule(depth)
+        z = NormalGenerator(MT19937(depth * 100 + n_paths)).normals(
+            n_paths * sch.randoms_per_path())
+        assert np.array_equal(build_reference(sch, z),
+                              build_vectorized(sch, z))
+
+    def test_stream_size_validated(self, schedule):
+        with pytest.raises(ConfigurationError):
+            build_reference(schedule, np.zeros(63))
+        with pytest.raises(ConfigurationError):
+            build_vectorized(schedule, np.zeros((2, 64)))
+
+
+class TestWienerStatistics:
+    @pytest.fixture(scope="class")
+    def paths(self):
+        sch = make_schedule(6)
+        z = NormalGenerator(MT19937(3)).normals(60_000 * 64)
+        return sch, build_vectorized(sch, z)
+
+    def test_starts_at_zero(self, paths):
+        _, p = paths
+        assert np.all(p[:, 0] == 0.0)
+
+    def test_marginal_variance_is_t(self, paths):
+        sch, p = paths
+        t = np.linspace(0, 1, sch.n_points)
+        for idx in (8, 16, 32, 64):
+            assert p[:, idx].var() == pytest.approx(t[idx], rel=0.05)
+
+    def test_covariance_is_min_s_t(self, paths):
+        sch, p = paths
+        idx = [16, 32, 48, 64]
+        emp = np.cov(p[:, idx].T)
+        t = np.linspace(0, 1, sch.n_points)
+        theo = np.minimum.outer(t[idx], t[idx])
+        assert np.max(np.abs(emp - theo)) < 0.02
+
+    def test_increments_independent(self, paths):
+        _, p = paths
+        inc1 = p[:, 16] - p[:, 0]
+        inc2 = p[:, 32] - p[:, 16]
+        assert abs(np.corrcoef(inc1, inc2)[0, 1]) < 0.02
+
+    def test_increments_gaussian_mean_zero(self, paths):
+        _, p = paths
+        inc = p[:, 32] - p[:, 16]
+        assert abs(inc.mean()) < 0.01
+        kurt = ((inc - inc.mean()) ** 4).mean() / inc.var() ** 2
+        assert abs(kurt - 3.0) < 0.15
+
+    def test_theoretical_covariance_helper(self, paths):
+        sch, _ = paths
+        cov = bridge_covariance(sch)
+        assert cov.shape == (65, 65)
+        assert cov[64, 64] == pytest.approx(1.0)
+        assert cov[16, 48] == pytest.approx(16 / 64)
+
+
+class TestBlocking:
+    def test_default_block_paths_positive(self, schedule):
+        assert default_block_paths(schedule, 512 * 1024) >= 1
+
+    def test_block_fits_budget(self, schedule):
+        llc = 512 * 1024
+        block = default_block_paths(schedule, llc)
+        bytes_needed = block * (64 + 3 * 65) * 8
+        assert bytes_needed <= llc
+
+    def test_invalid_args(self, schedule):
+        with pytest.raises(ConfigurationError):
+            build_interleaved(schedule, lambda n: np.zeros(n), 0, 8)
+
+    def test_bad_source_shape_detected(self, schedule):
+        with pytest.raises(ConfigurationError):
+            build_interleaved(schedule, lambda n: np.zeros(n + 1), 8, 8)
+
+
+class TestFig6Shape:
+    @pytest.fixture(scope="class")
+    def km(self):
+        return build()
+
+    def test_basic_knc_slower(self, km):
+        ratio = (km.reference("KNC").throughput
+                 / km.reference("SNB-EP").throughput)
+        assert 0.6 < ratio < 0.9  # paper: 25% slower
+
+    def test_intermediate_bandwidth_ratio(self, km):
+        label = "Intermediate (SIMD across paths)"
+        ratio = (km.perf(label, "KNC").throughput
+                 / km.perf(label, "SNB-EP").throughput)
+        assert ratio == pytest.approx(150 / 76, rel=0.05)
+
+    def test_interleaving_doubles_by_removing_reads(self, km):
+        mid = "Intermediate (SIMD across paths)"
+        adv = "Advanced (interleaved RNG)"
+        for arch in ("SNB-EP", "KNC"):
+            gain = (km.perf(adv, arch).throughput
+                    / km.perf(mid, arch).throughput)
+            assert gain == pytest.approx(2.0, rel=0.05)
+
+    def test_cache_to_cache_fastest(self, km):
+        for arch in ("SNB-EP", "KNC"):
+            ladder = [tp.throughput for tp in km.ladder(arch)]
+            assert ladder[-1] == max(ladder)
+
+    def test_best_knc_advantage(self, km):
+        ratio = km.best("KNC").throughput / km.best("SNB-EP").throughput
+        assert 1.4 < ratio < 2.3  # paper: 2x
+
+    def test_intermediate_is_bandwidth_bound(self, km):
+        from repro.arch import CostModel
+        label = "Intermediate (SIMD across paths)"
+        for arch_name, arch in (("SNB-EP", None), ("KNC", None)):
+            tp = km.perf(label, arch_name)
+            model = CostModel(tp.arch)
+            assert model.is_bandwidth_bound(tp.trace, tp.ctx)

@@ -1,0 +1,105 @@
+"""Traced wavefront-PSOR tests: Fig. 7's claims, measured."""
+
+import numpy as np
+import pytest
+
+from repro.arch import KNC, SNB_EP
+from repro.errors import ConfigurationError
+from repro.kernels.crank_nicolson.traced import (traced_wavefront,
+                                                 traced_wavefront_transformed)
+from repro.simd import VectorMachine
+
+ALPHA, OMEGA = 0.73, 1.2
+
+
+def _system(seed, n=61):
+    rng = np.random.default_rng(seed)
+    return (rng.uniform(0, 1, n), rng.uniform(0, 1, n),
+            rng.uniform(0, 0.8, n))
+
+
+def _scalar_sweeps(b, u, g, n_sweeps):
+    """Reference: plain projected Gauss-Seidel sweeps."""
+    u = u.copy()
+    coeff = 1.0 / (1.0 + ALPHA)
+    ha = 0.5 * ALPHA
+    n = u.shape[0]
+    for _ in range(n_sweeps):
+        for j in range(1, n - 1):
+            y = coeff * (b[j] + ha * (u[j - 1] + u[j + 1]))
+            y = u[j] + OMEGA * (y - u[j])
+            u[j] = max(g[j], y)
+    return u
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("width,arch", [(4, SNB_EP), (8, KNC)])
+    @pytest.mark.parametrize("n_bands", [1, 3])
+    def test_direct_matches_scalar(self, width, arch, n_bands):
+        b, u0, g = _system(width * 100 + n_bands)
+        m = VectorMachine(width, arch)
+        got = traced_wavefront(m, b, u0, g, ALPHA, OMEGA, n_bands)
+        want = _scalar_sweeps(b, u0, g, n_bands * width)
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("width,arch", [(4, SNB_EP), (8, KNC)])
+    def test_transformed_matches_scalar(self, width, arch):
+        b, u0, g = _system(width)
+        m = VectorMachine(width, arch)
+        got = traced_wavefront_transformed(m, b, u0, g, ALPHA, OMEGA, 2)
+        want = _scalar_sweeps(b, u0, g, 2 * width)
+        assert np.array_equal(got, want)
+
+    def test_odd_and_even_system_sizes(self):
+        for n in (24, 25, 40, 41):
+            b, u0, g = _system(n, n)
+            m = VectorMachine(4, SNB_EP)
+            got = traced_wavefront_transformed(m, b, u0, g, ALPHA,
+                                               OMEGA, 2)
+            want = _scalar_sweeps(b, u0, g, 8)
+            assert np.array_equal(got, want), n
+
+    def test_too_small_system_rejected(self):
+        b, u0, g = _system(1, 10)
+        m = VectorMachine(8, KNC)
+        with pytest.raises(ConfigurationError):
+            traced_wavefront(m, b, u0, g, ALPHA, OMEGA, 1)
+
+
+class TestFig7ClaimsMeasured:
+    def test_direct_form_is_all_gathers(self):
+        b, u0, g = _system(3)
+        m = VectorMachine(8, KNC)
+        traced_wavefront(m, b, u0, g, ALPHA, OMEGA, 2)
+        assert m.trace.gathers > 0
+        assert m.trace.loads == 0  # every read is irregular
+
+    def test_gathers_span_multiple_lines(self):
+        """Stride-2 lanes at width 8 span 120 bytes: ≥2 lines per
+        gather in steady state."""
+        b, u0, g = _system(4)
+        m = VectorMachine(8, KNC)
+        traced_wavefront(m, b, u0, g, ALPHA, OMEGA, 2)
+        assert m.trace.gather_lines / m.trace.gathers > 1.2
+
+    def test_transform_eliminates_gathers(self):
+        b, u0, g = _system(5)
+        m = VectorMachine(8, KNC)
+        traced_wavefront_transformed(m, b, u0, g, ALPHA, OMEGA, 2)
+        assert m.trace.gathers == 0 and m.trace.scatters == 0
+        assert m.trace.loads > 0
+
+    def test_transform_cheaper_on_the_cost_model(self):
+        """The Fig. 8 middle→top bar, measured end to end."""
+        from repro.arch import CostModel
+        b, u0, g = _system(6, 101)
+        md = VectorMachine(8, KNC)
+        traced_wavefront(md, b, u0, g, ALPHA, OMEGA, 2)
+        md.trace.items = 1
+        mt = VectorMachine(8, KNC)
+        traced_wavefront_transformed(mt, b, u0, g, ALPHA, OMEGA, 2)
+        mt.trace.items = 1
+        model = CostModel(KNC)
+        direct = model.compute_cycles(md.trace).total_cycles
+        transformed = model.compute_cycles(mt.trace).total_cycles
+        assert transformed < direct

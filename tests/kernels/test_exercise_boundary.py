@@ -1,0 +1,79 @@
+"""Early-exercise boundary tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.kernels.crank_nicolson import exercise_boundary
+from repro.pricing import ExerciseStyle, Option, OptionKind
+
+
+@pytest.fixture(scope="module")
+def boundary():
+    am = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT,
+                ExerciseStyle.AMERICAN)
+    return exercise_boundary(am, n_points=192, n_steps=120)
+
+
+class TestBoundaryShape:
+    def test_below_strike_everywhere(self, boundary):
+        finite = boundary.levels[~np.isnan(boundary.levels)]
+        assert np.all(finite < 100.0)
+
+    def test_monotone_increasing_toward_expiry(self, boundary):
+        finite = boundary.levels[~np.isnan(boundary.levels)]
+        assert np.all(np.diff(finite) >= -1e-9)
+
+    def test_approaches_strike_at_expiry(self, boundary):
+        # The true boundary hits min(K, rK/q-type limits); with no
+        # dividends it approaches K itself; grid resolution keeps the
+        # last recorded level a little below.
+        assert boundary.levels[-1] > 0.88 * 100.0
+
+    def test_exists_at_inception(self, boundary):
+        assert not np.isnan(boundary.levels[0])
+        assert 40.0 < boundary.levels[0] < 95.0
+
+    def test_interpolation(self, boundary):
+        mid = boundary.at(0.5)
+        assert boundary.levels[0] <= mid <= boundary.levels[-1]
+
+    def test_times_span_contract(self, boundary):
+        assert boundary.times[0] == pytest.approx(0.0, abs=1e-2)
+        assert boundary.times[-1] == pytest.approx(1.0, rel=0.05)
+
+
+class TestBoundaryEconomics:
+    def test_higher_rate_raises_boundary(self):
+        """Higher rates make waiting costlier: exercise earlier
+        (higher S*)."""
+        lo = exercise_boundary(
+            Option(100, 100, 1.0, 0.02, 0.3, OptionKind.PUT,
+                   ExerciseStyle.AMERICAN), 128, 60)
+        hi = exercise_boundary(
+            Option(100, 100, 1.0, 0.08, 0.3, OptionKind.PUT,
+                   ExerciseStyle.AMERICAN), 128, 60)
+        assert hi.at(0.0) > lo.at(0.0)
+
+    def test_higher_vol_lowers_boundary(self):
+        """More optionality: wait longer (lower S*)."""
+        lo_vol = exercise_boundary(
+            Option(100, 100, 1.0, 0.05, 0.2, OptionKind.PUT,
+                   ExerciseStyle.AMERICAN), 128, 60)
+        hi_vol = exercise_boundary(
+            Option(100, 100, 1.0, 0.05, 0.4, OptionKind.PUT,
+                   ExerciseStyle.AMERICAN), 128, 60)
+        assert hi_vol.at(0.0) < lo_vol.at(0.0)
+
+
+class TestValidation:
+    def test_calls_rejected(self):
+        am_call = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.CALL,
+                         ExerciseStyle.AMERICAN)
+        with pytest.raises(DomainError):
+            exercise_boundary(am_call)
+
+    def test_european_rejected(self):
+        eu = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT)
+        with pytest.raises(DomainError):
+            exercise_boundary(eu)

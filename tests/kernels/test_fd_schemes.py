@@ -1,0 +1,104 @@
+"""Finite-difference θ-scheme family tests (explicit / implicit / CN)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.kernels.crank_nicolson import (explicit_stability_limit,
+                                          explicit_steps_required,
+                                          is_explicit_stable, make_grid,
+                                          solve, solve_theta)
+from repro.pricing import ExerciseStyle, Option, OptionKind, bs_put
+
+
+@pytest.fixture(scope="module")
+def euro_put():
+    return Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT)
+
+
+@pytest.fixture(scope="module")
+def exact(euro_put):
+    return float(bs_put(100, 100, 1.0, 0.05, 0.3))
+
+
+class TestThetaHalfIsCrankNicolson:
+    def test_bitwise_identical_to_main_solver(self, euro_put):
+        a = solve(euro_put, n_points=96, n_steps=80).price
+        b = solve_theta(euro_put, 96, 80, theta=0.5).price
+        assert a == b
+
+
+class TestImplicit:
+    def test_backward_euler_converges(self, euro_put, exact):
+        p = solve_theta(euro_put, 160, 300, theta=1.0).price
+        assert p == pytest.approx(exact, abs=0.02)
+
+    def test_backward_euler_unconditionally_stable(self, euro_put):
+        """Implicit runs fine with huge alpha (few steps, fine grid)."""
+        r = solve_theta(euro_put, 256, 20, theta=1.0)
+        g = make_grid(euro_put, 256, 20)
+        assert g.alpha > 10
+        assert np.all(np.isfinite(r.values))
+        assert 0 < r.price < 100
+
+    def test_cn_more_accurate_than_implicit(self, euro_put, exact):
+        """Second order beats first order at equal resolution."""
+        cn = abs(solve_theta(euro_put, 160, 200, theta=0.5).price - exact)
+        be = abs(solve_theta(euro_put, 160, 200, theta=1.0).price - exact)
+        assert cn < be
+
+
+class TestExplicit:
+    def test_stability_limit_value(self):
+        assert explicit_stability_limit() == 0.5
+        assert is_explicit_stable(0.49)
+        assert not is_explicit_stable(0.51)
+
+    def test_stable_explicit_converges(self, euro_put, exact):
+        steps = explicit_steps_required(euro_put, 128)
+        p = solve_theta(euro_put, 128, steps, theta=0.0).price
+        assert p == pytest.approx(exact, abs=0.03)
+
+    def test_unstable_guard_raises(self, euro_put):
+        steps = explicit_steps_required(euro_put, 128)
+        with pytest.raises(DomainError, match="unstable"):
+            solve_theta(euro_put, 128, steps // 4, theta=0.0)
+
+    def test_instability_actually_blows_up(self, euro_put):
+        """The reason the paper's kernel needs the implicit half at
+        alpha = 0.73: the explicit scheme diverges there."""
+        steps = explicit_steps_required(euro_put, 128)
+        r = solve_theta(euro_put, 128, steps // 4, theta=0.0,
+                        allow_unstable=True)
+        assert np.max(np.abs(r.values)) > 1e10
+
+    def test_explicit_needs_many_more_steps(self, euro_put):
+        """The implicit solve's payoff: CN runs ~alpha/0.5 x fewer steps."""
+        need = explicit_steps_required(euro_put, 256)
+        cn_grid = make_grid(euro_put, 256, 400)
+        assert need > 400
+        assert need == pytest.approx(400 * cn_grid.alpha / 0.5, rel=0.02)
+
+
+class TestAmericanTheta:
+    def test_american_with_implicit_projection(self):
+        am = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT,
+                    ExerciseStyle.AMERICAN)
+        p = solve_theta(am, 160, 300, theta=1.0).price
+        base = solve(am, n_points=160, n_steps=300).price
+        assert p == pytest.approx(base, abs=0.02)
+
+    def test_explicit_american_projection(self):
+        am = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT,
+                    ExerciseStyle.AMERICAN)
+        steps = explicit_steps_required(am, 96)
+        p = solve_theta(am, 96, steps, theta=0.0).price
+        assert 9.5 < p < 10.3
+
+
+class TestValidation:
+    def test_theta_range(self, euro_put):
+        with pytest.raises(ConfigurationError):
+            solve_theta(euro_put, 96, 60, theta=1.5)
+        with pytest.raises(ConfigurationError):
+            solve_theta(euro_put, 96, 60, theta=-0.1)

@@ -1,0 +1,87 @@
+"""Longstaff-Schwartz tests: cross-validation against the lattice/PDE
+American engines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DomainError
+from repro.kernels.binomial import price_basic
+from repro.kernels.monte_carlo import (price_american_lsmc,
+                                       simulate_gbm_paths)
+from repro.pricing import (ExerciseStyle, Option, OptionKind, bs_call,
+                           bs_put)
+from repro.rng import MT19937, NormalGenerator
+
+
+@pytest.fixture(scope="module")
+def am_put():
+    return Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT,
+                  ExerciseStyle.AMERICAN)
+
+
+class TestPathSimulation:
+    def test_paths_start_at_spot(self, am_put, normal_gen):
+        z = normal_gen.normals(100 * 50).reshape(100, 50)
+        paths = simulate_gbm_paths(am_put, 100, 50, z)
+        assert np.all(paths[:, 0] == 100.0)
+
+    def test_martingale(self, am_put):
+        z = NormalGenerator(MT19937(8)).normals(80_000 * 20).reshape(-1, 20)
+        paths = simulate_gbm_paths(am_put, 80_000, 20, z)
+        disc = paths[:, -1] * np.exp(-am_put.rate * am_put.expiry)
+        assert disc.mean() == pytest.approx(100.0, rel=0.01)
+
+    def test_shape_validation(self, am_put):
+        with pytest.raises(ConfigurationError):
+            simulate_gbm_paths(am_put, 10, 5, np.zeros((10, 4)))
+
+
+class TestLSMCPricing:
+    def test_matches_binomial_within_tolerance(self, am_put):
+        tree = price_basic(am_put, 2048)
+        res = price_american_lsmc(am_put, 50_000, 100,
+                                  NormalGenerator(MT19937(77)))
+        # LSMC converges from below-ish with sampling noise on top.
+        assert abs(res.price[0] - tree) < max(4 * res.stderr[0],
+                                              0.02 * tree)
+
+    def test_at_least_european(self, am_put):
+        euro = float(bs_put(100, 100, 1.0, 0.05, 0.3))
+        res = price_american_lsmc(am_put, 40_000, 80,
+                                  NormalGenerator(MT19937(5)))
+        assert res.price[0] > euro - 3 * res.stderr[0]
+
+    def test_american_call_no_dividend_equals_european(self):
+        am_call = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.CALL,
+                         ExerciseStyle.AMERICAN)
+        euro = float(bs_call(100, 100, 1.0, 0.05, 0.3))
+        res = price_american_lsmc(am_call, 40_000, 80,
+                                  NormalGenerator(MT19937(5)))
+        assert abs(res.price[0] - euro) < 4 * res.stderr[0]
+
+    def test_deep_itm_immediate_exercise_floor(self):
+        deep = Option(40.0, 100.0, 1.0, 0.08, 0.2, OptionKind.PUT,
+                      ExerciseStyle.AMERICAN)
+        res = price_american_lsmc(deep, 20_000, 50,
+                                  NormalGenerator(MT19937(2)))
+        assert res.price[0] >= 60.0  # intrinsic floor enforced at t=0
+
+    def test_degree_ablation_stable(self, am_put):
+        """Quadratic vs cubic basis must agree within noise (DESIGN §7)."""
+        a = price_american_lsmc(am_put, 40_000, 80,
+                                NormalGenerator(MT19937(3)), degree=2)
+        b = price_american_lsmc(am_put, 40_000, 80,
+                                NormalGenerator(MT19937(3)), degree=3)
+        assert abs(a.price[0] - b.price[0]) < 4 * (a.stderr[0]
+                                                   + b.stderr[0])
+
+    def test_european_style_rejected(self):
+        euro = Option(100, 100, 1.0, 0.05, 0.3, OptionKind.PUT)
+        with pytest.raises(DomainError):
+            price_american_lsmc(euro, 1000, 10,
+                                NormalGenerator(MT19937(1)))
+
+    def test_bad_degree(self, am_put):
+        with pytest.raises(ConfigurationError):
+            price_american_lsmc(am_put, 1000, 10,
+                                NormalGenerator(MT19937(1)), degree=0)

@@ -1,0 +1,81 @@
+"""Monte-Carlo greeks tests against the closed-form oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernels.monte_carlo import (digital_delta_exact,
+                                       digital_delta_lr,
+                                       likelihood_ratio_delta,
+                                       pathwise_delta, pathwise_vega)
+from repro.pricing import Option, OptionKind, bs_delta, bs_vega
+from repro.rng import MT19937, NormalGenerator
+
+
+@pytest.fixture(scope="module")
+def z():
+    return NormalGenerator(MT19937(13)).normals(400_000)
+
+
+@pytest.fixture(scope="module")
+def call():
+    return Option(100, 100, 1.0, 0.05, 0.2)
+
+
+@pytest.fixture(scope="module")
+def put():
+    return Option(100, 110, 0.5, 0.02, 0.3, OptionKind.PUT)
+
+
+class TestPathwise:
+    def test_call_delta(self, call, z):
+        est, se = pathwise_delta(call, z)
+        exact = float(bs_delta(100, 100, 1.0, 0.05, 0.2))
+        assert abs(est - exact) < 4 * se
+
+    def test_put_delta(self, put, z):
+        est, se = pathwise_delta(put, z)
+        exact = float(bs_delta(100, 110, 0.5, 0.02, 0.3, call=False))
+        assert abs(est - exact) < 4 * se
+        assert est < 0
+
+    def test_call_vega(self, call, z):
+        est, se = pathwise_vega(call, z)
+        exact = float(bs_vega(100, 100, 1.0, 0.05, 0.2))
+        assert abs(est - exact) < 4 * se
+
+    def test_put_vega_positive(self, put, z):
+        est, se = pathwise_vega(put, z)
+        assert est > 0
+
+
+class TestLikelihoodRatio:
+    def test_call_delta(self, call, z):
+        est, se = likelihood_ratio_delta(call, z)
+        exact = float(bs_delta(100, 100, 1.0, 0.05, 0.2))
+        assert abs(est - exact) < 4 * se
+
+    def test_lr_noisier_than_pathwise(self, call, z):
+        _, se_pw = pathwise_delta(call, z)
+        _, se_lr = likelihood_ratio_delta(call, z)
+        assert se_lr > se_pw  # the textbook variance ordering
+
+    def test_digital_delta(self, call, z):
+        est, se = digital_delta_lr(call, z)
+        exact = digital_delta_exact(call)
+        assert abs(est - exact) < 4 * se
+
+    def test_digital_put_delta_negative(self, put, z):
+        est, _ = digital_delta_lr(put, z)
+        assert est < 0
+        assert digital_delta_exact(put) < 0
+
+
+class TestValidation:
+    def test_empty_normals(self, call):
+        with pytest.raises(ConfigurationError):
+            pathwise_delta(call, np.zeros(0))
+
+    def test_2d_normals(self, call):
+        with pytest.raises(ConfigurationError):
+            pathwise_vega(call, np.zeros((2, 2)))

@@ -1,0 +1,155 @@
+"""Monte-Carlo kernel tests: CLT convergence, mode equality, Table II."""
+
+import numpy as np
+import pytest
+
+from repro.arch import KNC, SNB_EP, CostModel
+from repro.errors import ConfigurationError, DomainError
+from repro.kernels.monte_carlo import (build, computed_trace,
+                                       price_antithetic, price_computed,
+                                       price_reference, price_stream,
+                                       stream_trace)
+from repro.pricing import bs_call
+from repro.rng import MT19937, NormalGenerator
+from repro.validation import mc_error_within_clt
+
+
+@pytest.fixture(scope="module")
+def workload():
+    S = np.array([100.0, 90.0, 120.0])
+    X = np.array([100.0, 100.0, 100.0])
+    T = np.array([1.0, 0.5, 2.0])
+    return S, X, T, 0.02, 0.3
+
+
+@pytest.fixture(scope="module")
+def randoms():
+    return NormalGenerator(MT19937(31)).normals(60_000)
+
+
+class TestCorrectness:
+    def test_stream_converges_to_bs(self, workload, randoms):
+        S, X, T, r, sig = workload
+        res = price_stream(S, X, T, r, sig, randoms)
+        exact = bs_call(S, X, T, r, sig)
+        for i in range(3):
+            assert mc_error_within_clt(res.price[i], float(exact[i]),
+                                       res.stderr[i])
+
+    def test_reference_equals_stream_bitwise_tolerance(self, workload,
+                                                       randoms):
+        S, X, T, r, sig = workload
+        a = price_reference(S, X, T, r, sig, randoms[:4000])
+        b = price_stream(S, X, T, r, sig, randoms[:4000])
+        assert np.allclose(a.price, b.price, rtol=1e-12)
+        assert np.allclose(a.stderr, b.stderr, rtol=1e-9)
+
+    def test_stream_blocking_invariant(self, workload, randoms):
+        S, X, T, r, sig = workload
+        a = price_stream(S, X, T, r, sig, randoms, block=1000)
+        b = price_stream(S, X, T, r, sig, randoms, block=60_000)
+        assert np.allclose(a.price, b.price, rtol=1e-12)
+
+    def test_computed_mode_converges(self, workload):
+        S, X, T, r, sig = workload
+        res = price_computed(S, X, T, r, sig, 60_000,
+                             NormalGenerator(MT19937(8)))
+        exact = bs_call(S, X, T, r, sig)
+        for i in range(3):
+            assert mc_error_within_clt(res.price[i], float(exact[i]),
+                                       res.stderr[i])
+
+    def test_antithetic_converges(self, workload):
+        S, X, T, r, sig = workload
+        res = price_antithetic(S, X, T, r, sig, 60_000,
+                               NormalGenerator(MT19937(8)))
+        exact = bs_call(S, X, T, r, sig)
+        for i in range(3):
+            assert mc_error_within_clt(res.price[i], float(exact[i]),
+                                       res.stderr[i] * 1.5)
+
+    def test_antithetic_needs_even_paths(self, workload):
+        S, X, T, r, sig = workload
+        with pytest.raises(DomainError):
+            price_antithetic(S, X, T, r, sig, 1001,
+                             NormalGenerator(MT19937(1)))
+
+    def test_error_shrinks_with_paths(self, workload):
+        """O(P^-1/2): quadrupling paths halves the standard error."""
+        S, X, T, r, sig = workload
+        z = NormalGenerator(MT19937(9)).normals(64_000)
+        small = price_stream(S, X, T, r, sig, z[:16_000])
+        large = price_stream(S, X, T, r, sig, z)
+        assert np.all(large.stderr < small.stderr)
+        assert large.stderr[0] == pytest.approx(small.stderr[0] / 2,
+                                                rel=0.15)
+
+    def test_confidence_interval(self, workload, randoms):
+        S, X, T, r, sig = workload
+        res = price_stream(S, X, T, r, sig, randoms)
+        lo, hi = res.confidence95()
+        assert np.all(lo < res.price) and np.all(res.price < hi)
+
+    def test_deep_otm_prices_near_zero(self, randoms):
+        res = price_stream(np.array([10.0]), np.array([1000.0]),
+                           np.array([0.5]), 0.02, 0.3, randoms)
+        assert res.price[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_validation(self, randoms):
+        with pytest.raises(DomainError):
+            price_stream(np.array([-1.0]), np.array([1.0]),
+                         np.array([1.0]), 0.0, 0.3, randoms)
+        with pytest.raises(ConfigurationError):
+            price_stream(np.array([1.0]), np.array([1.0]),
+                         np.array([1.0]), 0.0, 0.3, np.zeros(0))
+        with pytest.raises(ConfigurationError):
+            price_computed(np.array([1.0]), np.array([1.0]),
+                           np.array([1.0]), 0.0, 0.3, 0,
+                           NormalGenerator(MT19937(1)))
+
+
+class TestTable2Model:
+    @pytest.fixture(scope="class")
+    def km(self):
+        return build()
+
+    def test_stream_faster_than_computed(self, km):
+        for arch in ("SNB-EP", "KNC"):
+            s = km.perf("options/sec (stream RNG)", arch).throughput
+            c = km.perf("options/sec (comp. RNG)", arch).throughput
+            assert s > 3 * c  # paper: ~5.4x/5.7x
+
+    def test_knc_advantage_both_modes(self, km):
+        for label in ("options/sec (stream RNG)", "options/sec (comp. RNG)"):
+            ratio = (km.perf(label, "KNC").throughput
+                     / km.perf(label, "SNB-EP").throughput)
+            assert 1.8 < ratio < 3.5  # paper: ~3.1x and ~2.9x
+
+    def test_within_2x_of_paper_absolutes(self, km):
+        paper = {
+            ("options/sec (stream RNG)", "SNB-EP"): 29_813,
+            ("options/sec (stream RNG)", "KNC"): 92_722,
+            ("options/sec (comp. RNG)", "SNB-EP"): 5_556,
+            ("options/sec (comp. RNG)", "KNC"): 16_366,
+        }
+        for (label, arch), value in paper.items():
+            ours = km.perf(label, arch).throughput
+            assert 0.5 < ours / value < 2.0, (label, arch, ours)
+
+    def test_compute_bound_in_both_modes(self, km):
+        for (label, arch) in [("options/sec (stream RNG)", "SNB-EP"),
+                              ("options/sec (comp. RNG)", "KNC")]:
+            tp = km.perf(label, arch)
+            assert not CostModel(tp.arch).is_bandwidth_bound(tp.trace,
+                                                             tp.ctx)
+
+    def test_traces_scale_with_paths(self):
+        a = stream_trace(SNB_EP, n_options=4, n_paths=1000)
+        b = stream_trace(SNB_EP, n_options=4, n_paths=2000)
+        assert b.transcendentals["exp"] == 2 * a.transcendentals["exp"]
+
+    def test_computed_adds_rng_work(self):
+        s = stream_trace(KNC, 4, 10_000)
+        c = computed_trace(KNC, 4, 10_000)
+        assert c.flops > s.flops
+        assert c.transcendentals["log"] > 0  # Box-Muller inside

@@ -1,0 +1,140 @@
+"""Multi-asset Monte-Carlo tests: correlation machinery and the
+Margrabe oracle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.kernels.monte_carlo import (cholesky_correlation, margrabe_exact,
+                                       price_basket_call,
+                                       price_best_of_call, price_exchange,
+                                       terminal_assets)
+from repro.pricing import bs_call
+from repro.rng import MT19937, NormalGenerator
+from repro.validation import mc_error_within_clt
+
+CORR2 = np.array([[1.0, 0.5], [0.5, 1.0]])
+
+
+@pytest.fixture(scope="module")
+def normals2():
+    return NormalGenerator(MT19937(21)).normals(2 * 150_000).reshape(-1, 2)
+
+
+class TestCholesky:
+    def test_identity(self):
+        L = cholesky_correlation(np.eye(3))
+        assert np.allclose(L, np.eye(3))
+
+    def test_factor_reproduces_matrix(self):
+        L = cholesky_correlation(CORR2)
+        assert np.allclose(L @ L.T, CORR2)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(DomainError):
+            cholesky_correlation(np.array([[1.0, 0.5], [0.3, 1.0]]))
+
+    def test_rejects_bad_diagonal(self):
+        with pytest.raises(DomainError):
+            cholesky_correlation(np.array([[2.0, 0.0], [0.0, 1.0]]))
+
+    def test_rejects_indefinite(self):
+        bad = np.array([[1.0, 0.99, -0.99],
+                        [0.99, 1.0, 0.99],
+                        [-0.99, 0.99, 1.0]])
+        with pytest.raises(DomainError):
+            cholesky_correlation(bad)
+
+
+class TestTerminalAssets:
+    def test_martingale_property(self, normals2):
+        """E[S_T] = S_0 e^{rT} per asset."""
+        st = terminal_assets([100.0, 80.0], [0.3, 0.2], CORR2, 1.0, 0.05,
+                             normals2)
+        expected = np.array([100.0, 80.0]) * np.exp(0.05)
+        assert np.allclose(st.mean(axis=0), expected, rtol=0.01)
+
+    def test_log_correlation_realised(self, normals2):
+        st = terminal_assets([100.0, 100.0], [0.3, 0.3], CORR2, 1.0, 0.02,
+                             normals2)
+        logs = np.log(st)
+        corr = np.corrcoef(logs[:, 0], logs[:, 1])[0, 1]
+        assert corr == pytest.approx(0.5, abs=0.01)
+
+    def test_log_vols_realised(self, normals2):
+        st = terminal_assets([100.0, 100.0], [0.3, 0.2], CORR2, 1.0, 0.02,
+                             normals2)
+        stds = np.log(st).std(axis=0)
+        assert stds[0] == pytest.approx(0.3, rel=0.02)
+        assert stds[1] == pytest.approx(0.2, rel=0.02)
+
+    def test_validation(self, normals2):
+        with pytest.raises(DomainError):
+            terminal_assets([100.0], [0.3, 0.2], CORR2, 1.0, 0.02,
+                            normals2)
+        with pytest.raises(DomainError):
+            terminal_assets([100.0, -1.0], [0.3, 0.2], CORR2, 1.0, 0.02,
+                            normals2)
+        with pytest.raises(DomainError):
+            terminal_assets([100.0, 90.0], [0.3, 0.2], CORR2, 1.0, 0.02,
+                            normals2[:, :1])
+
+
+class TestExchangeVsMargrabe:
+    @pytest.mark.parametrize("rho", [-0.5, 0.0, 0.5, 0.9])
+    def test_mc_matches_closed_form(self, rho, normals2):
+        corr = np.array([[1.0, rho], [rho, 1.0]])
+        res = price_exchange([100.0, 95.0], [0.3, 0.25], corr, 1.0, 0.04,
+                             normals2)
+        exact = margrabe_exact(100.0, 95.0, 0.3, 0.25, rho, 1.0)
+        assert mc_error_within_clt(res.price[0], exact, res.stderr[0])
+
+    def test_rate_invariance(self, normals2):
+        """Margrabe value is rate-free; the MC estimate must agree for
+        different rates (same normals)."""
+        a = price_exchange([100.0, 95.0], [0.3, 0.25], CORR2, 1.0, 0.0,
+                           normals2)
+        b = price_exchange([100.0, 95.0], [0.3, 0.25], CORR2, 1.0, 0.10,
+                           normals2)
+        assert abs(a.price[0] - b.price[0]) < 4 * (a.stderr[0]
+                                                   + b.stderr[0])
+
+    def test_higher_correlation_cheaper_exchange(self, normals2):
+        lo = margrabe_exact(100, 100, 0.3, 0.3, 0.0, 1.0)
+        hi = margrabe_exact(100, 100, 0.3, 0.3, 0.9, 1.0)
+        assert hi < lo  # co-moving assets rarely diverge
+
+    def test_margrabe_validation(self):
+        with pytest.raises(DomainError):
+            margrabe_exact(-1, 100, 0.3, 0.3, 0.5, 1.0)
+        with pytest.raises(DomainError):
+            margrabe_exact(100, 100, 0.3, 0.3, 1.0, 1.0)
+
+
+class TestBasketAndRainbow:
+    def test_basket_bounds(self, normals2):
+        """Basket call <= weighted sum of vanilla calls (subadditivity of
+        max), >= call on the forward-degenerate lower bound 0."""
+        res = price_basket_call([100.0, 90.0], [0.3, 0.25], CORR2,
+                                [0.5, 0.5], 95.0, 1.0, 0.03, normals2)
+        v1 = float(bs_call(100, 95, 1.0, 0.03, 0.3))
+        v2 = float(bs_call(90, 95, 1.0, 0.03, 0.25))
+        assert 0 < res.price[0] < 0.5 * v1 + 0.5 * v2 + 4 * res.stderr[0]
+
+    def test_single_asset_basket_is_vanilla(self, normals2):
+        res = price_basket_call([100.0], [0.3], np.eye(1), [1.0], 100.0,
+                                1.0, 0.02, normals2[:, :1])
+        exact = float(bs_call(100, 100, 1.0, 0.02, 0.3))
+        assert mc_error_within_clt(res.price[0], exact, res.stderr[0])
+
+    def test_best_of_dominates_basket(self, normals2):
+        best = price_best_of_call([100.0, 100.0], [0.3, 0.3], CORR2,
+                                  100.0, 1.0, 0.02, normals2)
+        bask = price_basket_call([100.0, 100.0], [0.3, 0.3], CORR2,
+                                 [0.5, 0.5], 100.0, 1.0, 0.02, normals2)
+        assert best.price[0] > bask.price[0]
+
+    def test_weight_shape_checked(self, normals2):
+        with pytest.raises(DomainError):
+            price_basket_call([100.0, 90.0], [0.3, 0.25], CORR2, [1.0],
+                              95.0, 1.0, 0.03, normals2)

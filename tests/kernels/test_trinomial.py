@@ -1,0 +1,78 @@
+"""Trinomial-tree tests: probabilities, convergence, lattice agreement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.kernels.binomial import (price_basic, price_trinomial,
+                                    price_trinomial_batch,
+                                    trinomial_params)
+from repro.pricing import (ExerciseStyle, Option, OptionKind, bs_call,
+                           bs_put)
+from repro.validation import AMERICAN_PUT_ANCHOR, observed_order
+
+
+class TestParams:
+    def test_probabilities_sum_to_one(self, atm_option):
+        p = trinomial_params(atm_option, 256)
+        dt = atm_option.expiry / 256
+        df = np.exp(-atm_option.rate * dt)
+        total = (p.pu_by_df + p.pm_by_df + p.pd_by_df) / df
+        assert total == pytest.approx(1.0)
+
+    def test_all_probabilities_positive(self, atm_option):
+        p = trinomial_params(atm_option, 64)
+        assert p.pu_by_df > 0 and p.pm_by_df > 0 and p.pd_by_df > 0
+
+    def test_risk_neutral_mean(self, atm_option):
+        """One step must grow the spot at the risk-free rate."""
+        n = 128
+        p = trinomial_params(atm_option, n)
+        dt = atm_option.expiry / n
+        df = np.exp(-atm_option.rate * dt)
+        mean = (p.pu_by_df * p.u + p.pm_by_df
+                + p.pd_by_df / p.u) / df
+        assert mean == pytest.approx(np.exp(atm_option.rate * dt),
+                                     rel=1e-10)
+
+    def test_validation(self, atm_option):
+        with pytest.raises(DomainError):
+            trinomial_params(atm_option, 0)
+
+
+class TestPricing:
+    def test_converges_to_black_scholes(self, atm_option):
+        exact = float(bs_call(100, 100, 1.0, 0.05, 0.2))
+        errors, scales = [], []
+        for n in (32, 64, 128, 256):
+            errors.append(abs(price_trinomial(atm_option, n) - exact))
+            scales.append(1.0 / n)
+        assert errors[-1] < 0.01
+        assert 0.7 < observed_order(errors, scales) < 1.8
+
+    def test_smaller_constant_than_binomial(self, atm_option):
+        """At equal N the trinomial error should beat the binomial."""
+        exact = float(bs_call(100, 100, 1.0, 0.05, 0.2))
+        tri = abs(price_trinomial(atm_option, 256) - exact)
+        bino = abs(price_basic(atm_option, 256) - exact)
+        assert tri < bino
+
+    def test_agrees_with_binomial_american(self, american_put):
+        tri = price_trinomial(american_put, 2048)
+        assert tri == pytest.approx(AMERICAN_PUT_ANCHOR, abs=5e-3)
+
+    def test_put_pricing(self):
+        o = Option(100, 110, 0.5, 0.02, 0.3, OptionKind.PUT)
+        exact = float(bs_put(100, 110, 0.5, 0.02, 0.3))
+        assert price_trinomial(o, 1024) == pytest.approx(exact, abs=0.01)
+
+    def test_american_geq_european(self):
+        am = Option(100, 105, 1.0, 0.05, 0.3, OptionKind.PUT,
+                    ExerciseStyle.AMERICAN)
+        eu = Option(100, 105, 1.0, 0.05, 0.3, OptionKind.PUT)
+        assert price_trinomial(am, 512) > price_trinomial(eu, 512)
+
+    def test_batch(self, option_group):
+        prices = price_trinomial_batch(option_group, 128)
+        assert prices.shape == (4,)
+        assert np.all(np.diff(prices) < 0)  # strikes ascend

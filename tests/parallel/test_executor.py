@@ -1,0 +1,76 @@
+"""Chunked executor tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import ChunkExecutor
+
+
+def _square_range(a, b):
+    return [i * i for i in range(a, b)]
+
+
+class TestSerial:
+    def test_map_range(self):
+        ex = ChunkExecutor("serial", n_workers=4)
+        chunks = ex.map_range(_square_range, 10)
+        flat = [v for c in chunks for v in c]
+        assert flat == [i * i for i in range(10)]
+
+    def test_map_items(self):
+        ex = ChunkExecutor("serial", n_workers=3)
+        assert ex.map_items(lambda x: x + 1, [1, 2, 3, 4]) == [2, 3, 4, 5]
+
+    def test_empty(self):
+        ex = ChunkExecutor("serial", n_workers=2)
+        assert ex.map_range(_square_range, 0) == []
+        assert ex.map_items(lambda x: x, []) == []
+
+
+class TestThread:
+    def test_results_ordered(self):
+        ex = ChunkExecutor("thread", n_workers=4)
+        chunks = ex.map_range(_square_range, 100)
+        flat = [v for c in chunks for v in c]
+        assert flat == [i * i for i in range(100)]
+
+    def test_numpy_chunks(self):
+        ex = ChunkExecutor("thread", n_workers=2)
+        data = np.arange(1000.0)
+        chunks = ex.map_range(lambda a, b: float(data[a:b].sum()), 1000)
+        assert sum(chunks) == pytest.approx(data.sum())
+
+    def test_matches_serial(self):
+        serial = ChunkExecutor("serial", n_workers=3)
+        threaded = ChunkExecutor("thread", n_workers=3)
+        assert (serial.map_items(lambda x: x * 2, range(20))
+                == threaded.map_items(lambda x: x * 2, range(20)))
+
+
+class TestValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            ChunkExecutor("gpu")
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ChunkExecutor("serial", n_workers=0)
+
+    def test_default_worker_count_positive(self):
+        assert ChunkExecutor().n_workers >= 1
+
+
+def _square_item(x):
+    """Module-level so the process backend can pickle it."""
+    return x * x
+
+
+class TestProcess:
+    def test_process_backend_matches_serial(self):
+        from repro.parallel import ChunkExecutor
+        serial = ChunkExecutor("serial", n_workers=2)
+        procs = ChunkExecutor("process", n_workers=2)
+        items = list(range(40))
+        assert (procs.map_items(_square_item, items)
+                == serial.map_items(_square_item, items))

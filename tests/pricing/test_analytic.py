@@ -1,0 +1,136 @@
+"""Closed-form Black-Scholes oracle tests: golden values, parity,
+greeks, and no-arbitrage properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DomainError
+from repro.pricing import (bs_call, bs_call_put, bs_delta, bs_gamma, bs_put,
+                           bs_rho, bs_theta, bs_vega, parity_residual)
+from repro.validation import BS_GOLDEN
+
+spots = st.floats(min_value=5.0, max_value=500.0)
+strikes = st.floats(min_value=5.0, max_value=500.0)
+expiries = st.floats(min_value=0.05, max_value=5.0)
+rates = st.floats(min_value=-0.02, max_value=0.15)
+vols = st.floats(min_value=0.05, max_value=1.0)
+
+
+class TestGoldenValues:
+    @pytest.mark.parametrize("params", sorted(BS_GOLDEN))
+    def test_call_put_match_golden(self, params):
+        call, put = BS_GOLDEN[params]
+        assert float(bs_call(*params)) == pytest.approx(call, abs=1e-10)
+        assert float(bs_put(*params)) == pytest.approx(put, abs=1e-10)
+
+
+class TestParity:
+    @given(spots, strikes, expiries, rates, vols)
+    @settings(max_examples=300)
+    def test_put_call_parity(self, S, X, T, r, sig):
+        c = bs_call(S, X, T, r, sig)
+        p = bs_put(S, X, T, r, sig)
+        resid = parity_residual(c, p, S, X, T, r)
+        assert abs(float(resid)) < 1e-9 * max(1.0, S, X)
+
+    def test_shared_evaluation_matches_separate(self, rng_np):
+        S = rng_np.uniform(50, 150, 1000)
+        X = rng_np.uniform(50, 150, 1000)
+        T = rng_np.uniform(0.1, 2, 1000)
+        c, p = bs_call_put(S, X, T, 0.03, 0.25)
+        assert np.allclose(c, bs_call(S, X, T, 0.03, 0.25), atol=1e-10)
+        assert np.allclose(p, bs_put(S, X, T, 0.03, 0.25), atol=1e-10)
+
+
+class TestNoArbitrageProperties:
+    @given(spots, strikes, expiries, rates, vols)
+    @settings(max_examples=200)
+    def test_call_bounds(self, S, X, T, r, sig):
+        c = float(bs_call(S, X, T, r, sig))
+        lower = max(0.0, S - X * np.exp(-r * T))
+        assert lower - 1e-9 * max(1, S) <= c <= S + 1e-12
+
+    @given(spots, strikes, expiries, rates, vols)
+    @settings(max_examples=200)
+    def test_put_bounds(self, S, X, T, r, sig):
+        p = float(bs_put(S, X, T, r, sig))
+        lower = max(0.0, X * np.exp(-r * T) - S)
+        assert lower - 1e-9 * max(1, X) <= p <= X * np.exp(-r * T) + 1e-9
+
+    def test_call_decreasing_in_strike(self):
+        X = np.linspace(50, 150, 100)
+        c = bs_call(100.0, X, 1.0, 0.02, 0.3)
+        assert np.all(np.diff(c) < 0)
+
+    def test_put_increasing_in_strike(self):
+        X = np.linspace(50, 150, 100)
+        p = bs_put(100.0, X, 1.0, 0.02, 0.3)
+        assert np.all(np.diff(p) > 0)
+
+    def test_value_increasing_in_vol(self):
+        vols = np.linspace(0.05, 1.0, 50)
+        c = np.array([float(bs_call(100, 100, 1, 0.02, v)) for v in vols])
+        assert np.all(np.diff(c) > 0)
+
+    def test_deep_itm_call_approaches_forward(self):
+        c = float(bs_call(1000.0, 10.0, 1.0, 0.05, 0.2))
+        assert c == pytest.approx(1000.0 - 10.0 * np.exp(-0.05), rel=1e-8)
+
+    def test_deep_otm_worthless(self):
+        assert float(bs_call(10.0, 1000.0, 0.1, 0.02, 0.2)) < 1e-12
+
+
+class TestGreeks:
+    def _fd(self, f, x, h):
+        return (f(x + h) - f(x - h)) / (2 * h)
+
+    def test_delta_is_dprice_dspot(self):
+        f = lambda s: float(bs_call(s, 100, 1.0, 0.05, 0.2))
+        fd = self._fd(f, 100.0, 1e-4)
+        assert float(bs_delta(100, 100, 1.0, 0.05, 0.2)) == pytest.approx(
+            fd, abs=1e-6)
+
+    def test_put_delta(self):
+        call_d = float(bs_delta(100, 100, 1.0, 0.05, 0.2, call=True))
+        put_d = float(bs_delta(100, 100, 1.0, 0.05, 0.2, call=False))
+        assert put_d == pytest.approx(call_d - 1.0, abs=1e-12)
+
+    def test_gamma_is_second_derivative(self):
+        f = lambda s: float(bs_call(s, 100, 1.0, 0.05, 0.2))
+        fd2 = (f(100 + 0.01) - 2 * f(100.0) + f(100 - 0.01)) / 0.01 ** 2
+        assert float(bs_gamma(100, 100, 1.0, 0.05, 0.2)) == pytest.approx(
+            fd2, rel=1e-4)
+
+    def test_vega_is_dprice_dvol(self):
+        f = lambda v: float(bs_call(100, 100, 1.0, 0.05, v))
+        fd = self._fd(f, 0.2, 1e-6)
+        assert float(bs_vega(100, 100, 1.0, 0.05, 0.2)) == pytest.approx(
+            fd, rel=1e-6)
+
+    def test_theta_is_minus_dprice_dT(self):
+        f = lambda t: float(bs_call(100, 100, t, 0.05, 0.2))
+        fd = -self._fd(f, 1.0, 1e-6)
+        assert float(bs_theta(100, 100, 1.0, 0.05, 0.2)) == pytest.approx(
+            fd, rel=1e-5)
+
+    def test_rho_is_dprice_drate(self):
+        f = lambda r: float(bs_call(100, 100, 1.0, r, 0.2))
+        fd = self._fd(f, 0.05, 1e-7)
+        assert float(bs_rho(100, 100, 1.0, 0.05, 0.2)) == pytest.approx(
+            fd, rel=1e-5)
+
+    def test_put_rho_negative(self):
+        assert float(bs_rho(100, 100, 1.0, 0.05, 0.2, call=False)) < 0
+
+    def test_gamma_and_vega_positive(self):
+        assert float(bs_gamma(100, 90, 0.5, 0.02, 0.3)) > 0
+        assert float(bs_vega(100, 90, 0.5, 0.02, 0.3)) > 0
+
+
+class TestDomain:
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(DomainError):
+            bs_call(-1.0, 100.0, 1.0, 0.02, 0.3)
+        with pytest.raises(DomainError):
+            bs_put(100.0, 100.0, -1.0, 0.02, 0.3)

@@ -1,0 +1,117 @@
+"""Term-structure tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.pricing import (MarketCurves, PiecewiseFlatCurve, bs_call,
+                           curve_call, curve_put, simulate_curve_gbm)
+from repro.rng import MT19937, NormalGenerator
+from repro.validation import mc_error_within_clt
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return MarketCurves(
+        rate=PiecewiseFlatCurve(times=(0.5, 1.0, 5.0),
+                                values=(0.01, 0.03, 0.05)),
+        vol=PiecewiseFlatCurve(times=(0.25, 1.0, 5.0),
+                               values=(0.2, 0.3, 0.25)),
+    )
+
+
+class TestPiecewiseFlatCurve:
+    def test_lookup(self):
+        c = PiecewiseFlatCurve(times=(1.0, 2.0), values=(0.1, 0.2))
+        assert c(0.5) == 0.1
+        assert c(1.0) == 0.1        # right-continuous intervals (0,1]
+        assert c(1.5) == 0.2
+        assert c(10.0) == 0.2       # extended flat
+
+    def test_vectorized_lookup(self):
+        c = PiecewiseFlatCurve(times=(1.0,), values=(0.1,))
+        assert np.allclose(c(np.array([0.1, 5.0])), [0.1, 0.1])
+
+    def test_integral_piecewise(self):
+        c = PiecewiseFlatCurve(times=(1.0, 2.0), values=(0.1, 0.2))
+        assert c.integral(0.5) == pytest.approx(0.05)
+        assert c.integral(1.5) == pytest.approx(0.1 + 0.1)
+        assert c.integral(3.0) == pytest.approx(0.1 + 0.2 + 0.2)
+
+    def test_flat_factory(self):
+        c = PiecewiseFlatCurve.flat(0.05)
+        assert c(0.1) == 0.05
+        assert c.integral(2.0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            PiecewiseFlatCurve(times=(1.0, 0.5), values=(0.1, 0.2))
+        with pytest.raises(DomainError):
+            PiecewiseFlatCurve(times=(0.0,), values=(0.1,))
+        with pytest.raises(DomainError):
+            PiecewiseFlatCurve(times=(1.0,), values=(0.1, 0.2))
+
+
+class TestEffectiveParameters:
+    def test_flat_curves_reduce_to_constants(self):
+        mc = MarketCurves(rate=PiecewiseFlatCurve.flat(0.04),
+                          vol=PiecewiseFlatCurve.flat(0.3))
+        assert mc.effective_rate(1.7) == pytest.approx(0.04)
+        assert mc.effective_vol(1.7) == pytest.approx(0.3)
+        assert mc.discount_factor(2.0) == pytest.approx(np.exp(-0.08))
+
+    def test_effective_vol_is_rms(self, curves):
+        # 1y: 0.25y at 0.2 + 0.75y at 0.3
+        expected = np.sqrt((0.25 * 0.04 + 0.75 * 0.09) / 1.0)
+        assert curves.effective_vol(1.0) == pytest.approx(expected)
+
+    def test_forward_vol_consistency(self, curves):
+        """Total variance = sum of forward variances."""
+        v1 = curves.forward_vol(0.0, 0.5) ** 2 * 0.5
+        v2 = curves.forward_vol(0.5, 1.0) ** 2 * 0.5
+        assert v1 + v2 == pytest.approx(
+            curves.effective_vol(1.0) ** 2 * 1.0)
+
+    def test_validation(self, curves):
+        with pytest.raises(DomainError):
+            curves.effective_rate(0.0)
+        with pytest.raises(DomainError):
+            curves.forward_vol(1.0, 0.5)
+
+
+class TestCurvePricing:
+    def test_flat_curves_match_plain_bs(self):
+        mc = MarketCurves(rate=PiecewiseFlatCurve.flat(0.03),
+                          vol=PiecewiseFlatCurve.flat(0.25))
+        assert curve_call(100, 105, 1.0, mc) == pytest.approx(
+            float(bs_call(100, 105, 1.0, 0.03, 0.25)), abs=1e-12)
+
+    def test_parity_under_curves(self, curves):
+        c = curve_call(100, 100, 1.0, curves)
+        p = curve_put(100, 100, 1.0, curves)
+        assert c - p == pytest.approx(
+            100 - 100 * curves.discount_factor(1.0), abs=1e-9)
+
+    def test_mc_with_time_dependent_params_matches(self, curves):
+        """The stepwise simulator under r(t), sigma(t) reproduces the
+        effective-parameter closed form."""
+        st = simulate_curve_gbm(100.0, 1.0, curves, 80_000, 16,
+                                NormalGenerator(MT19937(3)))
+        payoff = np.maximum(st - 100.0, 0.0)
+        mc = curves.discount_factor(1.0) * payoff.mean()
+        se = curves.discount_factor(1.0) * payoff.std() / np.sqrt(80_000)
+        assert mc_error_within_clt(mc, curve_call(100, 100, 1.0, curves),
+                                   se)
+
+    def test_curve_martingale(self, curves):
+        st = simulate_curve_gbm(100.0, 1.0, curves, 80_000, 16,
+                                NormalGenerator(MT19937(5)))
+        disc = st.mean() * curves.discount_factor(1.0)
+        assert disc == pytest.approx(100.0, rel=0.01)
+
+    def test_simulator_validation(self, curves):
+        gen = NormalGenerator(MT19937(1))
+        with pytest.raises(DomainError):
+            simulate_curve_gbm(-1.0, 1.0, curves, 10, 4, gen)
+        with pytest.raises(DomainError):
+            simulate_curve_gbm(100.0, 1.0, curves, 0, 4, gen)

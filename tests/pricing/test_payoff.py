@@ -1,0 +1,40 @@
+"""Payoff primitive tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pricing import (OptionKind, call_payoff, payoff,
+                           payoff_in_log_space, put_payoff)
+
+prices = st.floats(min_value=0.01, max_value=1e4)
+
+
+class TestPayoffs:
+    def test_call(self):
+        assert np.allclose(call_payoff([90, 100, 110], 100), [0, 0, 10])
+
+    def test_put(self):
+        assert np.allclose(put_payoff([90, 100, 110], 100), [10, 0, 0])
+
+    @given(prices, prices)
+    def test_nonnegative(self, s, k):
+        assert call_payoff(np.array([s]), k)[0] >= 0
+        assert put_payoff(np.array([s]), k)[0] >= 0
+
+    @given(prices, prices)
+    def test_call_put_identity(self, s, k):
+        """max(S-K,0) - max(K-S,0) == S - K."""
+        c = call_payoff(np.array([s]), k)[0]
+        p = put_payoff(np.array([s]), k)[0]
+        assert c - p == pytest.approx(s - k, rel=1e-12, abs=1e-9)
+
+    def test_dispatch(self):
+        s = np.array([120.0])
+        assert payoff(s, 100, OptionKind.CALL)[0] == 20
+        assert payoff(s, 100, OptionKind.PUT)[0] == 0
+
+    def test_log_space(self):
+        x = np.log(np.array([0.5, 1.0, 2.0]))
+        out = payoff_in_log_space(x, 1.0, OptionKind.PUT)
+        assert np.allclose(out, [0.5, 0.0, 0.0])

@@ -1,0 +1,65 @@
+"""Workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.pricing import (PortfolioSpec, atm_batch, random_batch,
+                           strike_ladder)
+
+
+class TestRandomBatch:
+    def test_reproducible(self):
+        a = random_batch(100, seed=1)
+        b = random_batch(100, seed=1)
+        assert np.array_equal(a.S, b.S) and np.array_equal(a.X, b.X)
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(random_batch(100, seed=1).S,
+                                  random_batch(100, seed=2).S)
+
+    def test_ranges_respected(self):
+        spec = PortfolioSpec(spot_range=(10, 20), strike_range=(30, 40),
+                             expiry_range=(0.5, 1.5))
+        b = random_batch(1000, spec=spec, seed=3)
+        assert b.S.min() >= 10 and b.S.max() <= 20
+        assert b.X.min() >= 30 and b.X.max() <= 40
+        assert b.T.min() >= 0.5 and b.T.max() <= 1.5
+
+    def test_layout_passthrough(self):
+        assert random_batch(10, layout="aos").layout == "aos"
+
+    def test_size_validation(self):
+        with pytest.raises(DomainError):
+            random_batch(0)
+
+    def test_spec_validation(self):
+        with pytest.raises(DomainError):
+            PortfolioSpec(spot_range=(10, 5))
+        with pytest.raises(DomainError):
+            PortfolioSpec(vol=-0.1)
+
+
+class TestAtmBatch:
+    def test_all_identical_and_atm(self):
+        b = atm_batch(64, spot=50.0)
+        assert np.all(b.S == 50.0)
+        assert np.array_equal(b.S, b.X)
+
+    def test_distinct_strike_array(self):
+        """X must not alias S (kernels write outputs via views)."""
+        b = atm_batch(4)
+        b.X[0] = 1.0
+        assert b.S[0] != 1.0
+
+
+class TestStrikeLadder:
+    def test_monotone_strikes(self):
+        b = strike_ladder(50, spot=100.0, lo=0.8, hi=1.2)
+        assert np.all(np.diff(b.X) > 0)
+        assert b.X[0] == pytest.approx(80.0)
+        assert b.X[-1] == pytest.approx(120.0)
+
+    def test_needs_two_rungs(self):
+        with pytest.raises(DomainError):
+            strike_ladder(1)

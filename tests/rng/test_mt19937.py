@@ -1,0 +1,99 @@
+"""MT19937 bit-exactness and stream tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import MT19937
+from repro.validation import (MT19937_ARRAY_SEED_FIRST,
+                              MT19937_SEED_5489_FIRST)
+
+
+class TestReferenceVectors:
+    def test_default_seed_first_outputs(self):
+        g = MT19937(5489)
+        assert tuple(g.raw(5)) == MT19937_SEED_5489_FIRST
+
+    def test_init_by_array_vector(self):
+        """The mt19937ar.out test vector."""
+        g = MT19937([0x123, 0x234, 0x345, 0x456])
+        assert tuple(g.raw(5)) == MT19937_ARRAY_SEED_FIRST
+
+    def test_state_matches_numpy_randomstate(self):
+        for seed in (1, 42, 5489, 2012):
+            ours, _ = MT19937(seed).state()
+            theirs = np.random.RandomState(seed).get_state()[1]
+            assert np.array_equal(ours, theirs)
+
+    def test_uniform53_matches_numpy_random_sample(self):
+        g = MT19937(123)
+        rs = np.random.RandomState(123)
+        assert np.array_equal(g.uniform53(10_000), rs.random_sample(10_000))
+
+    def test_outputs_cross_twist_boundary(self):
+        """Draw counts that straddle the 624-word block edge."""
+        a = MT19937(7).raw(2000)
+        g = MT19937(7)
+        chunks = np.concatenate([g.raw(623), g.raw(1), g.raw(1376)])
+        assert np.array_equal(a, chunks)
+
+
+class TestAPI:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MT19937(1).raw(-1)
+
+    def test_zero_count(self):
+        assert MT19937(1).raw(0).size == 0
+
+    def test_bad_seed_type(self):
+        with pytest.raises(ConfigurationError):
+            MT19937(1.5)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MT19937([])
+
+    def test_determinism(self):
+        assert np.array_equal(MT19937(99).raw(100), MT19937(99).raw(100))
+
+    def test_jumped_copy_skips_exactly(self):
+        g = MT19937(3)
+        ref = g.raw(1000)
+        j = MT19937(3).jumped_copy(600)
+        assert np.array_equal(j.raw(400), ref[600:])
+
+    def test_jumped_copy_leaves_original(self):
+        g = MT19937(3)
+        g.jumped_copy(100)
+        assert np.array_equal(g.raw(5), MT19937(3).raw(5))
+
+
+class TestDistribution:
+    def test_uniform53_range_and_moments(self):
+        u = MT19937(11).uniform53(200_000)
+        assert u.min() >= 0.0 and u.max() < 1.0
+        assert abs(u.mean() - 0.5) < 0.005
+        assert abs(u.var() - 1.0 / 12.0) < 0.002
+
+    def test_uniform32_range(self):
+        u = MT19937(11).uniform32(100_000)
+        assert u.min() >= 0.0 and u.max() < 1.0
+
+    def test_uniform53_has_fine_resolution(self):
+        """53-bit uniforms should produce values below 2^-32."""
+        u = MT19937(17).uniform53(1_000_000)
+        spacing = np.unique(u)
+        assert np.min(np.diff(spacing)) < 2.0 ** -32
+
+    def test_bit_balance(self):
+        """Each of the 32 output bits should be ~half set."""
+        r = MT19937(5).raw(100_000)
+        for bit in range(32):
+            frac = ((r >> np.uint32(bit)) & 1).mean()
+            assert 0.49 < frac < 0.51
+
+    def test_no_serial_correlation(self):
+        u = MT19937(23).uniform53(100_000)
+        corr = np.corrcoef(u[:-1], u[1:])[0, 1]
+        assert abs(corr) < 0.01

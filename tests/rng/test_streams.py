@@ -1,0 +1,86 @@
+"""Parallel stream-set tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import MT19937, make_streams
+from repro.rng.counting import normal_trace, uniform_trace
+
+
+class TestMakeStreams:
+    def test_mt2203_streams(self):
+        ss = make_streams(8, "mt2203", seed=3)
+        assert len(ss) == 8 and ss.kind == "mt2203"
+        a = ss[0].uniform53(1000)
+        b = ss[1].uniform53(1000)
+        assert not np.array_equal(a, b)
+
+    def test_philox_partitions_one_logical_stream(self):
+        ss = make_streams(4, "philox", seed=7, draws_per_worker=100)
+        whole = np.concatenate([ss[i].raw(100) for i in range(4)])
+        from repro.rng import Philox
+        assert np.array_equal(whole, Philox(key=7).raw(400))
+
+    def test_mt19937_split_matches_sequential(self):
+        ss = make_streams(3, "mt19937", seed=11, draws_per_worker=1000)
+        root = MT19937(11)
+        ref = root.raw(3000)
+        for i in range(3):
+            assert np.array_equal(ss[i].raw(1000),
+                                  ref[i * 1000:(i + 1) * 1000])
+
+    def test_mt19937_split_size_guard(self):
+        with pytest.raises(ConfigurationError):
+            make_streams(1000, "mt19937", draws_per_worker=1 << 20)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_streams(2, "xorshift")
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_streams(0)
+
+    def test_normal_generators(self):
+        ss = make_streams(2, "mt2203")
+        gens = ss.normal_generators("icdf")
+        z = gens[0].normals(10_000)
+        assert abs(z.mean()) < 0.05
+
+
+class TestCounting:
+    def test_uniform_trace_scales_with_n(self):
+        a = uniform_trace(1000, 4)
+        b = uniform_trace(2000, 4)
+        assert b.arith_instrs == pytest.approx(2 * a.arith_instrs, rel=0.01)
+
+    def test_wider_machine_fewer_instructions(self):
+        a = uniform_trace(10_000, 4)
+        b = uniform_trace(10_000, 8)
+        assert b.arith_instrs < a.arith_instrs
+
+    def test_normal_costs_more_than_uniform(self):
+        u = uniform_trace(1000, 8)
+        n = normal_trace(1000, 8)
+        assert n.flops > u.flops
+
+    def test_icdf_uses_invcnd(self):
+        t = normal_trace(1000, 8, "icdf")
+        assert t.transcendentals["invcnd"] == 1000
+
+    def test_box_muller_uses_trig(self):
+        t = normal_trace(1000, 8, "box_muller")
+        assert t.transcendentals["sin"] > 0
+        assert t.transcendentals["cos"] > 0
+        assert t.transcendentals["log"] > 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            uniform_trace(-1, 4)
+        with pytest.raises(ConfigurationError):
+            normal_trace(10, 4, "ziggurat")
+
+    def test_items_set(self):
+        assert uniform_trace(500, 4).items == 500
+        assert normal_trace(500, 4).items == 500

@@ -1,0 +1,135 @@
+"""AOS/SOA layout tests — the transform behind the paper's key
+Black-Scholes optimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.simd import (AOSBatch, FieldSpec, SOABatch, aos_to_soa,
+                        make_batch, soa_to_aos, transform_traffic_bytes)
+
+FIELDS = (FieldSpec("S"), FieldSpec("X"), FieldSpec("T"),
+          FieldSpec("call", output=True), FieldSpec("put", output=True))
+
+
+def aos(n=8):
+    b = AOSBatch(FIELDS, n)
+    b.set("S", np.arange(n, dtype=float))
+    b.set("X", np.arange(n, dtype=float) * 10)
+    b.set("T", np.ones(n))
+    return b
+
+
+class TestAOS:
+    def test_strided_view_roundtrip(self):
+        b = aos(6)
+        assert np.allclose(b.get("S"), np.arange(6))
+        assert np.allclose(b.get("X"), np.arange(6) * 10)
+
+    def test_views_share_storage(self):
+        b = aos(4)
+        b.get("S")[0] = 99.0
+        assert b.data[0] == 99.0
+
+    def test_record(self):
+        b = aos(4)
+        rec = b.record(2)
+        assert rec == {"S": 2.0, "X": 20.0, "T": 1.0, "call": 0.0, "put": 0.0}
+
+    def test_field_indices(self):
+        b = aos(8)
+        idx = b.field_indices("X", width=4, start=2)
+        assert idx.tolist() == [11, 16, 21, 26]
+        assert np.allclose(b.data[idx], b.get("X")[2:6])
+
+    def test_unknown_field(self):
+        with pytest.raises(LayoutError):
+            aos().get("gamma")
+
+    def test_bad_payload_shape(self):
+        with pytest.raises(LayoutError):
+            AOSBatch(FIELDS, 4, data=np.zeros(7))
+
+    def test_duplicate_field_names(self):
+        with pytest.raises(LayoutError):
+            AOSBatch((FieldSpec("a"), FieldSpec("a")), 4)
+
+    def test_record_bytes(self):
+        assert aos().record_bytes == 40  # the paper's 40 B/option
+
+
+class TestLinesPerAccess:
+    def test_aos_touches_many_lines(self):
+        b = aos()
+        # stride 5 doubles: 4 lanes span 128 B -> 2 lines; 8 lanes span
+        # 288 B -> 5 lines (the paper's "as many as vector length").
+        assert b.lines_per_vector_access(4) == 2
+        assert b.lines_per_vector_access(8) == 5
+
+    def test_soa_touches_minimal_lines(self):
+        s = SOABatch(FIELDS, 64)
+        assert s.lines_per_vector_access(4) == 1
+        assert s.lines_per_vector_access(8) == 1
+
+    def test_aos_worse_than_soa_for_all_widths(self):
+        b, s = aos(64), SOABatch(FIELDS, 64)
+        for w in (2, 4, 8, 16):
+            assert (b.lines_per_vector_access(w)
+                    >= s.lines_per_vector_access(w))
+
+
+class TestTransforms:
+    def test_aos_to_soa_values(self):
+        s = aos_to_soa(aos(8))
+        assert np.allclose(s.get("S"), np.arange(8))
+        assert np.allclose(s.get("X"), np.arange(8) * 10)
+
+    def test_roundtrip(self):
+        b = aos(8)
+        back = soa_to_aos(aos_to_soa(b))
+        assert np.allclose(back.data, b.data)
+
+    @given(st.integers(1, 64))
+    def test_roundtrip_any_size(self, n):
+        b = AOSBatch(FIELDS, n,
+                     data=np.arange(n * 5, dtype=float))
+        assert np.allclose(soa_to_aos(aos_to_soa(b)).data, b.data)
+
+    def test_transform_is_a_copy(self):
+        b = aos(4)
+        s = aos_to_soa(b)
+        s.get("S")[0] = -1
+        assert b.get("S")[0] == 0.0
+
+    def test_transform_traffic(self):
+        assert transform_traffic_bytes(aos(100)) == 2 * 100 * 40
+
+
+class TestSOA:
+    def test_set_get(self):
+        s = SOABatch(FIELDS, 4)
+        s.set("call", [1, 2, 3, 4])
+        assert np.allclose(s.get("call"), [1, 2, 3, 4])
+
+    def test_bad_field_shape(self):
+        with pytest.raises(LayoutError):
+            SOABatch(FIELDS, 4, arrays={"S": np.zeros(5)})
+
+    def test_unknown_field(self):
+        with pytest.raises(LayoutError):
+            SOABatch(FIELDS, 4).get("nope")
+
+
+class TestFactory:
+    def test_make_batch(self):
+        assert make_batch(FIELDS, 4, "aos").layout == "aos"
+        assert make_batch(FIELDS, 4, "soa").layout == "soa"
+
+    def test_unknown_layout(self):
+        with pytest.raises(LayoutError):
+            make_batch(FIELDS, 4, "csr")
+
+    def test_negative_count(self):
+        with pytest.raises(LayoutError):
+            make_batch(FIELDS, -1, "soa")

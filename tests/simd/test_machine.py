@@ -1,0 +1,234 @@
+"""VectorMachine tests: memory instructions, alignment, cache coupling."""
+
+import numpy as np
+import pytest
+
+from repro.arch import KNC, SNB_EP
+from repro.errors import TraceError, VectorWidthError
+from repro.simd import VectorMachine
+
+
+class TestConstruction:
+    def test_width_must_match_arch(self):
+        with pytest.raises(VectorWidthError):
+            VectorMachine(8, SNB_EP)
+        with pytest.raises(VectorWidthError):
+            VectorMachine(4, KNC)
+
+    def test_width_positive(self):
+        with pytest.raises(VectorWidthError):
+            VectorMachine(0)
+
+    def test_no_arch_no_cache(self):
+        m = VectorMachine(4)
+        assert m.cache is None
+
+
+class TestArrays:
+    def test_registration_and_alignment(self, machine4):
+        a = machine4.array(np.arange(8.0), "a")
+        b = machine4.array(np.arange(8.0), "b")
+        assert a.base % 64 == 0 and b.base % 64 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_duplicate_name_rejected(self, machine4):
+        machine4.array(np.arange(4.0), "x")
+        with pytest.raises(TraceError):
+            machine4.array(np.arange(4.0), "x")
+
+    def test_zeros(self, machine4):
+        z = machine4.zeros(16)
+        assert len(z) == 16 and np.all(z.data == 0)
+
+
+class TestLoadsStores:
+    def test_roundtrip(self, machine4):
+        a = machine4.array(np.arange(8.0), "a")
+        v = machine4.load(a, 0)
+        machine4.store(a, 4, v)
+        assert np.allclose(a.data, [0, 1, 2, 3, 0, 1, 2, 3])
+
+    def test_aligned_vs_unaligned(self, machine4):
+        a = machine4.array(np.arange(16.0), "a")
+        machine4.load(a, 0)      # 32B-aligned offset
+        machine4.load(a, 4)
+        assert machine4.trace.unaligned_loads == 0
+        machine4.load(a, 1)      # straddles
+        assert machine4.trace.unaligned_loads == 1
+
+    def test_load_is_a_copy(self, machine4):
+        a = machine4.array(np.arange(8.0), "a")
+        v = machine4.load(a, 0)
+        a.data[0] = 99
+        assert v.data[0] == 0
+
+    def test_bounds_checked(self, machine4):
+        a = machine4.array(np.arange(6.0), "a")
+        with pytest.raises(TraceError):
+            machine4.load(a, 3)
+        with pytest.raises(TraceError):
+            machine4.store(a, -1, machine4.vec(0.0))
+
+    def test_store_checks_width(self, machine8):
+        a = machine8.array(np.arange(8.0), "a")
+        from repro.simd import F64Vec
+        with pytest.raises(VectorWidthError):
+            machine8.store(a, 0, F64Vec(np.zeros(4)))
+
+    def test_scalar_access(self, machine4):
+        a = machine4.array(np.arange(4.0), "a")
+        assert machine4.scalar_load(a, 2) == 2.0
+        machine4.scalar_store(a, 2, 9.0)
+        assert a.data[2] == 9.0
+        assert machine4.trace.loads == 1 and machine4.trace.stores == 1
+
+
+class TestGatherScatter:
+    def test_gather_values(self, machine4):
+        a = machine4.array(np.arange(32.0), "a")
+        v = machine4.gather(a, [0, 8, 16, 24])
+        assert np.allclose(v.data, [0, 8, 16, 24])
+
+    def test_gather_counts_distinct_lines(self, machine4):
+        a = machine4.array(np.arange(64.0), "a")
+        machine4.gather(a, [0, 1, 2, 3])        # one cacheline
+        assert machine4.trace.gather_lines == 1
+        machine4.gather(a, [0, 8, 16, 24])      # four cachelines
+        assert machine4.trace.gather_lines == 5
+
+    def test_scatter(self, machine4):
+        a = machine4.array(np.zeros(32), "a")
+        machine4.scatter(a, [1, 9, 17, 25], machine4.vec(7.0))
+        assert a.data[1] == 7.0 and a.data[25] == 7.0
+        assert machine4.trace.scatters == 1
+
+    def test_scatter_duplicate_indices_rejected(self, machine4):
+        a = machine4.array(np.zeros(8), "a")
+        with pytest.raises(TraceError):
+            machine4.scatter(a, [0, 0, 1, 2], machine4.vec(1.0))
+
+    def test_gather_bounds(self, machine4):
+        a = machine4.array(np.zeros(8), "a")
+        with pytest.raises(TraceError):
+            machine4.gather(a, [0, 1, 2, 8])
+
+    def test_index_count_must_match_width(self, machine4):
+        a = machine4.array(np.zeros(8), "a")
+        with pytest.raises(VectorWidthError):
+            machine4.gather(a, [0, 1])
+
+
+class TestCacheCoupling:
+    def test_repeat_loads_hit(self, machine4):
+        a = machine4.array(np.arange(8.0), "a")
+        machine4.load(a, 0)
+        misses0 = machine4.cache.levels[0].stats.misses
+        machine4.load(a, 0)
+        assert machine4.cache.levels[0].stats.misses == misses0
+
+    def test_dram_traffic_from_cache(self, machine4):
+        a = machine4.array(np.zeros(1024), "a")
+        for off in range(0, 1024, 4):
+            machine4.load(a, off)
+        assert machine4.dram_traffic_from_cache() == 1024 * 8
+
+    def test_finalize_dram(self, machine4):
+        a = machine4.array(np.zeros(64), "a")
+        machine4.load(a, 0)
+        machine4.finalize_dram()
+        assert machine4.trace.bytes_read == 64
+
+    def test_no_cache_raises(self):
+        m = VectorMachine(4)
+        with pytest.raises(TraceError):
+            m.dram_traffic_from_cache()
+
+
+class TestMisc:
+    def test_from_lanes(self, machine8):
+        v = machine8.from_lanes(np.arange(8.0))
+        assert np.allclose(v.data, np.arange(8))
+        assert machine8.trace.vector_ops["shuffle"] == 8
+
+    def test_from_lanes_width_check(self, machine8):
+        with pytest.raises(VectorWidthError):
+            machine8.from_lanes(np.arange(4.0))
+
+    def test_loop_overhead(self, machine4):
+        machine4.loop_overhead(10, instrs_per_iter=3)
+        assert machine4.trace.overhead_instrs == 30
+
+    def test_reset(self, machine4):
+        a = machine4.array(np.arange(8.0), "a")
+        machine4.load(a, 0)
+        machine4.reset()
+        assert machine4.trace.loads == 0
+        assert machine4.cache.dram_accesses == 0
+
+
+class TestMaskedAccess:
+    def test_masked_load_values(self, machine4):
+        import numpy as np
+        from repro.simd import Mask
+        a = machine4.array(np.arange(8.0), "a")
+        m = Mask(np.array([True, True, False, True]))
+        v = machine4.load_masked(a, 0, m)
+        assert np.allclose(v.data, [0, 1, 0, 3])
+
+    def test_masked_store_only_active_lanes(self, machine4):
+        import numpy as np
+        from repro.simd import Mask
+        a = machine4.array(np.arange(8.0), "a")
+        m = Mask(np.array([True, False, True, False]))
+        machine4.store_masked(a, 0, machine4.vec(9.0), m)
+        assert np.allclose(a.data[:4], [9, 1, 9, 3])
+
+    def test_masked_access_charges_blend(self, machine4):
+        import numpy as np
+        from repro.simd import Mask
+        a = machine4.array(np.arange(8.0), "a")
+        m = Mask(np.array([True, True, True, False]))
+        before = machine4.trace.vector_ops["blend"]
+        machine4.load_masked(a, 0, m)
+        machine4.store_masked(a, 0, machine4.vec(1.0), m)
+        assert machine4.trace.vector_ops["blend"] == before + 2
+
+    def test_all_inactive_mask_touches_nothing(self, machine4):
+        import numpy as np
+        from repro.simd import Mask
+        a = machine4.array(np.arange(4.0), "a")
+        m = Mask(np.zeros(4, dtype=bool))
+        v = machine4.load_masked(a, 0, m)
+        assert np.all(v.data == 0)
+        machine4.store_masked(a, 0, machine4.vec(9.0), m)
+        assert np.allclose(a.data, np.arange(4.0))
+        assert machine4.trace.loads == 0 and machine4.trace.stores == 0
+
+    def test_masked_tail_within_bounds(self, machine4):
+        """A remainder mask lets the last partial group access an array
+        whose length is not a width multiple."""
+        import numpy as np
+        from repro.simd import Mask
+        a = machine4.array(np.arange(6.0), "a")
+        m = Mask(np.array([True, True, False, False]))
+        v = machine4.load_masked(a, 4, m)   # lanes 4,5 valid; 6,7 masked
+        assert np.allclose(v.data, [4, 5, 0, 0])
+
+    def test_mask_width_checked(self, machine8):
+        import numpy as np
+        from repro.simd import Mask
+        from repro.errors import VectorWidthError
+        a = machine8.array(np.arange(8.0), "a")
+        with pytest.raises(VectorWidthError):
+            machine8.load_masked(a, 0, Mask(np.ones(4, dtype=bool)))
+
+
+class TestNoAliasing:
+    def test_registered_array_never_aliases_caller_buffer(self, machine4):
+        """Regression: np.ascontiguousarray aliases contiguous inputs —
+        machine stores must never write through to caller data."""
+        src = np.arange(8.0)
+        a = machine4.array(src, "a")
+        machine4.store(a, 0, machine4.vec(99.0))
+        assert np.array_equal(src, np.arange(8.0))
+        assert a.data is not src

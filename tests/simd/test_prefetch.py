@@ -1,0 +1,53 @@
+"""Software prefetch model tests."""
+
+import pytest
+
+from repro.arch import KNC, SNB_EP
+from repro.errors import ConfigurationError
+from repro.simd import DRAM_LATENCY_CYCLES, PrefetchSchedule, miss_stall_cycles
+
+
+class TestSchedule:
+    def test_enabled(self):
+        assert PrefetchSchedule(distance=8, coverage=0.9).enabled
+        assert not PrefetchSchedule(distance=0).enabled
+        assert not PrefetchSchedule(distance=8, coverage=0.0).enabled
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrefetchSchedule(distance=-1)
+        with pytest.raises(ConfigurationError):
+            PrefetchSchedule(coverage=1.5)
+
+
+class TestStalls:
+    def test_unprefetched_inorder_pays_latency_over_smt(self):
+        stall = miss_stall_cycles(KNC, 100, schedule=None)
+        assert stall == pytest.approx(100 * DRAM_LATENCY_CYCLES / 4)
+
+    def test_ooo_hides_most(self):
+        ooo = miss_stall_cycles(SNB_EP, 100)
+        inorder = miss_stall_cycles(KNC, 100)
+        assert ooo < inorder
+
+    def test_prefetch_removes_covered_misses(self):
+        none = miss_stall_cycles(KNC, 1000)
+        full = miss_stall_cycles(
+            KNC, 1000, PrefetchSchedule(distance=8, coverage=1.0))
+        assert full == pytest.approx(1000)  # one issue slot each
+        assert full < none / 10
+
+    def test_partial_coverage_between(self):
+        lo = miss_stall_cycles(KNC, 1000, PrefetchSchedule(coverage=1.0))
+        hi = miss_stall_cycles(KNC, 1000, schedule=None)
+        mid = miss_stall_cycles(KNC, 1000, PrefetchSchedule(coverage=0.5))
+        assert lo < mid < hi
+
+    def test_negative_misses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            miss_stall_cycles(KNC, -1)
+
+    def test_smt_override(self):
+        s1 = miss_stall_cycles(KNC, 100, smt_threads=1)
+        s4 = miss_stall_cycles(KNC, 100, smt_threads=4)
+        assert s1 == pytest.approx(4 * s4)

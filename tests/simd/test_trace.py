@@ -1,0 +1,159 @@
+"""OpTrace accounting tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.simd import FLOPS_PER_LANE, OpTrace
+
+
+class TestRecording:
+    def test_op_counts(self):
+        t = OpTrace(width=4)
+        t.op("mul", 3)
+        t.op("mul", 2)
+        assert t.vector_ops["mul"] == 5
+        assert t.arith_instrs == 5
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(TraceError):
+            OpTrace().op("divsqrt")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TraceError):
+            OpTrace().op("mul", -1)
+
+    def test_unknown_transcendental_rejected(self):
+        with pytest.raises(TraceError):
+            OpTrace().transcendental("tanh", 10)
+
+    def test_memory_counts(self):
+        t = OpTrace(width=4)
+        t.load(3)
+        t.load(2, aligned=False)
+        t.store(4)
+        t.gather(2, lines_per_access=4)
+        t.scatter(1, lines_per_access=8)
+        assert t.loads == 5 and t.unaligned_loads == 2
+        assert t.stores == 4
+        assert t.gathers == 2 and t.gather_lines == 8
+        assert t.scatters == 1 and t.scatter_lines == 8
+        assert t.mem_instrs == 12
+
+    def test_dram_and_overhead(self):
+        t = OpTrace()
+        t.dram(read=100, written=50, rfo=25)
+        t.overhead(7)
+        assert t.dram_bytes == 175
+        assert t.overhead_instrs == 7
+
+    def test_dependent_flag(self):
+        t = OpTrace(width=4)
+        t.op("fma", 10, dependent=True)
+        t.op("fma", 5, dependent=False)
+        assert t.dependent_ops == 10
+
+
+class TestDerived:
+    def test_flops_scale_with_width(self):
+        t4 = OpTrace(width=4)
+        t4.op("mul", 10)
+        t8 = OpTrace(width=8)
+        t8.op("mul", 10)
+        assert t8.flops == 2 * t4.flops
+
+    def test_fma_counts_two_flops_per_lane(self):
+        t = OpTrace(width=4)
+        t.op("fma", 1)
+        assert t.flops == 8
+
+    def test_data_movement_zero_flops(self):
+        t = OpTrace(width=8)
+        t.op("mov", 5)
+        t.op("blend", 5)
+        t.op("shuffle", 5)
+        assert t.flops == 0
+
+    def test_flops_table_complete_for_arith(self):
+        t = OpTrace(width=1)
+        for op in FLOPS_PER_LANE:
+            t.op(op, 1)  # every table entry is a legal opcode
+
+    def test_arithmetic_intensity(self):
+        t = OpTrace(width=1)
+        t.op("mul", 100)
+        t.dram(read=50)
+        assert t.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_intensity_infinite_when_cached(self):
+        t = OpTrace(width=4)
+        t.op("mul", 1)
+        assert t.arithmetic_intensity == float("inf")
+
+    def test_total_instrs(self):
+        t = OpTrace(width=4)
+        t.op("mul", 2)
+        t.load(3)
+        t.scalar_ops = 4
+        t.overhead(5)
+        assert t.total_instrs == 14
+
+
+class TestScaleAndMerge:
+    def test_per_item(self):
+        t = OpTrace(width=4)
+        t.op("mul", 100)
+        t.load(50)
+        t.items = 10
+        p = t.per_item()
+        assert p.vector_ops["mul"] == pytest.approx(10)
+        assert p.loads == pytest.approx(5)
+        assert p.items == 1
+
+    def test_per_item_requires_items(self):
+        with pytest.raises(TraceError):
+            OpTrace().per_item()
+
+    @given(st.integers(1, 100), st.integers(1, 50))
+    def test_scaling_linear(self, ops, factor):
+        t = OpTrace(width=4)
+        t.op("add", ops)
+        t.items = 1
+        s = t.scaled(factor)
+        assert s.vector_ops["add"] == ops * factor
+
+    def test_merge_accumulates(self):
+        a = OpTrace(width=4)
+        a.op("mul", 1)
+        a.load(2)
+        a.items = 1
+        b = OpTrace(width=4)
+        b.op("mul", 3)
+        b.transcendental("exp", 7)
+        b.items = 2
+        a.merge(b)
+        assert a.vector_ops["mul"] == 4
+        assert a.transcendentals["exp"] == 7
+        assert a.items == 3
+
+    def test_merge_width_mismatch_rejected(self):
+        a = OpTrace(width=4)
+        a.op("mul", 1)
+        b = OpTrace(width=8)
+        b.op("mul", 1)
+        with pytest.raises(TraceError):
+            a.merge(b)
+
+    def test_merge_into_empty_adopts_width(self):
+        a = OpTrace(width=4)   # empty
+        b = OpTrace(width=8)
+        b.op("mul", 1)
+        a.merge(b)
+        assert a.width == 8
+
+    def test_summary_mentions_key_counts(self):
+        t = OpTrace(width=4)
+        t.op("mul", 3)
+        t.items = 2
+        s = t.summary()
+        assert "width=4" in s and "items=2" in s

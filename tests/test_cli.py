@@ -1,0 +1,53 @@
+"""CLI tests (in-process: main() takes argv)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "SNB-EP" in out and "KNC" in out
+
+    @pytest.mark.parametrize("exp", ["tab1", "ninja"])
+    def test_experiment(self, exp, capsys):
+        assert main(["experiment", exp]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_figure(self, capsys):
+        assert main(["figure", "black_scholes"]) == 0
+        out = capsys.readouterr().out
+        assert "SNB-EP:" in out and "#" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "crank_nicolson", "--arch", "SNB-EP"]) == 0
+        assert "dependency stalls" in capsys.readouterr().out
+
+    def test_ninja(self, capsys):
+        assert main(["ninja"]) == 0
+        assert "AVERAGE" in capsys.readouterr().out
+
+    def test_price_european(self, capsys):
+        assert main(["price", "--paths", "20000", "--steps", "256",
+                     "--grid", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "closed form" in out and "binomial" in out
+
+    def test_price_american_put(self, capsys):
+        assert main(["price", "--american", "--kind", "put",
+                     "--steps", "256", "--grid", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "american put" in out
+        assert "closed form" not in out  # no closed form for American
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9"])
+
+    def test_bad_contract_reports_error(self, capsys):
+        rc = main(["price", "--spot", "-5", "--steps", "8",
+                   "--grid", "96"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

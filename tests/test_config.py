@@ -1,0 +1,45 @@
+"""Configuration-object tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import (CACHELINE_BYTES, DP_BYTES, DP_PER_LINE, DTYPE,
+                          PAPER_SIZES, SMALL_SIZES, DEFAULT_CONFIG,
+                          RunConfig)
+
+
+class TestConstants:
+    def test_double_precision(self):
+        assert DTYPE == np.float64
+        assert DP_BYTES == 8
+        assert CACHELINE_BYTES == 64
+        assert DP_PER_LINE == 8
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.seed == 2012
+        assert DEFAULT_CONFIG.check_inputs
+
+    def test_with_replaces(self):
+        c = DEFAULT_CONFIG.with_(seed=7, gsor_tol=1e-8)
+        assert c.seed == 7 and c.gsor_tol == 1e-8
+        assert DEFAULT_CONFIG.seed == 2012  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.seed = 1
+
+
+class TestWorkloadSizes:
+    def test_paper_sizes_match_section_iv(self):
+        assert PAPER_SIZES.binomial_steps == (1024, 2048)
+        assert PAPER_SIZES.mc_path_length == 262_144
+        assert PAPER_SIZES.cn_prices == 256
+        assert PAPER_SIZES.cn_steps == 1000
+        assert PAPER_SIZES.brownian_steps == 64
+
+    def test_small_sizes_smaller(self):
+        assert SMALL_SIZES.black_scholes_nopt < PAPER_SIZES.black_scholes_nopt
+        assert SMALL_SIZES.mc_path_length < PAPER_SIZES.mc_path_length
+        assert SMALL_SIZES.brownian_steps == PAPER_SIZES.brownian_steps

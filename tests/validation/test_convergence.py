@@ -1,0 +1,56 @@
+"""Convergence-utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation import (mc_error_within_clt, observed_order,
+                              richardson_extrapolate)
+
+
+class TestObservedOrder:
+    def test_recovers_known_order(self):
+        scales = np.array([0.1, 0.05, 0.025, 0.0125])
+        errors = 3.0 * scales ** 2
+        assert observed_order(errors, scales) == pytest.approx(2.0)
+
+    def test_half_order(self):
+        scales = np.array([1e-2, 1e-3, 1e-4])
+        errors = scales ** 0.5
+        assert observed_order(errors, scales) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            observed_order([1.0], [0.1])
+        with pytest.raises(ConfigurationError):
+            observed_order([1.0, -1.0], [0.1, 0.05])
+        with pytest.raises(ConfigurationError):
+            observed_order([1.0, 0.5], [0.1])
+
+
+class TestRichardson:
+    def test_exact_for_pure_power_error(self):
+        limit = 7.0
+        h = 0.1
+        f = lambda hh: limit + 5.0 * hh ** 2
+        out = richardson_extrapolate(f(h), f(h / 2), ratio=2.0, order=2.0)
+        assert out == pytest.approx(limit)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            richardson_extrapolate(1.0, 1.0, ratio=1.0, order=2.0)
+
+
+class TestCLT:
+    def test_within(self):
+        assert mc_error_within_clt(10.05, 10.0, stderr=0.02)
+
+    def test_outside(self):
+        assert not mc_error_within_clt(10.5, 10.0, stderr=0.02)
+
+    def test_zero_stderr_guard(self):
+        assert mc_error_within_clt(10.0, 10.0, stderr=0.0)
+
+    def test_negative_stderr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mc_error_within_clt(1.0, 1.0, stderr=-0.1)

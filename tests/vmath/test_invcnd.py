@@ -1,0 +1,53 @@
+"""Inverse normal CDF tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import special
+
+from repro.errors import DomainError
+from repro.vmath import vcnd, vinvcnd
+
+
+class TestAccuracy:
+    def test_vs_scipy_core(self, rng_np):
+        p = rng_np.uniform(1e-6, 1 - 1e-6, 100_000)
+        err = np.abs(vinvcnd(p) - special.ndtri(p))
+        assert np.max(err) < 1e-10
+
+    def test_deep_tails(self):
+        p = np.array([1e-100, 1e-300, 1 - 1e-12])
+        assert np.allclose(vinvcnd(p), special.ndtri(p), rtol=1e-9)
+
+    def test_median(self):
+        assert vinvcnd(np.array([0.5]))[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_symmetry(self, rng_np):
+        p = rng_np.uniform(0.001, 0.499, 10_000)
+        assert np.allclose(vinvcnd(p), -vinvcnd(1.0 - p), atol=1e-11)
+
+    @given(st.floats(min_value=1e-10, max_value=1.0 - 1e-10))
+    @settings(max_examples=300)
+    def test_roundtrip_cnd(self, p):
+        x = vinvcnd(np.array([p]))[0]
+        assert vcnd(np.array([x]))[0] == pytest.approx(p, rel=1e-9,
+                                                       abs=1e-12)
+
+    def test_monotone(self):
+        p = np.linspace(0.001, 0.999, 10_001)
+        assert np.all(np.diff(vinvcnd(p)) > 0)
+
+
+class TestDomain:
+    def test_endpoints(self):
+        out = vinvcnd(np.array([0.0, 1.0]))
+        assert out[0] == -np.inf and out[1] == np.inf
+
+    def test_outside_rejected(self):
+        with pytest.raises(DomainError):
+            vinvcnd(np.array([-0.1]))
+        with pytest.raises(DomainError):
+            vinvcnd(np.array([1.1]))
+
+    def test_nan_propagates(self):
+        assert np.isnan(vinvcnd(np.array([np.nan]))[0])

@@ -1,0 +1,75 @@
+"""SVML/VML/NumPy facade tests: semantics and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.simd import OpTrace
+from repro.vmath import NumpyLib, SVMLLib, VMLLib, get_lib
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("name", ["svml", "vml", "numpy"])
+    def test_all_libs_agree(self, name, rng_np):
+        lib = get_lib(name)
+        ref = NumpyLib()
+        x = rng_np.uniform(0.1, 10, 5000)
+        assert np.allclose(lib.exp(x), ref.exp(x), rtol=1e-12)
+        assert np.allclose(lib.log(x), ref.log(x), rtol=1e-12)
+        assert np.allclose(lib.erf(x - 5), ref.erf(x - 5),
+                           rtol=1e-10, atol=1e-13)
+        assert np.allclose(lib.cnd(x - 5), ref.cnd(x - 5), rtol=1e-9)
+        p = rng_np.uniform(0.01, 0.99, 1000)
+        assert np.allclose(lib.invcnd(p), ref.invcnd(p), atol=1e-9)
+
+    def test_pdf(self, rng_np):
+        from scipy.stats import norm
+        x = rng_np.uniform(-3, 3, 100)
+        assert np.allclose(get_lib("svml").pdf(x), norm.pdf(x), rtol=1e-12)
+
+    def test_factory_unknown(self):
+        with pytest.raises(KeyError):
+            get_lib("mkl")
+
+    def test_unknown_function(self):
+        with pytest.raises(KeyError):
+            SVMLLib()._impl("tanh", np.zeros(1))
+
+
+class TestAccounting:
+    def test_element_counts_recorded(self):
+        tr = OpTrace(width=4)
+        lib = SVMLLib(trace=tr)
+        lib.exp(np.zeros(100))
+        lib.erf(np.zeros(50))
+        assert tr.transcendentals["exp"] == 100
+        assert tr.transcendentals["erf"] == 50
+
+    def test_svml_charges_no_dram(self):
+        tr = OpTrace(width=4)
+        SVMLLib(trace=tr).exp(np.zeros(1000))
+        assert tr.dram_bytes == 0
+
+    def test_vml_charges_array_traffic(self):
+        """The array-call convention reads+writes one array per call —
+        the cache-footprint penalty the paper sees on KNC."""
+        tr = OpTrace(width=8)
+        VMLLib(trace=tr).exp(np.zeros(1000))
+        assert tr.bytes_read == 8000
+        assert tr.bytes_written == 8000
+
+    def test_untraced_lib_records_nothing(self):
+        lib = VMLLib()
+        lib.exp(np.zeros(10))  # must not raise
+
+    def test_trace_threaded_through_factory(self):
+        tr = OpTrace(width=4)
+        get_lib("vml", tr).log(np.ones(7))
+        assert tr.transcendentals["log"] == 7
+
+
+class TestBlocking:
+    def test_svml_block_fusion_matches_unblocked(self, rng_np):
+        x = rng_np.uniform(-10, 10, 4097)
+        a = SVMLLib(block=64).exp(x)
+        b = SVMLLib(block=4096).exp(x)
+        assert np.array_equal(a, b)

@@ -1,0 +1,81 @@
+"""From-scratch sin/cos tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmath import box_muller_scratch, vcos, vsin, vsincos
+
+
+class TestAccuracy:
+    def test_sin_matches_numpy(self, rng_np):
+        x = rng_np.uniform(-1e3, 1e3, 200_000)
+        assert np.max(np.abs(vsin(x) - np.sin(x))) < 1e-13
+
+    def test_cos_matches_numpy(self, rng_np):
+        x = rng_np.uniform(-1e3, 1e3, 200_000)
+        assert np.max(np.abs(vcos(x) - np.cos(x))) < 1e-13
+
+    def test_wide_range(self, rng_np):
+        x = rng_np.uniform(-1e6, 1e6, 100_000)
+        assert np.max(np.abs(vsin(x) - np.sin(x))) < 1e-10
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=300)
+    def test_pointwise(self, x):
+        assert vsin(np.array([x]))[0] == pytest.approx(np.sin(x),
+                                                       abs=1e-14)
+        assert vcos(np.array([x]))[0] == pytest.approx(np.cos(x),
+                                                       abs=1e-14)
+
+    def test_exact_points(self):
+        assert vsin(np.array([0.0]))[0] == 0.0
+        assert vcos(np.array([0.0]))[0] == 1.0
+        assert vsin(np.array([np.pi / 2]))[0] == pytest.approx(1.0,
+                                                               abs=1e-16)
+        assert vcos(np.array([np.pi]))[0] == pytest.approx(-1.0,
+                                                           abs=1e-15)
+
+
+class TestIdentities:
+    def test_pythagorean(self, rng_np):
+        x = rng_np.uniform(-50, 50, 50_000)
+        s, c = vsincos(x)
+        assert np.max(np.abs(s * s + c * c - 1.0)) < 1e-13
+
+    def test_sincos_consistent_with_separate(self, rng_np):
+        x = rng_np.uniform(-50, 50, 10_000)
+        s, c = vsincos(x)
+        assert np.array_equal(s, vsin(x))
+        assert np.array_equal(c, vcos(x))
+
+    def test_odd_even_symmetry(self, rng_np):
+        x = rng_np.uniform(0, 20, 10_000)
+        assert np.allclose(vsin(-x), -vsin(x), atol=1e-15)
+        assert np.allclose(vcos(-x), vcos(x), atol=1e-15)
+
+    def test_shift_by_half_pi(self, rng_np):
+        x = rng_np.uniform(-10, 10, 10_000)
+        assert np.allclose(vsin(x + np.pi / 2), vcos(x), atol=1e-13)
+
+    def test_non_finite(self):
+        out = vsin(np.array([np.nan, np.inf, -np.inf]))
+        assert np.all(np.isnan(out))
+
+
+class TestScratchBoxMuller:
+    def test_matches_numpy_backed_transform(self, rng_np):
+        from repro.rng import box_muller
+        u1 = rng_np.uniform(0, 1, 100_000)
+        u2 = rng_np.uniform(0, 1, 100_000)
+        a0, a1 = box_muller_scratch(u1, u2)
+        b0, b1 = box_muller(u1, u2)
+        assert np.max(np.abs(a0 - b0)) < 1e-12
+        assert np.max(np.abs(a1 - b1)) < 1e-12
+
+    def test_moments(self, rng_np):
+        u1 = rng_np.uniform(0, 1, 200_000)
+        u2 = rng_np.uniform(0, 1, 200_000)
+        z0, _ = box_muller_scratch(u1, u2)
+        assert abs(z0.mean()) < 0.01
+        assert abs(z0.std() - 1) < 0.01
