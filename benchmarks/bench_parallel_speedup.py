@@ -1,0 +1,86 @@
+"""Serial vs slab-parallel speedup, exported to ``BENCH_parallel.json``.
+
+Standalone (not pytest-benchmark): the numbers here compare two real
+host configurations of the same functional kernel — the fastest serial
+tier against the :class:`repro.parallel.SlabExecutor` zero-copy slab
+path — so a fixture-driven single-timer harness would hide exactly the
+comparison we care about.
+
+Run ``python benchmarks/bench_parallel_speedup.py`` for the real
+measurement (SMALL_SIZES, best-of-5) or ``--smoke`` for the seconds-long
+CI configuration.  On a multi-core host the Monte-Carlo row is the
+paper's headline: slab threads over GIL-releasing ufuncs should clear
+2x over serial at SMALL_SIZES with >= 4 cores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import (measure_parallel_speedup,  # noqa: E402
+                         parallel_speedup_result, render)
+from repro.config import SMALL_SIZES, WorkloadSizes  # noqa: E402
+
+#: Seconds-long CI smoke configuration.
+SMOKE_SIZES = WorkloadSizes(
+    black_scholes_nopt=4096,
+    binomial_nopt=8,
+    binomial_steps=(64, 128),
+    brownian_paths=512,
+    brownian_steps=64,
+    mc_path_length=4096,
+    mc_nopt=2,
+    cn_nopt=2,
+)
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_parallel.json")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads + 2 repeats (CI smoke run)")
+    ap.add_argument("--backend", default="thread",
+                    choices=["serial", "thread"])
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--slab-bytes", type=int, default=None)
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=2012)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
+    repeats = args.repeats or (2 if args.smoke else 5)
+    data = measure_parallel_speedup(
+        sizes=sizes, backend=args.backend, n_workers=args.workers,
+        slab_bytes=args.slab_bytes, repeats=repeats, seed=args.seed)
+    data["smoke"] = args.smoke
+    data["cpu_count"] = os.cpu_count()
+
+    print(render(parallel_speedup_result(data), "text"))
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+
+    mc = next(k for k in data["kernels"] if k["kernel"] == "monte_carlo")
+    if (data["cpu_count"] or 1) >= 4 and not args.smoke:
+        status = "PASS" if mc["speedup"] >= 2.0 else "MISS"
+        print(f"mc slab-vs-serial acceptance (>=2x on >=4 cores): "
+              f"{mc['speedup']:.2f}x [{status}]")
+    else:
+        print(f"mc slab-vs-serial: {mc['speedup']:.2f}x "
+              f"(acceptance gate needs >=4 cores and a non-smoke run; "
+              f"host has {data['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

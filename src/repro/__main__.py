@@ -8,6 +8,7 @@ profile <kernel>        VTune-style cycle profile on one platform
 ninja                   the Ninja-gap table
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
+parallel                serial-vs-slab speedup of the parallel-tier kernels
 """
 
 from __future__ import annotations
@@ -68,6 +69,25 @@ def _cmd_platforms(args) -> int:
     if args.host:
         from .arch import calibrate_host
         print(calibrate_host().describe())
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    import json
+
+    from .bench import (measure_parallel_speedup, parallel_speedup_result,
+                        render)
+    from .config import PAPER_SIZES, SMALL_SIZES
+
+    sizes = PAPER_SIZES if args.full else SMALL_SIZES
+    data = measure_parallel_speedup(
+        sizes=sizes, backend=args.backend, n_workers=args.workers,
+        slab_bytes=args.slab_bytes, repeats=args.repeats, seed=args.seed)
+    print(render(parallel_speedup_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -133,6 +153,22 @@ def main(argv=None) -> int:
     p.add_argument("--host", action="store_true",
                    help="also calibrate and show this host")
     p.set_defaults(fn=_cmd_platforms)
+
+    p = sub.add_parser("parallel",
+                       help="serial vs slab-parallel functional speedup")
+    p.add_argument("--backend", default="thread",
+                   choices=["serial", "thread"])
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--slab-bytes", type=int, default=None)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--full", action="store_true",
+                   help="use PAPER_SIZES workloads")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default=None,
+                   help="also dump the raw measurement dict as JSON")
+    p.set_defaults(fn=_cmd_parallel)
 
     p = sub.add_parser("price", help="price one contract, every engine")
     p.add_argument("--spot", type=float, default=100.0)

@@ -6,7 +6,9 @@ from .experiments import (EXPERIMENTS, ExperimentResult, fig4, fig5, fig6,
                           fig8, ninja_gap, run_all, run_experiment, table1,
                           table2)
 from .harness import (TimedRun, binomial_workload, brownian_randoms,
-                      bs_workload, cn_workload, mc_workload, time_run)
+                      bs_workload, cn_workload, mc_workload,
+                      measure_parallel_speedup, parallel_speedup_result,
+                      time_run)
 from .ninja import GAP_KERNELS, ninja_gaps, ninja_table
 from .profile import (ProfileLine, format_profile, hotspot, profile_trace)
 from .report import format_table, ladder_bars, stacked_bars
@@ -19,6 +21,7 @@ __all__ = [
     "format_table", "stacked_bars", "ladder_bars",
     "TimedRun", "time_run", "bs_workload", "binomial_workload",
     "brownian_randoms", "mc_workload", "cn_workload",
+    "measure_parallel_speedup", "parallel_speedup_result",
     "profile_trace", "hotspot", "format_profile", "ProfileLine",
     "SCENARIOS", "ScenarioResult", "run_scenario",
     "render", "to_json", "to_csv", "from_json", "FORMATS",

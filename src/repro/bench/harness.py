@@ -22,11 +22,19 @@ from ..rng import MT19937, NormalGenerator
 
 @dataclass
 class TimedRun:
-    """One functional measurement."""
+    """One functional measurement.
+
+    ``seconds`` stays the best-of-repeats figure (the paper's
+    convention, and what every existing consumer reads); ``median`` and
+    ``spread`` (max − min) record run stability so exported BENCH JSON
+    can distinguish a quiet measurement from a noisy one.
+    """
 
     label: str
     seconds: float
     items: int
+    median: float = 0.0
+    spread: float = 0.0
 
     @property
     def rate(self) -> float:
@@ -34,15 +42,21 @@ class TimedRun:
 
 
 def time_run(label: str, fn, items: int, repeats: int = 3) -> TimedRun:
-    """Best-of-``repeats`` wall-clock timing of ``fn()``."""
+    """Best-of-``repeats`` wall-clock timing of ``fn()``, with median
+    and spread recorded alongside."""
     if repeats < 1:
         raise ExperimentError("repeats must be >= 1")
-    best = float("inf")
+    times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return TimedRun(label=label, seconds=best, items=items)
+        times.append(time.perf_counter() - t0)
+    times.sort()
+    mid = len(times) // 2
+    median = (times[mid] if len(times) % 2
+              else 0.5 * (times[mid - 1] + times[mid]))
+    return TimedRun(label=label, seconds=times[0], items=items,
+                    median=median, spread=times[-1] - times[0])
 
 
 # ----------------------------------------------------------------------
@@ -91,3 +105,148 @@ def cn_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
                kind=OptionKind.PUT, style=ExerciseStyle.AMERICAN)
         for s in rng.uniform(90.0, 110.0, sizes.cn_nopt)
     ]
+
+
+# ----------------------------------------------------------------------
+# Serial-vs-slab speedup (the parallel-tier trajectory)
+# ----------------------------------------------------------------------
+
+#: Rate/vol shared by the Table II Monte-Carlo benches.
+_MC_RATE, _MC_VOL = 0.02, 0.3
+
+
+def _timed_fields(prefix: str, run: TimedRun) -> dict:
+    return {
+        f"{prefix}_s": run.seconds,
+        f"{prefix}_median_s": run.median,
+        f"{prefix}_spread_s": run.spread,
+    }
+
+
+def _speedup_entry(kernel: str, items: int, serial: TimedRun,
+                   slab: TimedRun, **extra_runs) -> dict:
+    entry = {"kernel": kernel, "items": items}
+    entry.update(_timed_fields("serial", serial))
+    entry.update(_timed_fields("slab", slab))
+    entry["speedup"] = (serial.seconds / slab.seconds
+                        if slab.seconds > 0 else float("inf"))
+    for name, run in extra_runs.items():
+        entry.update(_timed_fields(name, run))
+    return entry
+
+
+def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
+                             backend: str = "thread",
+                             n_workers: int | None = None,
+                             slab_bytes: int | None = None,
+                             repeats: int = 3, seed: int = 2012) -> dict:
+    """Wall-clock serial-vs-slab comparison for the parallel-tier
+    kernels; the data behind ``BENCH_parallel.json``.
+
+    Per kernel: the fastest pre-existing serial functional tier versus
+    the slab engine on the requested backend.  Black-Scholes also
+    records the fused kernel on the *serial* backend, isolating the
+    low-temporary fusion gain from the threading gain (the paper's
+    stacked-bar attribution style).
+    """
+    from ..kernels.binomial import price_tiled, price_tiled_parallel
+    from ..kernels.black_scholes import price_intermediate, price_parallel
+    from ..kernels.brownian import (build_parallel, build_vectorized,
+                                    make_schedule)
+    from ..kernels.monte_carlo import price_stream, price_stream_parallel
+    from ..parallel import SlabExecutor
+
+    serial_ex = SlabExecutor("serial", n_workers=n_workers,
+                             slab_bytes=slab_bytes)
+    slab_ex = SlabExecutor(backend, n_workers=n_workers,
+                           slab_bytes=slab_bytes)
+    kernels = []
+    with serial_ex, slab_ex:
+        batch = bs_workload(sizes, layout="soa", seed=seed)
+        n = len(batch)
+        t_serial = time_run("bs_intermediate",
+                            lambda: price_intermediate(batch), n, repeats)
+        t_fused = time_run("bs_fused_serial",
+                           lambda: price_parallel(batch, serial_ex), n,
+                           repeats)
+        t_slab = time_run("bs_slab", lambda: price_parallel(batch, slab_ex),
+                          n, repeats)
+        entry = _speedup_entry("black_scholes", n, t_serial, t_slab,
+                               fused_serial=t_fused)
+        entry["fused_vs_intermediate"] = (
+            t_serial.seconds / t_fused.seconds
+            if t_fused.seconds > 0 else float("inf"))
+        kernels.append(entry)
+
+        S, X, T, z = mc_workload(sizes, seed=seed)
+        t_serial = time_run(
+            "mc_stream_serial",
+            lambda: price_stream(S, X, T, _MC_RATE, _MC_VOL, z),
+            S.size, repeats)
+        t_slab = time_run(
+            "mc_stream_slab",
+            lambda: price_stream_parallel(S, X, T, _MC_RATE, _MC_VOL, z,
+                                          slab_ex),
+            S.size, repeats)
+        kernels.append(_speedup_entry("monte_carlo", S.size, t_serial,
+                                      t_slab))
+
+        depth = max(1, int(sizes.brownian_steps).bit_length() - 1)
+        sched = make_schedule(depth)
+        zb = brownian_randoms(sizes, seed=seed)
+        t_serial = time_run("bridge_serial",
+                            lambda: build_vectorized(sched, zb),
+                            sizes.brownian_paths, repeats)
+        t_slab = time_run("bridge_slab",
+                          lambda: build_parallel(sched, zb, slab_ex),
+                          sizes.brownian_paths, repeats)
+        kernels.append(_speedup_entry("brownian", sizes.brownian_paths,
+                                      t_serial, t_slab))
+
+        opts = binomial_workload(sizes, seed=seed)
+        steps = sizes.binomial_steps[0]
+        t_serial = time_run("binomial_serial",
+                            lambda: price_tiled(opts, steps),
+                            len(opts), repeats)
+        t_slab = time_run("binomial_slab",
+                          lambda: price_tiled_parallel(opts, steps, slab_ex),
+                          len(opts), repeats)
+        kernels.append(_speedup_entry("binomial", len(opts), t_serial,
+                                      t_slab))
+
+        return {
+            "backend": backend,
+            "n_workers": slab_ex.n_workers,
+            "slab_bytes": slab_ex.slab_bytes,
+            "repeats": repeats,
+            "seed": seed,
+            "kernels": kernels,
+        }
+
+
+def parallel_speedup_result(data: dict):
+    """Render :func:`measure_parallel_speedup` output as an
+    :class:`~repro.bench.experiments.ExperimentResult` so the standard
+    text/JSON/CSV reporters apply."""
+    from .experiments import ExperimentResult
+    rows = []
+    for k in data["kernels"]:
+        rows.append((
+            k["kernel"], k["items"],
+            round(k["serial_s"] * 1e3, 3), round(k["slab_s"] * 1e3, 3),
+            round(k["speedup"], 2),
+            round(k.get("slab_spread_s", 0.0) * 1e3, 3),
+        ))
+    return ExperimentResult(
+        exp_id="parallel",
+        title="Serial vs slab-parallel functional speedup (host)",
+        headers=("kernel", "items", "serial ms", "slab ms", "speedup",
+                 "slab spread ms"),
+        rows=rows,
+        notes=[
+            f"backend={data['backend']} workers={data['n_workers']} "
+            f"slab_bytes={data['slab_bytes']} repeats={data['repeats']}",
+            "serial = fastest pre-existing serial tier; "
+            "slab = SlabExecutor zero-copy views + fused kernels",
+        ],
+    )

@@ -4,6 +4,7 @@ the novel register-tiling reduction of Listing 3."""
 from .basic import price_basic, price_basic_batch
 from .model import (TIERS, build, compute_bound, reference_trace,
                     simd_across_trace, tiled_trace, working_set_bytes)
+from .parallel import price_tiled_parallel
 from .params import (TreeParams, crr_params, intrinsic_row, leaf_values,
                      spot_at_node)
 from .reference import price_reference, price_reference_batch
@@ -13,7 +14,16 @@ from .trinomial import (TrinomialParams, price_trinomial,
                         price_trinomial_batch, trinomial_params)
 from .traced import traced_inner_loop, traced_simd_across, traced_tiled
 
+#: The functional optimization ladder for European groups.
+FUNCTIONAL_LADDER = (
+    ("reference", price_reference_batch),
+    ("simd_across", price_simd_across),
+    ("tiled", price_tiled),
+    ("parallel", price_tiled_parallel),
+)
+
 __all__ = [
+    "price_tiled_parallel", "FUNCTIONAL_LADDER",
     "TreeParams", "crr_params", "leaf_values", "intrinsic_row",
     "spot_at_node",
     "price_reference", "price_reference_batch",

@@ -7,13 +7,23 @@ from .interleaved import (build_cache_to_cache, build_interleaved,
                           default_block_paths)
 from .model import (TIERS, basic_trace, build, cache_to_cache_trace,
                     interleaved_trace, intermediate_trace)
+from .parallel import build_interleaved_parallel, build_parallel
 from .reference import build_reference
 from .vectorized import build_vectorized, randoms_to_path_major
+
+#: The functional optimization ladder, slowest to fastest.
+FUNCTIONAL_LADDER = (
+    ("reference", build_reference),
+    ("vectorized", build_vectorized),
+    ("interleaved", build_interleaved),
+    ("parallel", build_parallel),
+)
 
 __all__ = [
     "BridgeSchedule", "make_schedule", "bridge_covariance",
     "build_reference", "build_vectorized", "randoms_to_path_major",
     "build_interleaved", "build_cache_to_cache", "default_block_paths",
+    "build_parallel", "build_interleaved_parallel", "FUNCTIONAL_LADDER",
     "build", "TIERS", "basic_trace", "intermediate_trace",
     "interleaved_trace", "cache_to_cache_trace",
     "price_up_and_out_call", "bridge_crossing_probability",

@@ -1,0 +1,84 @@
+"""Brownian bridge *parallel* tier: slab over paths.
+
+The bridge construction is embarrassingly parallel across paths (each
+column of the level-update state is one path), so the slab engine
+partitions the path axis into LLC-sized blocks — the same working-set
+rule as :func:`~.interleaved.default_block_paths` — and builds each
+block through :func:`~.vectorized.build_vectorized` directly into a
+view of the preallocated ``(n_paths, n_points)`` output.  Per-path
+arithmetic is independent of the batch width, so the result is
+bit-identical to the serial vectorized tier for any slab size, backend
+or worker count.
+
+:func:`build_interleaved_parallel` adds the Sec. IV-C2 RNG interleaving
+on top: each slab generates its own normals from an independent
+per-slab stream immediately before consuming them, so the random array
+never exists at full size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import DTYPE
+from ...errors import ConfigurationError
+from ...parallel.slab import SlabExecutor, default_executor
+from ...rng import NormalGenerator, make_streams
+from .bridge import BridgeSchedule
+from .vectorized import build_vectorized, randoms_to_path_major
+
+
+def _bytes_per_path(schedule: BridgeSchedule) -> int:
+    """Slab working set per path: randoms in, src/dst level state,
+    output block (the :func:`default_block_paths` accounting)."""
+    return (schedule.randoms_per_path() + 3 * schedule.n_points) * 8
+
+
+def build_parallel(schedule: BridgeSchedule, randoms: np.ndarray,
+                   executor: SlabExecutor | None = None) -> np.ndarray:
+    """Build all bridges from a pre-generated stream, slab-parallel.
+
+    Bit-identical to :func:`~.vectorized.build_vectorized` on the same
+    stream; returns ``(n_paths, n_points)``.
+    """
+    if executor is None:
+        executor = default_executor()
+    r = randoms_to_path_major(schedule, randoms)
+    n_paths = r.shape[0]
+    out = np.empty((n_paths, schedule.n_points), dtype=DTYPE)
+
+    def kernel(a: int, b: int, slab: int) -> None:
+        build_vectorized(schedule, r[a:b].reshape(-1), out=out[a:b])
+
+    executor.map_slabs(kernel, n_paths,
+                       bytes_per_item=_bytes_per_path(schedule))
+    return out
+
+
+def build_interleaved_parallel(schedule: BridgeSchedule, n_paths: int,
+                               executor: SlabExecutor | None = None,
+                               seed: int = 2012, kind: str = "mt2203",
+                               method: str = "box_muller") -> np.ndarray:
+    """Interleaved-RNG construction: per-slab streams generate each
+    block's normals cache-hot, immediately consumed — the full random
+    array never touches DRAM.  Deterministic for a fixed seed and slab
+    plan (serial ≡ thread)."""
+    if n_paths < 1:
+        raise ConfigurationError("n_paths must be >= 1")
+    if executor is None:
+        executor = default_executor()
+    per_path = schedule.randoms_per_path()
+    bpp = _bytes_per_path(schedule)
+    slabs = executor.plan(n_paths, bpp)
+    max_paths = max((b - a) for a, b in slabs) if slabs else 1
+    streams = make_streams(max(1, len(slabs)), kind=kind, seed=seed,
+                           draws_per_worker=4 * max_paths * per_path + 8)
+    out = np.empty((n_paths, schedule.n_points), dtype=DTYPE)
+
+    def kernel(a: int, b: int, slab: int) -> None:
+        gen = NormalGenerator(streams[slab], method)
+        z = gen.normals((b - a) * per_path)
+        build_vectorized(schedule, z, out=out[a:b])
+
+    executor.map_slabs(kernel, n_paths, bytes_per_item=bpp)
+    return out

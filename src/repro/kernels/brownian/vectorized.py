@@ -33,9 +33,13 @@ def randoms_to_path_major(schedule: BridgeSchedule,
     return randoms.reshape(-1, per_path)
 
 
-def build_vectorized(schedule: BridgeSchedule,
-                     randoms: np.ndarray) -> np.ndarray:
-    """Construct all paths at once; returns (n_paths, n_points)."""
+def build_vectorized(schedule: BridgeSchedule, randoms: np.ndarray,
+                     out: np.ndarray | None = None) -> np.ndarray:
+    """Construct all paths at once; returns (n_paths, n_points).
+
+    ``out`` receives the result in place (the slab tier passes views
+    into its preallocated output so no per-slab result is allocated).
+    """
     r = randoms_to_path_major(schedule, randoms)
     n_paths = r.shape[0]
     n_pts = schedule.n_points
@@ -54,4 +58,11 @@ def build_vectorized(schedule: BridgeSchedule,
                                      + sg * z)
         dst[2:2 * n_mid + 2:2, :] = src[1:n_mid + 1, :]
         src, dst = dst, src
+    if out is not None:
+        if out.shape != (n_paths, n_pts):
+            raise ConfigurationError(
+                f"out must have shape {(n_paths, n_pts)}, got {out.shape}"
+            )
+        np.copyto(out, src.T)
+        return out
     return np.ascontiguousarray(src.T)

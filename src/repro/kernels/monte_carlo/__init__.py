@@ -12,12 +12,23 @@ from .model import (PATH_LENGTH, TIERS, build, computed_trace,
 from .multi_asset import (cholesky_correlation, margrabe_exact,
                           price_basket_call, price_best_of_call,
                           price_exchange, terminal_assets)
+from .parallel import (price_asian_parallel, price_computed_parallel,
+                       price_stream_parallel)
 from .reference import MCResult, price_reference
 from .vectorized import (price_antithetic, price_computed, price_stream)
+
+#: The functional optimization ladder for STREAM mode (Table II row 1).
+FUNCTIONAL_LADDER = (
+    ("reference", price_reference),
+    ("vectorized", price_stream),
+    ("parallel", price_stream_parallel),
+)
 
 __all__ = [
     "MCResult", "price_reference", "price_stream", "price_computed",
     "price_antithetic",
+    "price_stream_parallel", "price_computed_parallel",
+    "price_asian_parallel", "FUNCTIONAL_LADDER",
     "build", "TIERS", "PATH_LENGTH", "stream_trace", "computed_trace",
     "price_american_lsmc", "simulate_gbm_paths",
     "terminal_assets", "cholesky_correlation", "price_basket_call",

@@ -1,10 +1,16 @@
-"""Thread-level-parallelism substrate: domain decomposition and the
-chunked executor (the OpenMP stand-in)."""
+"""Thread-level-parallelism substrate: domain decomposition, the
+chunked executor (the OpenMP stand-in) and the zero-copy slab engine
+behind the parallel kernel tier."""
 
 from .executor import ChunkExecutor
-from .partition import block_ranges, chunk_ranges, round_robin, simd_groups
+from .partition import (block_ranges, chunk_ranges, round_robin,
+                        simd_groups, slab_ranges)
+from .slab import (DEFAULT_LLC_BYTES, SlabExecutor, default_executor,
+                   host_llc_bytes)
 
 __all__ = [
-    "ChunkExecutor",
+    "ChunkExecutor", "SlabExecutor", "default_executor",
+    "host_llc_bytes", "DEFAULT_LLC_BYTES",
     "block_ranges", "chunk_ranges", "round_robin", "simd_groups",
+    "slab_ranges",
 ]

@@ -6,6 +6,13 @@ backend. NumPy kernels release the GIL inside ufuncs, so the thread
 backend gives real concurrency for array-heavy chunks; the process
 backend suits Python-loop-heavy kernels (scalar references); serial is
 the default for reproducible timing on one core.
+
+The pool is created lazily on first use and **persists across calls**
+(OpenMP keeps its thread team alive between parallel regions for the
+same reason — fork/join churn would otherwise dominate small regions).
+Use the executor as a context manager, or call :meth:`close`, to shut
+the pool down; for slab-granular zero-copy NumPy dispatch see
+:class:`repro.parallel.slab.SlabExecutor`.
 """
 
 from __future__ import annotations
@@ -45,23 +52,54 @@ class ChunkExecutor:
             raise ConfigurationError("n_workers must be >= 1")
         self.backend = backend
         self.n_workers = n_workers or os.cpu_count() or 1
+        self._pool = None
+        self._closed = False
 
+    # -- lifecycle -----------------------------------------------------
+    def _get_pool(self):
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        if self._pool is None:
+            pool_cls = (ThreadPoolExecutor if self.backend == "thread"
+                        else ProcessPoolExecutor)
+            self._pool = pool_cls(max_workers=self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ChunkExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        if getattr(self, "_pool", None) is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- dispatch ------------------------------------------------------
     def map_range(self, fn, n: int):
         """Run ``fn(start, stop)`` over a balanced partition of
         ``range(n)``; returns the chunk results in index order."""
         ranges = block_ranges(n, self.n_workers)
         if self.backend == "serial" or len(ranges) <= 1:
             return [fn(a, b) for a, b in ranges]
-        pool_cls = (ThreadPoolExecutor if self.backend == "thread"
-                    else ProcessPoolExecutor)
-        with pool_cls(max_workers=self.n_workers) as pool:
-            futures = [pool.submit(fn, a, b) for a, b in ranges]
-            return [f.result() for f in futures]
+        pool = self._get_pool()
+        futures = [pool.submit(fn, a, b) for a, b in ranges]
+        return [f.result() for f in futures]
 
     def map_items(self, fn, items):
         """Run ``fn(item)`` per item, chunk-scheduled like map_range.
         Under the process backend, ``fn`` and the items must be
         picklable."""
+        if self.backend == "serial":
+            # No chunk bookkeeping needed: one pass, one result list.
+            return [fn(x) for x in items]
         items = list(items)
         run_chunk = partial(_run_item_chunk, fn, items)
         out = []

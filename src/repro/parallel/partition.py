@@ -41,6 +41,29 @@ def chunk_ranges(n: int, chunk: int):
     return [(s, min(s + chunk, n)) for s in range(0, n, chunk)]
 
 
+def slab_ranges(n: int, slab_elems: int, n_workers: int = 1):
+    """Cache-sized contiguous slabs, worker-aware.
+
+    Starts from ``slab_elems`` (the largest slab whose working set fits
+    the cache budget) and shrinks it just enough that every worker gets
+    at least one slab when there is enough work to go around — otherwise
+    a small range would run on one worker even with a full pool idle.
+    The result depends only on ``(n, slab_elems, n_workers)``, never on
+    the execution backend, so a serial and a threaded run see the same
+    slabs (and per-slab RNG streams line up draw for draw).
+    """
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    if slab_elems < 1:
+        raise ConfigurationError("slab_elems must be >= 1")
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    if n == 0:
+        return []
+    per_worker = max(1, n // n_workers)      # floor: slabs >= workers
+    return chunk_ranges(n, max(1, min(slab_elems, per_worker)))
+
+
 def round_robin(n: int, n_workers: int):
     """Index arrays per worker, dealt card-style — useful when cost
     varies monotonically with index (e.g. option expiry sweeps)."""

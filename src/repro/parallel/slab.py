@@ -1,0 +1,223 @@
+"""Zero-copy slab-parallel execution engine.
+
+The functional realisation of the paper's threading layer: instead of
+dispatching per-item Python calls (the :class:`ChunkExecutor` shape),
+a :class:`SlabExecutor` partitions a NumPy workload into contiguous
+**slabs** — zero-copy array views sized so each slab's working set fits
+the last-level cache (Sec. IV's "chunk the problem to the LLC" rule,
+the same sizing :func:`repro.kernels.brownian.default_block_paths`
+applies to bridges) — and dispatches whole slabs to a **persistent**
+thread pool.  NumPy ufuncs release the GIL for the duration of the
+array operation, so threads genuinely overlap on multi-core hosts, and
+because the workers receive views into the caller's arrays there is no
+pickling, no copying in, and no reassembly copying out: kernels write
+straight into preallocated output buffers.
+
+Determinism contract
+--------------------
+The slab plan is a pure function of ``(n, slab_bytes, bytes_per_item,
+n_workers)`` — never of the backend — and random streams are assigned
+**per slab** (not per worker), the deterministic refinement of the
+paper's per-thread interleaved RNG (Sec. IV-D3).  A serial and a
+threaded run therefore consume identical draws on identical slabs and
+produce bit-identical prices for a fixed seed, which the test suite
+asserts kernel by kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import ConfigurationError
+from .partition import slab_ranges
+
+_BACKENDS = ("serial", "thread")
+
+#: Fallback LLC size when sysfs is unreadable — matches the generic
+#: 8 MiB L3 that :func:`repro.arch.host.calibrate_host` assumes.
+DEFAULT_LLC_BYTES = 8 * 1024 * 1024
+
+
+def host_llc_bytes(default: int = DEFAULT_LLC_BYTES) -> int:
+    """Last-level-cache size of *this* host, from sysfs.
+
+    Scans ``/sys/devices/system/cpu/cpu0/cache`` for the largest
+    reported level; returns ``default`` when the hierarchy is not
+    exposed (non-Linux, containers with masked sysfs).
+    """
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    best = 0
+    try:
+        for entry in os.listdir(base):
+            if not entry.startswith("index"):
+                continue
+            try:
+                with open(os.path.join(base, entry, "size")) as fh:
+                    text = fh.read().strip()
+            except OSError:
+                continue
+            scale = 1
+            if text.endswith(("K", "k")):
+                scale, text = 1024, text[:-1]
+            elif text.endswith(("M", "m")):
+                scale, text = 1024 * 1024, text[:-1]
+            if text.isdigit():
+                best = max(best, int(text) * scale)
+    except OSError:
+        return default
+    return best or default
+
+
+def _arch_llc_bytes(arch) -> int:
+    """LLC budget of an :class:`~repro.arch.spec.ArchSpec`: the largest
+    cache level, divided among cores when shared."""
+    best = 0
+    for c in arch.caches:
+        size = c.size // arch.total_cores if c.shared else c.size
+        best = max(best, size)
+    return best or DEFAULT_LLC_BYTES
+
+
+class SlabExecutor:
+    """Persistent-pool slab dispatcher for NumPy kernels.
+
+    Parameters
+    ----------
+    backend:
+        ``serial`` (in-caller execution, the timing baseline) or
+        ``thread`` (reusable :class:`ThreadPoolExecutor`; ufuncs release
+        the GIL so slabs overlap on real cores).
+    n_workers:
+        Pool width; defaults to the host CPU count.
+    slab_bytes:
+        Working-set budget per slab.  Defaults to half the LLC (half of
+        an :class:`~repro.arch.spec.ArchSpec`'s per-core LLC share when
+        ``arch`` is given, half the sysfs-detected host LLC otherwise)
+        so a slab's inputs, outputs and scratch stay cache-resident
+        while the next slab streams in.
+    arch:
+        Optional :class:`~repro.arch.spec.ArchSpec` to size slabs from
+        instead of the host cache hierarchy.
+
+    The pool is created lazily on the first threaded dispatch and
+    **reused across calls** until :meth:`close` (or context-manager
+    exit) — no per-call pool churn.
+    """
+
+    def __init__(self, backend: str = "thread", n_workers: int | None = None,
+                 slab_bytes: int | None = None, arch=None):
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; want one of {_BACKENDS}"
+            )
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
+        if slab_bytes is not None and slab_bytes < 1:
+            raise ConfigurationError("slab_bytes must be >= 1")
+        self.backend = backend
+        self.n_workers = n_workers or os.cpu_count() or 1
+        if slab_bytes is None:
+            llc = _arch_llc_bytes(arch) if arch is not None else host_llc_bytes()
+            slab_bytes = max(1, llc // 2)
+        self.slab_bytes = slab_bytes
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _get_pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="repro-slab",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the pool down; the executor cannot dispatch afterwards."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SlabExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):
+        if getattr(self, "_pool", None) is not None:
+            self._pool.shutdown(wait=False)
+
+    # -- planning ------------------------------------------------------
+    def plan(self, n: int, bytes_per_item: int = 8):
+        """The slab partition of ``range(n)``: ``(start, stop)`` pairs.
+
+        ``bytes_per_item`` is the per-item working set (inputs + outputs
+        + scratch); the slab length is ``slab_bytes // bytes_per_item``,
+        shrunk so every worker gets a slab when ``n`` allows.  Backend-
+        independent by construction (see the module determinism note).
+        """
+        if bytes_per_item < 1:
+            raise ConfigurationError("bytes_per_item must be >= 1")
+        elems = max(1, self.slab_bytes // bytes_per_item)
+        return slab_ranges(n, elems, self.n_workers)
+
+    def n_slabs(self, n: int, bytes_per_item: int = 8) -> int:
+        return len(self.plan(n, bytes_per_item))
+
+    # -- dispatch ------------------------------------------------------
+    def map_slabs(self, fn, n: int, bytes_per_item: int = 8):
+        """Run ``fn(start, stop, slab_index)`` over the slab plan.
+
+        Returns the per-slab results in slab order (kernels that write
+        through views into preallocated outputs return ``None``).
+        Threaded dispatch submits every slab to the persistent pool —
+        workers pull slabs dynamically, so uneven slab costs balance.
+        """
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        slabs = self.plan(n, bytes_per_item)
+        if self.backend == "serial" or len(slabs) <= 1:
+            return [fn(a, b, i) for i, (a, b) in enumerate(slabs)]
+        pool = self._get_pool()
+        futures = [pool.submit(fn, a, b, i)
+                   for i, (a, b) in enumerate(slabs)]
+        return [f.result() for f in futures]
+
+    # -- RNG -----------------------------------------------------------
+    def streams(self, n: int, bytes_per_item: int = 8,
+                kind: str = "mt2203", seed: int = 1,
+                draws_per_slab: int = 1 << 20):
+        """One independent random stream **per slab** of ``plan(n)``.
+
+        Per-slab (rather than per-worker) assignment makes the draws a
+        function of the plan alone: whichever worker executes slab ``i``
+        consumes stream ``i``, so serial and threaded runs are
+        bit-identical.  Stream kinds are the paper's (Sec. IV-D3):
+        ``mt2203`` family members, counter-split ``philox``, or a
+        block-skipped ``mt19937``.
+        """
+        from ..rng import make_streams
+        n_slabs = max(1, len(self.plan(n, bytes_per_item)))
+        return make_streams(n_slabs, kind=kind, seed=seed,
+                            draws_per_worker=draws_per_slab)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default executor
+# ----------------------------------------------------------------------
+
+_DEFAULT: SlabExecutor | None = None
+
+
+def default_executor() -> SlabExecutor:
+    """The process-wide threaded executor the parallel-tier kernels use
+    when none is passed: one persistent pool for the whole process."""
+    global _DEFAULT
+    if _DEFAULT is None or _DEFAULT._closed:
+        _DEFAULT = SlabExecutor("thread")
+    return _DEFAULT

@@ -19,20 +19,28 @@ _INV_SQRT2 = 0.7071067811865476
 _INV_SQRT_2PI = 0.3989422804014327
 
 
-def vcnd(x) -> np.ndarray:
-    """Standard normal CDF, tail-accurate (via erfc)."""
+def vcnd(x, out: np.ndarray | None = None) -> np.ndarray:
+    """Standard normal CDF, tail-accurate (via erfc). ``out`` receives
+    the result in place (aliasing ``x`` is allowed)."""
     x = np.asarray(x, dtype=DTYPE)
-    return 0.5 * verfc(-x * _INV_SQRT2)
+    res = verfc(-x * _INV_SQRT2, out=out)
+    res *= 0.5
+    return res
 
 
-def vcnd_via_erf(x) -> np.ndarray:
+def vcnd_via_erf(x, out: np.ndarray | None = None) -> np.ndarray:
     """The paper's substitution: ``(1 + erf(x/√2)) / 2``. Same accuracy
     as :func:`vcnd` away from the deep lower tail; cheaper per element."""
     x = np.asarray(x, dtype=DTYPE)
-    return 0.5 * (1.0 + verf(x * _INV_SQRT2))
+    res = verf(x * _INV_SQRT2, out=out)
+    res += 1.0
+    res *= 0.5
+    return res
 
 
-def vpdf(x) -> np.ndarray:
+def vpdf(x, out: np.ndarray | None = None) -> np.ndarray:
     """Standard normal density φ(x)."""
     x = np.asarray(x, dtype=DTYPE)
-    return _INV_SQRT_2PI * vexp(-0.5 * x * x)
+    res = vexp(-0.5 * x * x, out=out)
+    res *= _INV_SQRT_2PI
+    return res

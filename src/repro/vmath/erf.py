@@ -61,19 +61,23 @@ def _erfc_cf(x: np.ndarray) -> np.ndarray:
     return _ONE_OVER_SQRT_PI * vexp(-xs * xs) / (xs + f)
 
 
-def verf(x) -> np.ndarray:
-    """Vectorized ``erf(x)`` for double arrays (from-scratch)."""
+def verf(x, out: np.ndarray | None = None) -> np.ndarray:
+    """Vectorized ``erf(x)`` for double arrays (from-scratch). ``out``
+    receives the result in place (aliasing ``x`` is allowed)."""
     x = np.asarray(x, dtype=DTYPE)
     ax = np.abs(x)
     series = _erf_series(ax)
     tail = 1.0 - _erfc_cf(ax)
     mag = np.where(ax <= _SWITCH, series, tail)
-    out = np.where(x < 0, -mag, mag)
-    out = np.where(np.isnan(x), np.nan, out)
-    return out
+    res = np.where(x < 0, -mag, mag)
+    res = np.where(np.isnan(x), np.nan, res)
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res
 
 
-def verfc(x) -> np.ndarray:
+def verfc(x, out: np.ndarray | None = None) -> np.ndarray:
     """Vectorized ``erfc(x)`` with full relative accuracy in the positive
     tail (where ``1 − erf`` would cancel catastrophically)."""
     x = np.asarray(x, dtype=DTYPE)
@@ -81,6 +85,9 @@ def verfc(x) -> np.ndarray:
     tail = _erfc_cf(ax)               # accurate for ax > switch
     series = 1.0 - _erf_series(ax)    # fine for ax <= switch
     pos = np.where(ax <= _SWITCH, series, tail)
-    out = np.where(x < 0, 2.0 - pos, pos)
-    out = np.where(np.isnan(x), np.nan, out)
-    return out
+    res = np.where(x < 0, 2.0 - pos, pos)
+    res = np.where(np.isnan(x), np.nan, res)
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res

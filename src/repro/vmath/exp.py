@@ -32,11 +32,13 @@ _MAX_X = 709.782712893384
 _MIN_X = -745.133219101941
 
 
-def vexp(x) -> np.ndarray:
+def vexp(x, out: np.ndarray | None = None) -> np.ndarray:
     """Vectorized ``e**x`` for double arrays (from-scratch implementation).
 
     Handles overflow to ``inf`` and underflow to 0 like the IEEE
-    function; NaN propagates.
+    function; NaN propagates. ``out`` receives the result in place
+    (aliasing ``x`` is allowed — the input is consumed before the final
+    write).
     """
     x = np.asarray(x, dtype=DTYPE)
     with np.errstate(invalid="ignore", over="ignore"):
@@ -45,11 +47,14 @@ def vexp(x) -> np.ndarray:
         r = (x - n * _LN2_HI) - n * _LN2_LO
         p = horner(r, _COEFFS)
         # Exact 2**n scaling (n is integral, within ldexp range after clip).
-        out = np.ldexp(p, n.astype(np.int64))
-    out = np.where(x > _MAX_X, np.inf, out)
-    out = np.where(x < _MIN_X, 0.0, out)
-    out = np.where(np.isnan(x), np.nan, out)
-    return out
+        res = np.ldexp(p, n.astype(np.int64))
+    res = np.where(x > _MAX_X, np.inf, res)
+    res = np.where(x < _MIN_X, 0.0, res)
+    res = np.where(np.isnan(x), np.nan, res)
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res
 
 
 def vexp_blocked(x, block: int = 1024, out: np.ndarray | None = None) -> np.ndarray:

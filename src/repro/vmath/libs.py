@@ -33,6 +33,15 @@ from .invcnd import vinvcnd
 from .log import vlog, vlog_blocked
 
 
+def _into(out: np.ndarray | None, res: np.ndarray) -> np.ndarray:
+    """Copy ``res`` into ``out`` when requested (fallback for impls
+    without native ``out=`` support)."""
+    if out is None:
+        return res
+    np.copyto(out, res)
+    return out
+
+
 class VectorMathLib:
     """Common facade: ``exp``/``log``/``erf``/``erfc``/``cnd``/``invcnd``
     over double arrays, with optional trace recording."""
@@ -55,34 +64,38 @@ class VectorMathLib:
                 self.trace.dram(read=x.size * DP_BYTES,
                                 written=x.size * DP_BYTES)
 
-    def _eval(self, func: str, x) -> np.ndarray:
+    def _eval(self, func: str, x, out: np.ndarray | None = None) -> np.ndarray:
         x = np.asarray(x, dtype=DTYPE)
         self._account(func, x)
-        return self._impl(func, x)
+        return self._impl(func, x, out)
 
-    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+    def _impl(self, func: str, x: np.ndarray,
+              out: np.ndarray | None = None) -> np.ndarray:
         raise NotImplementedError
 
     # -- public ops ----------------------------------------------------
-    def exp(self, x) -> np.ndarray:
-        return self._eval("exp", x)
+    # Every op takes an optional ``out`` (``out is x`` is allowed): the
+    # fused slab kernels evaluate transcendentals in place so no
+    # per-call temporary is allocated inside the hot loop.
+    def exp(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        return self._eval("exp", x, out)
 
-    def log(self, x) -> np.ndarray:
-        return self._eval("log", x)
+    def log(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        return self._eval("log", x, out)
 
-    def erf(self, x) -> np.ndarray:
-        return self._eval("erf", x)
+    def erf(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        return self._eval("erf", x, out)
 
-    def cnd(self, x) -> np.ndarray:
-        return self._eval("cnd", x)
+    def cnd(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        return self._eval("cnd", x, out)
 
-    def invcnd(self, x) -> np.ndarray:
-        return self._eval("invcnd", x)
+    def invcnd(self, x, out: np.ndarray | None = None) -> np.ndarray:
+        return self._eval("invcnd", x, out)
 
-    def pdf(self, x) -> np.ndarray:
+    def pdf(self, x, out: np.ndarray | None = None) -> np.ndarray:
         x = np.asarray(x, dtype=DTYPE)
         self._account("exp", x)  # φ costs one exp plus a couple of muls
-        return vpdf(x)
+        return vpdf(x, out=out)
 
 
 class SVMLLib(VectorMathLib):
@@ -95,17 +108,18 @@ class SVMLLib(VectorMathLib):
         super().__init__(trace)
         self.block = block
 
-    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+    def _impl(self, func: str, x: np.ndarray,
+              out: np.ndarray | None = None) -> np.ndarray:
         if func == "exp":
-            return vexp_blocked(x, self.block)
+            return vexp_blocked(x, self.block, out=out)
         if func == "log":
-            return vlog_blocked(x, self.block)
+            return vlog_blocked(x, self.block, out=out)
         if func == "erf":
-            return verf(x)
+            return verf(x, out=out)
         if func == "cnd":
-            return vcnd_via_erf(x)
+            return vcnd_via_erf(x, out=out)
         if func == "invcnd":
-            return vinvcnd(x)
+            return _into(out, vinvcnd(x))
         raise KeyError(func)
 
 
@@ -115,17 +129,18 @@ class VMLLib(VectorMathLib):
     name = "vml"
     array_call = True
 
-    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+    def _impl(self, func: str, x: np.ndarray,
+              out: np.ndarray | None = None) -> np.ndarray:
         if func == "exp":
-            return vexp(x)
+            return vexp(x, out=out)
         if func == "log":
-            return vlog(x)
+            return vlog(x, out=out)
         if func == "erf":
-            return verf(x)
+            return verf(x, out=out)
         if func == "cnd":
-            return vcnd(x)
+            return vcnd(x, out=out)
         if func == "invcnd":
-            return vinvcnd(x)
+            return _into(out, vinvcnd(x))
         raise KeyError(func)
 
 
@@ -137,20 +152,24 @@ class NumpyLib(VectorMathLib):
     name = "numpy"
     array_call = False
 
-    def _impl(self, func: str, x: np.ndarray) -> np.ndarray:
+    def _impl(self, func: str, x: np.ndarray,
+              out: np.ndarray | None = None) -> np.ndarray:
+        # Every branch is a ufunc, so ``out=`` lands in the C loop —
+        # genuinely allocation-free, unlike the from-scratch facades
+        # (which compute then copy into ``out``).
         if func == "exp":
-            return np.exp(x)
+            return np.exp(x, out=out) if out is not None else np.exp(x)
         if func == "log":
-            return np.log(x)
+            return np.log(x, out=out) if out is not None else np.log(x)
         if func == "erf":
             from scipy.special import erf as _erf
-            return _erf(x)
+            return _erf(x, out=out) if out is not None else _erf(x)
         if func == "cnd":
             from scipy.special import ndtr as _ndtr
-            return _ndtr(x)
+            return _ndtr(x, out=out) if out is not None else _ndtr(x)
         if func == "invcnd":
             from scipy.special import ndtri as _ndtri
-            return _ndtri(x)
+            return _ndtri(x, out=out) if out is not None else _ndtri(x)
         raise KeyError(func)
 
 

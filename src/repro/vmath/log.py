@@ -19,11 +19,12 @@ from .poly import horner
 _ATANH_COEFFS = tuple(1.0 / (2 * k + 1) for k in range(11))
 
 
-def vlog(x) -> np.ndarray:
+def vlog(x, out: np.ndarray | None = None) -> np.ndarray:
     """Vectorized ``ln(x)`` for double arrays (from-scratch).
 
     Domain behaviour mirrors IEEE ``log``: 0 → −inf, negative → NaN,
-    inf → inf, NaN propagates.
+    inf → inf, NaN propagates. ``out`` receives the result in place
+    (aliasing ``x`` is allowed).
     """
     x = np.asarray(x, dtype=DTYPE)
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -36,12 +37,15 @@ def vlog(x) -> np.ndarray:
         t2 = t * t
         logm = 2.0 * t * horner(t2, _ATANH_COEFFS)
         ef = e.astype(DTYPE)
-        out = (ef * _LN2_HI + logm) + ef * _LN2_LO
-        out = np.where(x == 0.0, -np.inf, out)
-        out = np.where(x < 0.0, np.nan, out)
-        out = np.where(np.isinf(x) & (x > 0), np.inf, out)
-        out = np.where(np.isnan(x), np.nan, out)
-    return out
+        res = (ef * _LN2_HI + logm) + ef * _LN2_LO
+        res = np.where(x == 0.0, -np.inf, res)
+        res = np.where(x < 0.0, np.nan, res)
+        res = np.where(np.isinf(x) & (x > 0), np.inf, res)
+        res = np.where(np.isnan(x), np.nan, res)
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return res
 
 
 def vlog_blocked(x, block: int = 1024, out: np.ndarray | None = None) -> np.ndarray:

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.bench import (TimedRun, binomial_workload, brownian_randoms,
-                         bs_workload, cn_workload, mc_workload, time_run)
-from repro.config import SMALL_SIZES
+                         bs_workload, cn_workload, mc_workload,
+                         measure_parallel_speedup, parallel_speedup_result,
+                         time_run)
+from repro.config import SMALL_SIZES, WorkloadSizes
 from repro.errors import ExperimentError
 from repro.pricing import ExerciseStyle
 
@@ -25,6 +27,23 @@ class TestTimeRun:
     def test_repeats_validated(self):
         with pytest.raises(ExperimentError):
             time_run("t", lambda: None, items=1, repeats=0)
+
+    def test_median_and_spread(self):
+        r = time_run("t", lambda: sum(range(200)), items=1, repeats=5)
+        # best-of <= median <= best-of + spread, spread >= 0.
+        assert r.seconds <= r.median <= r.seconds + r.spread
+        assert r.spread >= 0
+
+    def test_single_repeat_degenerate_stats(self):
+        r = time_run("t", lambda: None, items=1, repeats=1)
+        assert r.median == r.seconds
+        assert r.spread == 0.0
+
+    def test_backward_compatible_construction(self):
+        # Old call sites build TimedRun without the new fields.
+        r = TimedRun(label="x", seconds=2.0, items=10)
+        assert r.median == 0.0 and r.spread == 0.0
+        assert r.rate == 5.0
 
 
 class TestWorkloadBuilders:
@@ -58,3 +77,35 @@ class TestWorkloadBuilders:
         opts = cn_workload(SMALL_SIZES)
         assert len(opts) == SMALL_SIZES.cn_nopt
         assert all(o.style is ExerciseStyle.AMERICAN for o in opts)
+
+
+#: Seconds-scale sizes so the speedup harness test stays cheap.
+_TINY = WorkloadSizes(
+    black_scholes_nopt=512, binomial_steps=(16, 32), binomial_nopt=4,
+    brownian_steps=16, brownian_paths=128, mc_path_length=512, mc_nopt=2,
+    cn_prices=32, cn_steps=10, cn_nopt=2,
+)
+
+
+class TestMeasureParallelSpeedup:
+    def test_structure_and_rendering(self):
+        data = measure_parallel_speedup(sizes=_TINY, repeats=1)
+        assert data["backend"] == "thread"
+        assert data["n_workers"] >= 1 and data["slab_bytes"] > 0
+        kernels = {k["kernel"]: k for k in data["kernels"]}
+        assert set(kernels) == {"black_scholes", "monte_carlo",
+                                "brownian", "binomial"}
+        for k in kernels.values():
+            assert k["serial_s"] > 0 and k["slab_s"] > 0
+            assert k["speedup"] == pytest.approx(
+                k["serial_s"] / k["slab_s"])
+        assert "fused_vs_intermediate" in kernels["black_scholes"]
+
+        result = parallel_speedup_result(data)
+        assert result.exp_id == "parallel"
+        assert len(result.rows) == 4
+
+    def test_serial_backend_runs(self):
+        data = measure_parallel_speedup(sizes=_TINY, backend="serial",
+                                        repeats=1)
+        assert data["backend"] == "serial"

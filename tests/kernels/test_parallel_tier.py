@@ -1,0 +1,158 @@
+"""Parallel-tier acceptance: slab kernels agree with the reference
+tier (same inputs/seed) to 1e-10, and are backend-deterministic —
+``serial`` and ``thread`` executors produce bit-identical results."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.binomial import (price_reference_batch,
+                                    price_tiled, price_tiled_parallel)
+from repro.kernels.black_scholes import price_parallel
+from repro.kernels.black_scholes import price_reference as bs_reference
+from repro.kernels.brownian import (build_parallel, build_reference,
+                                    build_interleaved_parallel,
+                                    build_vectorized, make_schedule)
+from repro.kernels.monte_carlo import (price_asian_parallel,
+                                       price_computed_parallel,
+                                       price_reference as mc_reference,
+                                       price_stream, price_stream_parallel)
+from repro.parallel import SlabExecutor
+from repro.pricing import Option, random_batch
+from repro.rng import MT19937, NormalGenerator
+
+TOL = 1e-10
+
+
+@pytest.fixture()
+def serial_ex():
+    with SlabExecutor("serial", slab_bytes=16 * 1024) as ex:
+        yield ex
+
+
+@pytest.fixture()
+def thread_ex():
+    with SlabExecutor("thread", n_workers=4, slab_bytes=16 * 1024) as ex:
+        yield ex
+
+
+class TestBlackScholes:
+    def test_matches_reference_tier(self, serial_ex):
+        ref = random_batch(257, seed=11, layout="aos")
+        bs_reference(ref)
+        par = random_batch(257, seed=11, layout="soa")
+        price_parallel(par, serial_ex)
+        np.testing.assert_allclose(par.call, ref.call, rtol=0, atol=TOL)
+        np.testing.assert_allclose(par.put, ref.put, rtol=0, atol=TOL)
+
+    def test_backend_bit_identical(self, serial_ex, thread_ex):
+        a = random_batch(1000, seed=3, layout="soa")
+        b = random_batch(1000, seed=3, layout="soa")
+        price_parallel(a, serial_ex)
+        price_parallel(b, thread_ex)
+        assert np.array_equal(a.call, b.call)
+        assert np.array_equal(a.put, b.put)
+
+    def test_aos_layout_accepted(self, serial_ex):
+        batch = random_batch(64, seed=5, layout="aos")
+        price_parallel(batch, serial_ex)
+        assert batch.call.shape == (64,)
+        assert np.all(batch.call >= 0)
+
+
+class TestMonteCarloStream:
+    def _inputs(self, n_opt=5, n_paths=2048, seed=9):
+        rng = np.random.default_rng(seed)
+        S = rng.uniform(80, 120, n_opt)
+        X = rng.uniform(80, 120, n_opt)
+        T = rng.uniform(0.25, 2.0, n_opt)
+        z = NormalGenerator(MT19937(seed)).normals(n_paths)
+        return S, X, T, z
+
+    def test_matches_reference_tier(self, serial_ex):
+        S, X, T, z = self._inputs()
+        ref = mc_reference(S, X, T, 0.02, 0.3, z)
+        par = price_stream_parallel(S, X, T, 0.02, 0.3, z, serial_ex)
+        np.testing.assert_allclose(par.price, ref.price, rtol=0, atol=TOL)
+        np.testing.assert_allclose(par.stderr, ref.stderr, rtol=0, atol=TOL)
+
+    def test_bit_identical_to_vectorized_tier(self, thread_ex):
+        S, X, T, z = self._inputs()
+        vec = price_stream(S, X, T, 0.02, 0.3, z)
+        par = price_stream_parallel(S, X, T, 0.02, 0.3, z, thread_ex)
+        assert np.array_equal(par.price, vec.price)
+        assert np.array_equal(par.stderr, vec.stderr)
+
+    def test_backend_bit_identical(self, serial_ex, thread_ex):
+        S, X, T, z = self._inputs()
+        a = price_stream_parallel(S, X, T, 0.02, 0.3, z, serial_ex)
+        b = price_stream_parallel(S, X, T, 0.02, 0.3, z, thread_ex)
+        assert np.array_equal(a.price, b.price)
+
+
+class TestMonteCarloComputed:
+    def test_backend_bit_identical(self, serial_ex, thread_ex):
+        rng = np.random.default_rng(4)
+        S = rng.uniform(90, 110, 6)
+        X = rng.uniform(90, 110, 6)
+        T = rng.uniform(0.5, 1.5, 6)
+        a = price_computed_parallel(S, X, T, 0.02, 0.3, 4096, serial_ex,
+                                    seed=77)
+        b = price_computed_parallel(S, X, T, 0.02, 0.3, 4096, thread_ex,
+                                    seed=77)
+        assert np.array_equal(a.price, b.price)
+        assert np.array_equal(a.stderr, b.stderr)
+
+
+class TestAsian:
+    def test_backend_bit_identical(self, serial_ex, thread_ex):
+        opt = Option(spot=100.0, strike=100.0, expiry=1.0, rate=0.05,
+                     vol=0.3)
+        a = price_asian_parallel(opt, 4096, 16, serial_ex, seed=13)
+        b = price_asian_parallel(opt, 4096, 16, thread_ex, seed=13)
+        assert a.price == b.price and a.stderr == b.stderr
+
+
+class TestBrownian:
+    def test_matches_reference_tier(self, serial_ex):
+        sched = make_schedule(5)
+        z = NormalGenerator(MT19937(21)).normals(200 * 32)
+        ref = build_reference(sched, z)
+        par = build_parallel(sched, z, serial_ex)
+        np.testing.assert_allclose(par, ref, rtol=0, atol=TOL)
+
+    def test_bit_identical_to_vectorized_tier(self, thread_ex):
+        sched = make_schedule(6)
+        z = NormalGenerator(MT19937(22)).normals(500 * 64)
+        assert np.array_equal(build_parallel(sched, z, thread_ex),
+                              build_vectorized(sched, z))
+
+    def test_interleaved_backend_bit_identical(self, serial_ex, thread_ex):
+        sched = make_schedule(4)
+        a = build_interleaved_parallel(sched, 300, serial_ex, seed=31)
+        b = build_interleaved_parallel(sched, 300, thread_ex, seed=31)
+        assert np.array_equal(a, b)
+
+
+class TestBinomial:
+    def _options(self, n=17, seed=6):
+        rng = np.random.default_rng(seed)
+        return [Option(spot=100.0, strike=float(s), expiry=1.0, rate=0.02,
+                       vol=0.3)
+                for s in rng.uniform(80, 120, n)]
+
+    def test_matches_reference_tier(self, serial_ex):
+        opts = self._options(5)
+        ref = price_reference_batch(opts, 64)
+        par = price_tiled_parallel(opts, 64, serial_ex)
+        np.testing.assert_allclose(par, ref, rtol=0, atol=TOL)
+
+    def test_bit_identical_to_tiled_tier(self, thread_ex):
+        opts = self._options()
+        assert np.array_equal(price_tiled_parallel(opts, 128, thread_ex),
+                              price_tiled(opts, 128))
+
+    def test_backend_bit_identical(self, serial_ex, thread_ex):
+        opts = self._options()
+        a = price_tiled_parallel(opts, 96, serial_ex)
+        b = price_tiled_parallel(opts, 96, thread_ex)
+        assert np.array_equal(a, b)

@@ -48,6 +48,33 @@ class TestThread:
                 == threaded.map_items(lambda x: x * 2, range(20)))
 
 
+class TestPoolLifecycle:
+    def test_pool_persists_across_map_range_calls(self):
+        with ChunkExecutor("thread", n_workers=2) as ex:
+            ex.map_range(_square_range, 10)
+            pool = ex._pool
+            assert pool is not None
+            ex.map_range(_square_range, 10)
+            assert ex._pool is pool  # no churn
+
+    def test_context_manager_closes_pool(self):
+        with ChunkExecutor("thread", n_workers=2) as ex:
+            ex.map_range(_square_range, 10)
+        assert ex._pool is None
+
+    def test_closed_executor_rejected(self):
+        ex = ChunkExecutor("thread", n_workers=2)
+        ex.close()
+        with pytest.raises(ConfigurationError):
+            ex.map_range(_square_range, 10)
+
+    def test_serial_never_builds_pool(self):
+        with ChunkExecutor("serial") as ex:
+            ex.map_range(_square_range, 10)
+            ex.map_items(lambda x: x, iter(range(5)))
+            assert ex._pool is None
+
+
 class TestValidation:
     def test_unknown_backend(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,131 @@
+"""Slab executor tests: planning, pooling, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (DEFAULT_LLC_BYTES, SlabExecutor,
+                            default_executor, host_llc_bytes)
+
+
+class TestConstruction:
+    def test_backend_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlabExecutor("process")
+
+    def test_defaults(self):
+        with SlabExecutor() as ex:
+            assert ex.backend == "thread"
+            assert ex.n_workers >= 1
+            assert ex.slab_bytes > 0
+
+    def test_host_llc_positive(self):
+        assert host_llc_bytes() > 0
+        assert host_llc_bytes(default=DEFAULT_LLC_BYTES) > 0
+
+
+class TestPlan:
+    def test_plan_covers_range(self):
+        with SlabExecutor("serial", slab_bytes=1024) as ex:
+            plan = ex.plan(1000, bytes_per_item=8)
+            assert plan[0][0] == 0 and plan[-1][1] == 1000
+            # 1024 B budget / 8 B per item = 128-element slabs.
+            assert all(b - a <= 128 for a, b in plan)
+
+    def test_plan_is_backend_independent(self):
+        with SlabExecutor("serial", n_workers=1, slab_bytes=4096) as s, \
+                SlabExecutor("thread", n_workers=1, slab_bytes=4096) as t:
+            assert s.plan(10_000, 8) == t.plan(10_000, 8)
+
+    def test_plan_empty(self):
+        with SlabExecutor("serial") as ex:
+            assert ex.plan(0) == []
+
+
+class TestMapSlabs:
+    def test_serial_thread_identical_coverage(self):
+        n = 10_000
+        out_s = np.zeros(n)
+        out_t = np.zeros(n)
+
+        def fill(out):
+            def kernel(a, b, i):
+                out[a:b] = np.arange(a, b, dtype=float) * (i + 1)
+            return kernel
+
+        with SlabExecutor("serial", slab_bytes=8 * 1024) as s:
+            s.map_slabs(fill(out_s), n, bytes_per_item=8)
+        with SlabExecutor("thread", n_workers=4, slab_bytes=8 * 1024) as t:
+            t.map_slabs(fill(out_t), n, bytes_per_item=8)
+        # Same plan -> same slab indices -> bit-identical output.
+        assert np.array_equal(out_s, out_t)
+
+    def test_slab_index_sequential(self):
+        seen = []
+        with SlabExecutor("serial", slab_bytes=64) as ex:
+            ex.map_slabs(lambda a, b, i: seen.append(i), 100,
+                         bytes_per_item=8)
+        assert seen == list(range(len(seen)))
+        assert len(seen) > 1
+
+    def test_empty_is_noop(self):
+        with SlabExecutor("thread") as ex:
+            ex.map_slabs(lambda a, b, i: 1 / 0, 0, bytes_per_item=8)
+
+    def test_worker_exception_propagates(self):
+        with SlabExecutor("thread", n_workers=2) as ex:
+            with pytest.raises(ZeroDivisionError):
+                ex.map_slabs(lambda a, b, i: 1 / 0, 10, bytes_per_item=8)
+
+
+class TestStreams:
+    def test_one_stream_per_slab(self):
+        with SlabExecutor("serial", slab_bytes=1024) as ex:
+            plan = ex.plan(1000, 8)
+            streams = ex.streams(1000, bytes_per_item=8, seed=7)
+            assert len(streams) == len(plan)
+
+    def test_streams_backend_independent(self):
+        kw = dict(slab_bytes=1024, n_workers=1)
+        with SlabExecutor("serial", **kw) as s, \
+                SlabExecutor("thread", **kw) as t:
+            zs = [g.normals(64)
+                  for g in s.streams(1000, 8, seed=7).normal_generators()]
+            zt = [g.normals(64)
+                  for g in t.streams(1000, 8, seed=7).normal_generators()]
+        for a, b in zip(zs, zt):
+            assert np.array_equal(a, b)
+
+
+class TestPoolLifecycle:
+    def test_pool_is_persistent(self):
+        ex = SlabExecutor("thread", n_workers=2)
+        try:
+            ex.map_slabs(lambda a, b, i: None, 10, 8)
+            pool = ex._pool
+            assert pool is not None
+            ex.map_slabs(lambda a, b, i: None, 10, 8)
+            assert ex._pool is pool  # no churn between calls
+        finally:
+            ex.close()
+
+    def test_close_idempotent_and_reuse_rejected(self):
+        ex = SlabExecutor("thread")
+        ex.map_slabs(lambda a, b, i: None, 4, 8)
+        ex.close()
+        ex.close()
+        with pytest.raises(ConfigurationError):
+            ex.map_slabs(lambda a, b, i: None, 4, 8)
+
+    def test_context_manager_closes(self):
+        with SlabExecutor("thread") as ex:
+            ex.map_slabs(lambda a, b, i: None, 4, 8)
+        assert ex._pool is None
+
+    def test_default_executor_singleton(self):
+        a = default_executor()
+        assert default_executor() is a
+        a.close()
+        b = default_executor()
+        assert b is not a
+        b.map_slabs(lambda s, e, i: None, 4, 8)

@@ -42,6 +42,14 @@ class TestCLI:
         assert "american put" in out
         assert "closed form" not in out  # no closed form for American
 
+    def test_parallel_speedup(self, capsys, tmp_path):
+        out_json = tmp_path / "BENCH_parallel.json"
+        assert main(["parallel", "--repeats", "1", "--workers", "2",
+                     "--out", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "slab-parallel" in out and "monte_carlo" in out
+        assert out_json.exists()
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig9"])
