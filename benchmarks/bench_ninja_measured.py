@@ -1,0 +1,78 @@
+"""Measured Ninja-gap sweep, exported to ``BENCH_ninja_measured.json``.
+
+Standalone (not pytest-benchmark): the sweep times every implementation
+registered with :mod:`repro.registry` — each kernel x functional tier x
+backend — on the kernel's shared workload and reports the measured gap
+(best tier over reference tier) side by side with the machine-model
+figures, so it is a whole-registry comparison rather than a per-function
+timer.
+
+Run ``python benchmarks/bench_ninja_measured.py`` for the real
+measurement (SMALL_SIZES, best-of-5) or ``--smoke`` for the seconds-long
+CI configuration.  Every checked tier is also validated against the
+reference tier on the same payload; a disagreement fails the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import (measure_ninja_sweep, render,  # noqa: E402
+                         sweep_detail_result, sweep_gap_result)
+from repro.config import SMALL_SIZES, SMOKE_SIZES  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_ninja_measured.json")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads + 2 repeats (CI smoke run)")
+    ap.add_argument("--backends", default="serial,thread",
+                    help="comma-separated subset of serial,thread")
+    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--slab-bytes", type=int, default=None)
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=2012)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
+    repeats = args.repeats or (2 if args.smoke else 5)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    data = measure_ninja_sweep(
+        sizes=sizes, backends=backends, n_workers=args.workers,
+        slab_bytes=args.slab_bytes, repeats=repeats, seed=args.seed)
+    data["smoke"] = args.smoke
+    data["cpu_count"] = os.cpu_count()
+
+    print(render(sweep_detail_result(data), "text"))
+    print()
+    print(render(sweep_gap_result(data), "text"))
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+
+    disagree = [
+        f"{k['kernel']}/{t['tier']}[{t['backend']}]"
+        for k in data["kernels"] for t in k["tiers"] if not t["agrees"]
+    ]
+    if disagree:
+        print(f"FAIL: tiers disagree with reference: {disagree}")
+        return 1
+    n_tiers = sum(len(k["tiers"]) for k in data["kernels"])
+    print(f"agreement: all {n_tiers} timed (kernel x tier x backend) "
+          f"implementations match their reference tier")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

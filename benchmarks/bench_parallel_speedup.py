@@ -24,19 +24,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.bench import (measure_parallel_speedup,  # noqa: E402
                          parallel_speedup_result, render)
-from repro.config import SMALL_SIZES, WorkloadSizes  # noqa: E402
-
-#: Seconds-long CI smoke configuration.
-SMOKE_SIZES = WorkloadSizes(
-    black_scholes_nopt=4096,
-    binomial_nopt=8,
-    binomial_steps=(64, 128),
-    brownian_paths=512,
-    brownian_steps=64,
-    mc_path_length=4096,
-    mc_nopt=2,
-    cn_nopt=2,
-)
+from repro.config import SMALL_SIZES, SMOKE_SIZES  # noqa: E402
 
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
                            "BENCH_parallel.json")

@@ -5,10 +5,15 @@ Commands
 experiment <id>         regenerate a paper table/figure (or ``all``)
 figure <kernel>         the modeled stacked-bar chart for one kernel
 profile <kernel>        VTune-style cycle profile on one platform
-ninja                   the Ninja-gap table
+ninja                   the modeled Ninja-gap table
+sweep                   measure the Ninja gap: time every registered tier
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
+
+Kernel choices everywhere are derived from :mod:`repro.registry`, so a
+newly registered kernel shows up in ``figure``/``profile``/``sweep``
+without touching this module.
 """
 
 from __future__ import annotations
@@ -16,21 +21,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import registry
 from .bench import (format_profile, format_table, ladder_bars, ninja_table,
                     run_all, run_experiment)
 from .bench.experiments import EXPERIMENTS
-from .bench.ninja import GAP_KERNELS
 from .errors import ReproError
 from .kernels import build_model
-
-_FIGSCALE = {
-    "black_scholes": (1e-6, " Mopts/s"),
-    "binomial": (1e-3, " Kopts/s"),
-    "brownian": (1e-6, " Mpaths/s"),
-    "monte_carlo": (1e-3, " Kopts/s"),
-    "crank_nicolson": (1e-3, " Kopts/s"),
-    "rng": (1e-9, " Gnums/s"),
-}
 
 
 def _cmd_experiment(args) -> int:
@@ -46,8 +42,8 @@ def _cmd_experiment(args) -> int:
 
 def _cmd_figure(args) -> int:
     km = build_model(args.kernel)
-    scale, unit = _FIGSCALE[args.kernel]
-    print(ladder_bars(km, scale=scale, unit=unit))
+    spec = registry.workload(args.kernel)
+    print(ladder_bars(km, scale=spec.scale, unit=spec.unit))
     return 0
 
 
@@ -91,7 +87,35 @@ def _cmd_parallel(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+
+    from .bench import (measure_ninja_sweep, render, sweep_detail_result,
+                        sweep_gap_result)
+    from .config import PAPER_SIZES, SMALL_SIZES, SMOKE_SIZES
+
+    sizes = (SMOKE_SIZES if args.smoke
+             else PAPER_SIZES if args.full else SMALL_SIZES)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    kernels = (tuple(k.strip() for k in args.kernels.split(","))
+               if args.kernels else None)
+    data = measure_ninja_sweep(
+        sizes=sizes, backends=backends, n_workers=args.workers,
+        slab_bytes=args.slab_bytes, repeats=args.repeats, seed=args.seed,
+        kernels=kernels)
+    print(render(sweep_detail_result(data), args.format))
+    print()
+    print(render(sweep_gap_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_price(args) -> int:
+    import math
+
     import numpy as np
 
     from .kernels.binomial import price_basic
@@ -116,8 +140,13 @@ def _cmd_price(args) -> int:
         mc = price_stream(np.array([args.spot]), np.array([args.strike]),
                           np.array([args.expiry]), args.rate, args.vol, z)
         if kind is OptionKind.CALL:
-            print(f"  Monte-Carlo:    {mc.price[0]:.6f} "
-                  f"± {1.96 * mc.stderr[0]:.6f}")
+            est = mc.price[0]
+        else:
+            # The stream kernel prices the call; put-call parity turns
+            # the same paths into the put estimate with the same stderr.
+            est = (mc.price[0] - args.spot
+                   + args.strike * math.exp(-args.rate * args.expiry))
+        print(f"  Monte-Carlo:    {est:.6f} ± {1.96 * mc.stderr[0]:.6f}")
     print(f"  binomial tree:  {price_basic(opt, args.steps):.6f}")
     cn = solve(opt, n_points=args.grid, n_steps=max(100, args.steps // 8))
     print(f"  Crank-Nicolson: {cn.price:.6f}")
@@ -138,15 +167,15 @@ def main(argv=None) -> int:
     p.set_defaults(fn=_cmd_experiment)
 
     p = sub.add_parser("figure", help="modeled stacked bars for a kernel")
-    p.add_argument("kernel", choices=sorted(_FIGSCALE))
+    p.add_argument("kernel", choices=sorted(registry.kernels()))
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser("profile", help="cycle profile for a kernel")
-    p.add_argument("kernel", choices=sorted(GAP_KERNELS) + ["rng"])
+    p.add_argument("kernel", choices=sorted(registry.kernels()))
     p.add_argument("--arch", default="KNC", choices=["SNB-EP", "KNC"])
     p.set_defaults(fn=_cmd_profile)
 
-    p = sub.add_parser("ninja", help="the Ninja-gap table")
+    p = sub.add_parser("ninja", help="the modeled Ninja-gap table")
     p.set_defaults(fn=_cmd_ninja)
 
     p = sub.add_parser("platforms", help="describe the machines")
@@ -157,7 +186,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("parallel",
                        help="serial vs slab-parallel functional speedup")
     p.add_argument("--backend", default="thread",
-                   choices=["serial", "thread"])
+                   choices=list(registry.BACKENDS))
     p.add_argument("--workers", type=int, default=None)
     p.add_argument("--slab-bytes", type=int, default=None)
     p.add_argument("--repeats", type=int, default=3)
@@ -169,6 +198,27 @@ def main(argv=None) -> int:
     p.add_argument("--out", default=None,
                    help="also dump the raw measurement dict as JSON")
     p.set_defaults(fn=_cmd_parallel)
+
+    p = sub.add_parser(
+        "sweep",
+        help="measured Ninja gap: time every registered tier x backend")
+    p.add_argument("--smoke", action="store_true",
+                   help="SMOKE_SIZES workloads (seconds; the CI mode)")
+    p.add_argument("--full", action="store_true",
+                   help="use PAPER_SIZES workloads")
+    p.add_argument("--backends", default="serial,thread",
+                   help="comma-separated subset of serial,thread")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated kernel subset (default: all)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--slab-bytes", type=int, default=None)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default="BENCH_ninja_measured.json",
+                   help="raw measurement JSON path ('' to skip)")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("price", help="price one contract, every engine")
     p.add_argument("--spot", type=float, default=100.0)

@@ -10,6 +10,9 @@ from .harness import (TimedRun, binomial_workload, brownian_randoms,
                       measure_parallel_speedup, parallel_speedup_result,
                       time_run)
 from .ninja import GAP_KERNELS, ninja_gaps, ninja_table
+from .record import kernel_record, ratio_of, timing_fields
+from .sweep import (MeasuredNinjaGap, measure_ninja_sweep, measured_gaps,
+                    sweep_detail_result, sweep_gap_result)
 from .profile import (ProfileLine, format_profile, hotspot, profile_trace)
 from .report import format_table, ladder_bars, stacked_bars
 from .scenarios import SCENARIOS, ScenarioResult, run_scenario
@@ -22,6 +25,9 @@ __all__ = [
     "TimedRun", "time_run", "bs_workload", "binomial_workload",
     "brownian_randoms", "mc_workload", "cn_workload",
     "measure_parallel_speedup", "parallel_speedup_result",
+    "kernel_record", "ratio_of", "timing_fields",
+    "MeasuredNinjaGap", "measure_ninja_sweep", "measured_gaps",
+    "sweep_gap_result", "sweep_detail_result",
     "profile_trace", "hotspot", "format_profile", "ProfileLine",
     "SCENARIOS", "ScenarioResult", "run_scenario",
     "render", "to_json", "to_csv", "from_json", "FORMATS",

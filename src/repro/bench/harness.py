@@ -2,22 +2,20 @@
 
 Times the *functional* NumPy kernels on the host (wall clock, real
 speedups between optimization tiers where Python can express them) and
-pairs those with the machine-model throughput for SNB-EP and KNC. The
-pytest-benchmark files under ``benchmarks/`` use these workload builders
-so every bench prices the same inputs.
+pairs those with the machine-model throughput for SNB-EP and KNC.  The
+workloads themselves are owned by the per-kernel
+:class:`~repro.registry.WorkloadSpec` registrations; the builders here
+are thin views onto those shared payloads, kept so the pytest-benchmark
+files under ``benchmarks/`` and older callers keep their signatures.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from ..config import SMALL_SIZES, WorkloadSizes
 from ..errors import ExperimentError
-from ..pricing import Option, OptionKind, random_batch
-from ..rng import MT19937, NormalGenerator
 
 
 @dataclass
@@ -60,101 +58,65 @@ def time_run(label: str, fn, items: int, repeats: int = 3) -> TimedRun:
 
 
 # ----------------------------------------------------------------------
-# Workload builders (shared by tests / benches / examples)
+# Workload builders — views onto the registry-owned payloads
 # ----------------------------------------------------------------------
 
 def bs_workload(sizes: WorkloadSizes = SMALL_SIZES, layout: str = "soa",
                 seed: int = 2012):
-    """The Fig. 4 option batch."""
-    return random_batch(sizes.black_scholes_nopt, seed=seed, layout=layout)
+    """The Fig. 4 option batch (one layout of the registry payload)."""
+    from ..kernels.black_scholes.tiers import build_workload
+    return build_workload(sizes, seed=seed)[layout]
 
 
 def binomial_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
     """The Fig. 5 option group (shared step count)."""
-    rng = np.random.default_rng(seed)
-    n = sizes.binomial_nopt
-    return [
-        Option(spot=100.0, strike=float(s), expiry=1.0, rate=0.02, vol=0.3)
-        for s in rng.uniform(80.0, 120.0, n)
-    ]
+    from ..kernels.binomial.tiers import build_workload
+    return build_workload(sizes, seed=seed)["options"]
 
 
 def brownian_randoms(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
     """Pre-generated normals for the Fig. 6 bridge workload."""
-    gen = NormalGenerator(MT19937(seed))
-    return gen.normals(sizes.brownian_paths * sizes.brownian_steps)
+    from ..kernels.brownian.tiers import build_workload
+    return build_workload(sizes, seed=seed)["randoms"]
 
 
 def mc_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
     """(S, X, T, randoms) for the Table II pricing workload."""
-    rng = np.random.default_rng(seed)
-    n = sizes.mc_nopt
-    S = rng.uniform(80.0, 120.0, n)
-    X = rng.uniform(80.0, 120.0, n)
-    T = rng.uniform(0.25, 2.0, n)
-    z = NormalGenerator(MT19937(seed)).normals(sizes.mc_path_length)
-    return S, X, T, z
+    from ..kernels.monte_carlo.tiers import build_workload
+    p = build_workload(sizes, seed=seed)
+    return p["S"], p["X"], p["T"], p["randoms"]
 
 
 def cn_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
     """American puts for the Fig. 8 lattice workload."""
-    rng = np.random.default_rng(seed)
-    from ..pricing import ExerciseStyle
-    return [
-        Option(spot=100.0, strike=float(s), expiry=1.0, rate=0.05, vol=0.3,
-               kind=OptionKind.PUT, style=ExerciseStyle.AMERICAN)
-        for s in rng.uniform(90.0, 110.0, sizes.cn_nopt)
-    ]
+    from ..kernels.crank_nicolson.tiers import build_workload
+    return build_workload(sizes, seed=seed)["options"]
 
 
 # ----------------------------------------------------------------------
 # Serial-vs-slab speedup (the parallel-tier trajectory)
 # ----------------------------------------------------------------------
 
-#: Rate/vol shared by the Table II Monte-Carlo benches.
-_MC_RATE, _MC_VOL = 0.02, 0.3
-
-
-def _timed_fields(prefix: str, run: TimedRun) -> dict:
-    return {
-        f"{prefix}_s": run.seconds,
-        f"{prefix}_median_s": run.median,
-        f"{prefix}_spread_s": run.spread,
-    }
-
-
-def _speedup_entry(kernel: str, items: int, serial: TimedRun,
-                   slab: TimedRun, **extra_runs) -> dict:
-    entry = {"kernel": kernel, "items": items}
-    entry.update(_timed_fields("serial", serial))
-    entry.update(_timed_fields("slab", slab))
-    entry["speedup"] = (serial.seconds / slab.seconds
-                        if slab.seconds > 0 else float("inf"))
-    for name, run in extra_runs.items():
-        entry.update(_timed_fields(name, run))
-    return entry
-
-
 def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
                              backend: str = "thread",
                              n_workers: int | None = None,
                              slab_bytes: int | None = None,
                              repeats: int = 3, seed: int = 2012) -> dict:
-    """Wall-clock serial-vs-slab comparison for the parallel-tier
-    kernels; the data behind ``BENCH_parallel.json``.
+    """Wall-clock serial-vs-slab comparison for every kernel whose
+    parallel tier is registered with a thread backend; the data behind
+    ``BENCH_parallel.json``.
 
-    Per kernel: the fastest pre-existing serial functional tier versus
-    the slab engine on the requested backend.  Black-Scholes also
-    records the fused kernel on the *serial* backend, isolating the
+    Per kernel: the registered serial baseline tier (the kernel's
+    ``WorkloadSpec.baseline_tier``, its fastest pre-existing serial
+    tier) versus the slab engine on the requested backend.  The fused
+    kernel is also timed on the *serial* backend, isolating the
     low-temporary fusion gain from the threading gain (the paper's
-    stacked-bar attribution style).
+    stacked-bar attribution style); ``fused_vs_serial`` reports that
+    ratio.
     """
-    from ..kernels.binomial import price_tiled, price_tiled_parallel
-    from ..kernels.black_scholes import price_intermediate, price_parallel
-    from ..kernels.brownian import (build_parallel, build_vectorized,
-                                    make_schedule)
-    from ..kernels.monte_carlo import price_stream, price_stream_parallel
+    from .. import registry
     from ..parallel import SlabExecutor
+    from .record import kernel_record
 
     serial_ex = SlabExecutor("serial", n_workers=n_workers,
                              slab_bytes=slab_bytes)
@@ -162,58 +124,32 @@ def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
                            slab_bytes=slab_bytes)
     kernels = []
     with serial_ex, slab_ex:
-        batch = bs_workload(sizes, layout="soa", seed=seed)
-        n = len(batch)
-        t_serial = time_run("bs_intermediate",
-                            lambda: price_intermediate(batch), n, repeats)
-        t_fused = time_run("bs_fused_serial",
-                           lambda: price_parallel(batch, serial_ex), n,
-                           repeats)
-        t_slab = time_run("bs_slab", lambda: price_parallel(batch, slab_ex),
-                          n, repeats)
-        entry = _speedup_entry("black_scholes", n, t_serial, t_slab,
-                               fused_serial=t_fused)
-        entry["fused_vs_intermediate"] = (
-            t_serial.seconds / t_fused.seconds
-            if t_fused.seconds > 0 else float("inf"))
-        kernels.append(entry)
-
-        S, X, T, z = mc_workload(sizes, seed=seed)
-        t_serial = time_run(
-            "mc_stream_serial",
-            lambda: price_stream(S, X, T, _MC_RATE, _MC_VOL, z),
-            S.size, repeats)
-        t_slab = time_run(
-            "mc_stream_slab",
-            lambda: price_stream_parallel(S, X, T, _MC_RATE, _MC_VOL, z,
-                                          slab_ex),
-            S.size, repeats)
-        kernels.append(_speedup_entry("monte_carlo", S.size, t_serial,
-                                      t_slab))
-
-        depth = max(1, int(sizes.brownian_steps).bit_length() - 1)
-        sched = make_schedule(depth)
-        zb = brownian_randoms(sizes, seed=seed)
-        t_serial = time_run("bridge_serial",
-                            lambda: build_vectorized(sched, zb),
-                            sizes.brownian_paths, repeats)
-        t_slab = time_run("bridge_slab",
-                          lambda: build_parallel(sched, zb, slab_ex),
-                          sizes.brownian_paths, repeats)
-        kernels.append(_speedup_entry("brownian", sizes.brownian_paths,
-                                      t_serial, t_slab))
-
-        opts = binomial_workload(sizes, seed=seed)
-        steps = sizes.binomial_steps[0]
-        t_serial = time_run("binomial_serial",
-                            lambda: price_tiled(opts, steps),
-                            len(opts), repeats)
-        t_slab = time_run("binomial_slab",
-                          lambda: price_tiled_parallel(opts, steps, slab_ex),
-                          len(opts), repeats)
-        kernels.append(_speedup_entry("binomial", len(opts), t_serial,
-                                      t_slab))
-
+        for kernel in registry.parallel_kernels():
+            spec = registry.workload(kernel)
+            if spec.baseline_tier is None:
+                continue
+            payload = spec.build(sizes, seed=seed)
+            items = spec.items(payload)
+            baseline = registry.impl(kernel, spec.baseline_tier, "serial")
+            tier = registry.parallel_tier(kernel)
+            fused = registry.impl(kernel, tier, "serial")
+            slab = registry.impl(
+                kernel, tier, backend if backend != "serial" else "serial")
+            runs = {
+                "serial": time_run(
+                    f"{kernel}_{spec.baseline_tier}",
+                    lambda: baseline.fn(payload, serial_ex), items, repeats),
+                "fused_serial": time_run(
+                    f"{kernel}_{tier}_serial",
+                    lambda: fused.fn(payload, serial_ex), items, repeats),
+                "slab": time_run(
+                    f"{kernel}_{tier}_{backend}",
+                    lambda: slab.fn(payload, slab_ex), items, repeats),
+            }
+            kernels.append(kernel_record(
+                kernel, items, runs,
+                ratios={"speedup": ("serial", "slab"),
+                        "fused_vs_serial": ("serial", "fused_serial")}))
         return {
             "backend": backend,
             "n_workers": slab_ex.n_workers,
@@ -235,18 +171,20 @@ def parallel_speedup_result(data: dict):
             k["kernel"], k["items"],
             round(k["serial_s"] * 1e3, 3), round(k["slab_s"] * 1e3, 3),
             round(k["speedup"], 2),
+            round(k.get("fused_vs_serial", 0.0), 2),
             round(k.get("slab_spread_s", 0.0) * 1e3, 3),
         ))
     return ExperimentResult(
         exp_id="parallel",
         title="Serial vs slab-parallel functional speedup (host)",
         headers=("kernel", "items", "serial ms", "slab ms", "speedup",
-                 "slab spread ms"),
+                 "fused vs serial", "slab spread ms"),
         rows=rows,
         notes=[
             f"backend={data['backend']} workers={data['n_workers']} "
             f"slab_bytes={data['slab_bytes']} repeats={data['repeats']}",
-            "serial = fastest pre-existing serial tier; "
-            "slab = SlabExecutor zero-copy views + fused kernels",
+            "serial = registered baseline tier; slab = SlabExecutor "
+            "zero-copy views + fused kernels; fused vs serial = fused "
+            "kernel on the serial backend (fusion gain alone)",
         ],
     )

@@ -1,0 +1,63 @@
+"""Registry-aware benchmark result records.
+
+One shared vocabulary for the wall-clock benches: a :class:`TimedRun`
+flattens into ``{prefix}_s`` / ``{prefix}_median_s`` / ``{prefix}_spread_s``
+fields, and :func:`kernel_record` assembles one per-kernel JSON record —
+timings, ratios between named runs, and the kernel's display unit/scale
+pulled from :mod:`repro.registry` — so ``BENCH_parallel.json`` and
+``BENCH_ninja_measured.json`` agree on field names.
+"""
+
+from __future__ import annotations
+
+from .harness import TimedRun
+
+
+def timing_fields(prefix: str, run: TimedRun) -> dict:
+    """Flatten one :class:`TimedRun` into ``{prefix}_*`` JSON fields."""
+    return {
+        f"{prefix}_s": run.seconds,
+        f"{prefix}_median_s": run.median,
+        f"{prefix}_spread_s": run.spread,
+    }
+
+
+def ratio_of(runs: dict, numerator: str, denominator: str) -> float:
+    """Wall-clock ratio ``runs[numerator] / runs[denominator]`` — i.e.
+    the speedup of *denominator* over *numerator*."""
+    num = runs[numerator].seconds
+    den = runs[denominator].seconds
+    return num / den if den > 0 else float("inf")
+
+
+def kernel_record(kernel: str, items: int, runs: dict,
+                  ratios: dict | None = None) -> dict:
+    """One per-kernel benchmark record.
+
+    Parameters
+    ----------
+    runs:
+        ``{name: TimedRun}``; each run contributes its
+        :func:`timing_fields` under its name.
+    ratios:
+        ``{field: (numerator, denominator)}`` run-name pairs; each
+        contributes ``field = numerator_s / denominator_s`` (so
+        ``{"speedup": ("serial", "slab")}`` is the serial-over-slab
+        speedup).
+
+    The kernel's display ``unit``/``scale`` come from its registered
+    :class:`~repro.registry.WorkloadSpec`.
+    """
+    from .. import registry
+    spec = registry.workload(kernel)
+    record = {
+        "kernel": kernel,
+        "items": items,
+        "unit": spec.unit.strip(),
+        "scale": spec.scale,
+    }
+    for name, run in runs.items():
+        record.update(timing_fields(name, run))
+    for field, (num, den) in (ratios or {}).items():
+        record[field] = ratio_of(runs, num, den)
+    return record

@@ -76,6 +76,7 @@ class WorkloadSizes:
     cn_prices: int = 256
     cn_steps: int = 1000
     cn_nopt: int = 64
+    rng_numbers: int = 1 << 20
 
 
 PAPER_SIZES = WorkloadSizes()
@@ -92,4 +93,22 @@ SMALL_SIZES = WorkloadSizes(
     cn_prices=128,
     cn_steps=100,
     cn_nopt=4,
+    rng_numbers=1 << 15,
+)
+
+#: Minimal sizes for CI smoke runs: every tier still executes its real
+#: code path (multiple slabs, both binomial depths, a full bridge), but a
+#: whole six-kernel sweep finishes in seconds.
+SMOKE_SIZES = WorkloadSizes(
+    black_scholes_nopt=4_096,
+    binomial_steps=(64, 128),
+    binomial_nopt=8,
+    brownian_steps=64,
+    brownian_paths=512,
+    mc_path_length=4_096,
+    mc_nopt=2,
+    cn_prices=64,
+    cn_steps=50,
+    cn_nopt=2,
+    rng_numbers=1 << 12,
 )

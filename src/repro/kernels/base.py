@@ -24,17 +24,19 @@ from ..simd.trace import OpTrace
 
 
 class OptLevel(Enum):
-    """The paper's optimization tiers (Sec. III-B)."""
+    """The paper's optimization tiers (Sec. III-B), plus the threaded
+    rung the functional registry adds on top of the advanced tier."""
 
     REFERENCE = "reference"
     BASIC = "basic"
     INTERMEDIATE = "intermediate"
     ADVANCED = "advanced"
+    PARALLEL = "parallel"
 
     @property
     def order(self) -> int:
         return ("reference", "basic", "intermediate",
-                "advanced").index(self.value)
+                "advanced", "parallel").index(self.value)
 
 
 @dataclass(frozen=True)

@@ -14,16 +14,11 @@ from .trinomial import (TrinomialParams, price_trinomial,
                         price_trinomial_batch, trinomial_params)
 from .traced import traced_inner_loop, traced_simd_across, traced_tiled
 
-#: The functional optimization ladder for European groups.
-FUNCTIONAL_LADDER = (
-    ("reference", price_reference_batch),
-    ("simd_across", price_simd_across),
-    ("tiled", price_tiled),
-    ("parallel", price_tiled_parallel),
-)
+# Registers the functional ladder for European groups with repro.registry.
+from . import tiers  # noqa: E402,F401
 
 __all__ = [
-    "price_tiled_parallel", "FUNCTIONAL_LADDER",
+    "price_tiled_parallel",
     "TreeParams", "crr_params", "leaf_values", "intrinsic_row",
     "spot_at_node",
     "price_reference", "price_reference_batch",

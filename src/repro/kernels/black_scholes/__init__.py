@@ -9,20 +9,14 @@ from .parallel import SLAB_BYTES_PER_OPTION, price_parallel
 from .reference import price_reference
 from .traced import traced_price_aos, traced_price_soa
 
-#: The functional optimization ladder, slowest to fastest — the
-#: host-measurable counterpart of the modeled ``TIERS``.
-FUNCTIONAL_LADDER = (
-    ("reference", price_reference),
-    ("basic", price_basic),
-    ("intermediate", price_intermediate),
-    ("advanced", price_advanced),
-    ("parallel", price_parallel),
-)
+# Registers the functional ladder (reference..parallel) with
+# repro.registry — the host-measurable counterpart of the modeled TIERS.
+from . import tiers  # noqa: E402,F401
 
 __all__ = [
     "price_reference", "price_basic", "price_intermediate",
     "price_advanced", "price_parallel",
-    "FUNCTIONAL_LADDER", "SLAB_BYTES_PER_OPTION",
+    "SLAB_BYTES_PER_OPTION",
     "build", "TIERS", "BYTES_PER_OPTION", "bandwidth_bound",
     "reference_trace", "soa_trace", "advanced_trace",
     "traced_price_aos", "traced_price_soa",

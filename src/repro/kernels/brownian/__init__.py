@@ -1,5 +1,9 @@
 """Brownian bridge construction kernel (paper Sec. IV-C, Fig. 6)."""
 
+# Registers the functional ladder with repro.registry.  This must come
+# before .barrier, whose monte_carlo import would otherwise register
+# that kernel ahead of this one and scramble the paper's Sec. IV order.
+from . import tiers  # noqa: F401
 from .barrier import (bridge_crossing_probability,
                       gbm_paths_from_normals, price_up_and_out_call)
 from .bridge import BridgeSchedule, bridge_covariance, make_schedule
@@ -11,19 +15,11 @@ from .parallel import build_interleaved_parallel, build_parallel
 from .reference import build_reference
 from .vectorized import build_vectorized, randoms_to_path_major
 
-#: The functional optimization ladder, slowest to fastest.
-FUNCTIONAL_LADDER = (
-    ("reference", build_reference),
-    ("vectorized", build_vectorized),
-    ("interleaved", build_interleaved),
-    ("parallel", build_parallel),
-)
-
 __all__ = [
     "BridgeSchedule", "make_schedule", "bridge_covariance",
     "build_reference", "build_vectorized", "randoms_to_path_major",
     "build_interleaved", "build_cache_to_cache", "default_block_paths",
-    "build_parallel", "build_interleaved_parallel", "FUNCTIONAL_LADDER",
+    "build_parallel", "build_interleaved_parallel",
     "build", "TIERS", "basic_trace", "intermediate_trace",
     "interleaved_trace", "cache_to_cache_trace",
     "price_up_and_out_call", "bridge_crossing_probability",

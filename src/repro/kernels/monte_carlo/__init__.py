@@ -17,18 +17,15 @@ from .parallel import (price_asian_parallel, price_computed_parallel,
 from .reference import MCResult, price_reference
 from .vectorized import (price_antithetic, price_computed, price_stream)
 
-#: The functional optimization ladder for STREAM mode (Table II row 1).
-FUNCTIONAL_LADDER = (
-    ("reference", price_reference),
-    ("vectorized", price_stream),
-    ("parallel", price_stream_parallel),
-)
+# Registers the STREAM-mode functional ladder (Table II row 1) with
+# repro.registry.
+from . import tiers  # noqa: E402,F401
 
 __all__ = [
     "MCResult", "price_reference", "price_stream", "price_computed",
     "price_antithetic",
     "price_stream_parallel", "price_computed_parallel",
-    "price_asian_parallel", "FUNCTIONAL_LADDER",
+    "price_asian_parallel",
     "build", "TIERS", "PATH_LENGTH", "stream_trace", "computed_trace",
     "price_american_lsmc", "simulate_gbm_paths",
     "terminal_assets", "cholesky_correlation", "price_basket_call",

@@ -1,0 +1,66 @@
+"""Functional-tier registrations for the Monte-Carlo kernel.
+
+Table II row 1 (STREAM mode): scalar reference path loop, the
+vectorized tier (also the paper's peak — Sec. IV-D2 needs only basic
+optimizations), and the fused slab-parallel tier.  Every tier reuses
+one shared pre-generated normal stream, so prices and standard errors
+are comparable to 1e-10 (and the parallel tier is bit-identical to the
+vectorized one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...registry import WorkloadSpec, register_impl, register_workload
+from ...rng import MT19937, NormalGenerator
+from ..base import OptLevel
+from .parallel import price_stream_parallel
+from .reference import price_reference
+from .vectorized import price_stream
+
+#: Rate/vol shared by the Table II Monte-Carlo workload.
+MC_RATE, MC_VOL = 0.02, 0.3
+
+
+def build_workload(sizes, seed: int = 2012) -> dict:
+    """(S, X, T, randoms) for the Table II STREAM pricing workload."""
+    rng = np.random.default_rng(seed)
+    n = sizes.mc_nopt
+    return {
+        "S": rng.uniform(80.0, 120.0, n),
+        "X": rng.uniform(80.0, 120.0, n),
+        "T": rng.uniform(0.25, 2.0, n),
+        "rate": MC_RATE,
+        "vol": MC_VOL,
+        "randoms": NormalGenerator(MT19937(seed)).normals(
+            sizes.mc_path_length),
+    }
+
+
+def _extract(result) -> np.ndarray:
+    return np.concatenate([result.price, result.stderr])
+
+
+register_workload(WorkloadSpec(
+    kernel="monte_carlo",
+    build=build_workload,
+    items=lambda p: p["S"].shape[0],
+    unit=" Kopts/s",
+    scale=1e-3,
+    tolerance=1e-10,
+    baseline_tier="vectorized",
+))
+register_impl("monte_carlo", "reference", OptLevel.REFERENCE,
+              lambda p, ex: _extract(price_reference(
+                  p["S"], p["X"], p["T"], p["rate"], p["vol"],
+                  p["randoms"])))
+register_impl("monte_carlo", "vectorized", OptLevel.BASIC,
+              lambda p, ex: _extract(price_stream(
+                  p["S"], p["X"], p["T"], p["rate"], p["vol"],
+                  p["randoms"])))
+register_impl("monte_carlo", "parallel", OptLevel.PARALLEL,
+              lambda p, ex: _extract(price_stream_parallel(
+                  p["S"], p["X"], p["T"], p["rate"], p["vol"],
+                  p["randoms"], ex)),
+              backends=("serial", "thread"))

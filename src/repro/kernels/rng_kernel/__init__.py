@@ -3,5 +3,8 @@
 from .functional import ScalarMT19937, rng_tier_rates
 from .model import TIERS, build, modeled_rate
 
+# Registers the scalar-vs-vectorized functional pair with repro.registry.
+from . import tiers  # noqa: E402,F401
+
 __all__ = ["build", "TIERS", "modeled_rate", "ScalarMT19937",
            "rng_tier_rates"]

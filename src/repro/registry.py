@@ -1,0 +1,239 @@
+"""Unified functional-tier registry.
+
+The single plane through which every consumer — the CLI, the benchmark
+harness, the measured Ninja-gap sweep, the validation suite — discovers
+and dispatches the *functional* kernel implementations.  Each kernel
+package registers, at import time:
+
+* one :class:`KernelImpl` per ``(tier, backend)`` pair — a uniform
+  callable ``fn(payload, executor) -> np.ndarray`` wrapping that tier's
+  native entry point; and
+* one :class:`WorkloadSpec` — how to build the kernel's shared workload
+  from a :class:`~repro.config.WorkloadSizes`, how many items it prices,
+  what unit its rates are quoted in, and how tightly every non-reference
+  tier must agree with the reference tier on the same inputs.
+
+Adding a tier, a backend, or a whole kernel is then one registration
+call; the CLI choices, the agreement tests and the sweep coverage all
+follow automatically.  Kernels appear in **registration order**, which
+:mod:`repro.kernels` fixes to the paper's Sec. IV presentation order —
+the same order the modeled Ninja table and its golden baseline use.
+
+The registry deliberately imports no kernel package (the kernel
+packages import *it* during registration); accessors lazily import
+:mod:`repro.kernels` so a bare ``from repro import registry`` still
+sees a fully-populated table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import ConfigurationError
+
+#: Execution backends a functional tier may register for.  ``serial``
+#: runs in the caller; ``thread`` dispatches LLC-sized slabs to the
+#: persistent :class:`~repro.parallel.slab.SlabExecutor` pool.
+BACKENDS = ("serial", "thread")
+
+_SEQ = itertools.count()
+
+
+@dataclass(frozen=True)
+class KernelImpl:
+    """One registered functional implementation.
+
+    ``fn(payload, executor)`` prices the registry workload ``payload``
+    (built by the kernel's :class:`WorkloadSpec`) and returns a 1-D
+    result array comparable across tiers; ``executor`` is the
+    :class:`~repro.parallel.slab.SlabExecutor` matching ``backend``
+    (serial tiers may ignore it).
+    """
+
+    kernel: str
+    tier: str                      # functional tier name, e.g. "tiled"
+    level: "OptLevel"              # modeled-ladder rung (kernels.base)
+    backend: str                   # "serial" | "thread"
+    fn: Callable
+    checked: bool = True           # compared against the reference tier
+    tolerance: float | None = None  # per-impl override of the workload tol
+    seq: int = field(default=0, compare=False)
+
+    @property
+    def key(self) -> tuple:
+        return (self.kernel, self.tier, self.backend)
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}/{self.tier}[{self.backend}]"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Typed description of a kernel's shared benchmark workload.
+
+    Attributes
+    ----------
+    build:
+        ``build(sizes, seed) -> payload``; the payload is the object
+        every registered tier of the kernel prices.
+    items:
+        ``items(payload) -> int`` — the count rates are quoted against
+        (options, paths, numbers).
+    unit / scale:
+        Display unit for throughput and the multiplier taking items/s
+        into it (e.g. ``1e-6`` and ``" Mopts/s"``) — the per-kernel
+        metadata that used to live in the CLI's ``_FIGSCALE`` table.
+    tolerance:
+        Default absolute agreement tolerance of any checked tier versus
+        the reference tier on the same payload.
+    bytes_per_item:
+        Per-item working-set hint for slab planning.
+    modeled_gap:
+        Whether the kernel's *performance model* has a reference tier
+        and therefore appears in the modeled Ninja-gap table (the rng
+        kernel does not).
+    baseline_tier:
+        The serial tier the serial-vs-slab parallel bench uses as its
+        baseline (``None`` when the kernel has no thread backend).
+    """
+
+    kernel: str
+    build: Callable
+    items: Callable
+    unit: str
+    scale: float
+    tolerance: float = 1e-10
+    bytes_per_item: int = 8
+    modeled_gap: bool = True
+    baseline_tier: str | None = None
+
+
+_WORKLOADS: dict = {}              # kernel -> WorkloadSpec
+_IMPLS: dict = {}                  # (kernel, tier, backend) -> KernelImpl
+
+
+def _ensure_registered() -> None:
+    """Import the kernel packages so their registrations have run."""
+    from . import kernels  # noqa: F401  (import side effect)
+
+
+# ----------------------------------------------------------------------
+# Registration (called by the kernel packages at import time)
+# ----------------------------------------------------------------------
+
+def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
+    if spec.kernel in _WORKLOADS:
+        raise ConfigurationError(
+            f"workload for kernel {spec.kernel!r} already registered"
+        )
+    if spec.scale <= 0:
+        raise ConfigurationError(f"{spec.kernel}: scale must be positive")
+    _WORKLOADS[spec.kernel] = spec
+    return spec
+
+
+def register_impl(kernel: str, tier: str, level, fn: Callable,
+                  backends=("serial",), checked: bool = True,
+                  tolerance: float | None = None):
+    """Register ``fn`` as kernel/tier on each backend; returns the
+    created :class:`KernelImpl` entries."""
+    made = []
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; want one of {BACKENDS}"
+            )
+        key = (kernel, tier, backend)
+        if key in _IMPLS:
+            raise ConfigurationError(
+                f"impl {kernel}/{tier}[{backend}] already registered"
+            )
+        impl = KernelImpl(kernel=kernel, tier=tier, level=level,
+                          backend=backend, fn=fn, checked=checked,
+                          tolerance=tolerance, seq=next(_SEQ))
+        _IMPLS[key] = impl
+        made.append(impl)
+    return made
+
+
+# ----------------------------------------------------------------------
+# Accessors (every consumer dispatches through these)
+# ----------------------------------------------------------------------
+
+def kernels() -> tuple:
+    """Registered kernel names, in registration (paper) order."""
+    _ensure_registered()
+    return tuple(_WORKLOADS)
+
+
+def workload(kernel: str) -> WorkloadSpec:
+    _ensure_registered()
+    try:
+        return _WORKLOADS[kernel]
+    except KeyError:
+        raise ConfigurationError(
+            f"no workload registered for kernel {kernel!r}; "
+            f"known: {list(_WORKLOADS)}"
+        ) from None
+
+
+def impls(kernel: str | None = None, backend: str | None = None) -> tuple:
+    """Registered implementations, ladder-ordered (level, then
+    registration order), optionally filtered by kernel and backend."""
+    _ensure_registered()
+    out = [i for i in _IMPLS.values()
+           if (kernel is None or i.kernel == kernel)
+           and (backend is None or i.backend == backend)]
+    out.sort(key=lambda i: (i.kernel != kernel, i.level.order, i.seq))
+    return tuple(out)
+
+
+def impl(kernel: str, tier: str, backend: str = "serial") -> KernelImpl:
+    _ensure_registered()
+    try:
+        return _IMPLS[(kernel, tier, backend)]
+    except KeyError:
+        have = sorted(f"{t}[{b}]" for k, t, b in _IMPLS if k == kernel)
+        raise ConfigurationError(
+            f"no impl {kernel}/{tier}[{backend}]; registered for "
+            f"{kernel!r}: {have}"
+        ) from None
+
+
+def tiers(kernel: str) -> tuple:
+    """Tier names of one kernel in ladder order (deduplicated across
+    backends)."""
+    seen = []
+    for i in impls(kernel):
+        if i.tier not in seen:
+            seen.append(i.tier)
+    if not seen:
+        raise ConfigurationError(f"no tiers registered for {kernel!r}")
+    return tuple(seen)
+
+
+def reference_impl(kernel: str) -> KernelImpl:
+    """The kernel's serial reference tier (the agreement oracle and the
+    denominator of the measured Ninja gap)."""
+    from .kernels.base import OptLevel
+    for i in impls(kernel, backend="serial"):
+        if i.level is OptLevel.REFERENCE:
+            return i
+    raise ConfigurationError(
+        f"kernel {kernel!r} has no registered reference tier"
+    )
+
+
+def parallel_tier(kernel: str) -> str | None:
+    """Name of the kernel's thread-backend tier, or ``None``."""
+    for i in impls(kernel, backend="thread"):
+        return i.tier
+    return None
+
+
+def parallel_kernels() -> tuple:
+    """Kernels that registered a thread backend, registration-ordered."""
+    return tuple(k for k in kernels() if parallel_tier(k) is not None)

@@ -3,10 +3,11 @@
 from .convergence import (mc_error_within_clt, observed_order,
                           richardson_extrapolate)
 from .golden import (AMERICAN_PUT_ANCHOR, BS_GOLDEN,
-                     MT19937_ARRAY_SEED_FIRST, MT19937_SEED_5489_FIRST)
+                     MT19937_ARRAY_SEED_FIRST, MT19937_SEED_5489_FIRST,
+                     check_golden_tiers)
 
 __all__ = [
     "observed_order", "richardson_extrapolate", "mc_error_within_clt",
     "BS_GOLDEN", "MT19937_SEED_5489_FIRST", "MT19937_ARRAY_SEED_FIRST",
-    "AMERICAN_PUT_ANCHOR",
+    "AMERICAN_PUT_ANCHOR", "check_golden_tiers",
 ]

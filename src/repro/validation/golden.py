@@ -30,3 +30,53 @@ MT19937_ARRAY_SEED_FIRST = (1067595299, 955945823, 477289528, 4107218783,
 #: American put (S=100, K=100, T=1, r=0.05, sigma=0.3): high-resolution
 #: binomial value (N=8192), used as the cross-method anchor for CN/binomial.
 AMERICAN_PUT_ANCHOR = 9.8701
+
+
+def check_golden_tiers(atol: float = 1e-7) -> dict:
+    """Price every :data:`BS_GOLDEN` point with every registered serial
+    Black-Scholes tier (dispatched through :mod:`repro.registry`).
+
+    Returns ``{tier: max_abs_error}`` across points and both the call
+    and put legs; raises :class:`~repro.errors.ExperimentError` if any
+    tier misses a golden value by more than ``atol``.  This anchors the
+    whole registry ladder — not just the tier the tests happened to
+    enumerate — to the independently computed closed form.
+    """
+    import numpy as np
+
+    from .. import registry
+    from ..errors import ExperimentError
+    from ..kernels.black_scholes.tiers import make_payload
+    from ..parallel import SlabExecutor
+
+    points = list(BS_GOLDEN)
+    S = np.array([p[0] for p in points])
+    X = np.array([p[1] for p in points])
+    T = np.array([p[2] for p in points])
+    errors = {}
+    with SlabExecutor("serial") as ex:
+        for (rate, vol), group in _golden_groups().items():
+            idx = [points.index(p) for p in group]
+            payload = make_payload(S[idx], X[idx], T[idx], rate, vol)
+            want = np.concatenate([
+                np.array([BS_GOLDEN[p][0] for p in group]),
+                np.array([BS_GOLDEN[p][1] for p in group]),
+            ])
+            for impl in registry.impls("black_scholes", backend="serial"):
+                got = np.asarray(impl.fn(payload, ex))
+                err = float(np.max(np.abs(got - want)))
+                errors[impl.tier] = max(errors.get(impl.tier, 0.0), err)
+    bad = {t: e for t, e in errors.items() if e > atol}
+    if bad:
+        raise ExperimentError(
+            f"golden Black-Scholes mismatch beyond atol={atol}: {bad}")
+    return errors
+
+
+def _golden_groups() -> dict:
+    """The golden points grouped by shared (rate, vol) — the batch
+    layout prices one (rate, vol) pair across many contracts."""
+    groups: dict = {}
+    for point in BS_GOLDEN:
+        groups.setdefault((point[3], point[4]), []).append(point)
+    return groups

@@ -83,27 +83,32 @@ class TestWorkloadBuilders:
 _TINY = WorkloadSizes(
     black_scholes_nopt=512, binomial_steps=(16, 32), binomial_nopt=4,
     brownian_steps=16, brownian_paths=128, mc_path_length=512, mc_nopt=2,
-    cn_prices=32, cn_steps=10, cn_nopt=2,
+    cn_prices=32, cn_steps=10, cn_nopt=2, rng_numbers=256,
 )
 
 
 class TestMeasureParallelSpeedup:
     def test_structure_and_rendering(self):
+        from repro import registry
         data = measure_parallel_speedup(sizes=_TINY, repeats=1)
         assert data["backend"] == "thread"
         assert data["n_workers"] >= 1 and data["slab_bytes"] > 0
         kernels = {k["kernel"]: k for k in data["kernels"]}
-        assert set(kernels) == {"black_scholes", "monte_carlo",
-                                "brownian", "binomial"}
+        # Every kernel with a registered thread backend is measured.
+        assert set(kernels) == set(registry.parallel_kernels())
+        assert "crank_nicolson" in kernels
         for k in kernels.values():
             assert k["serial_s"] > 0 and k["slab_s"] > 0
             assert k["speedup"] == pytest.approx(
                 k["serial_s"] / k["slab_s"])
-        assert "fused_vs_intermediate" in kernels["black_scholes"]
+            # Fusion gain is attributed separately for every kernel.
+            assert k["fused_vs_serial"] == pytest.approx(
+                k["serial_s"] / k["fused_serial_s"])
+            assert k["unit"] and k["scale"] > 0
 
         result = parallel_speedup_result(data)
         assert result.exp_id == "parallel"
-        assert len(result.rows) == 4
+        assert len(result.rows) == len(kernels)
 
     def test_serial_backend_runs(self):
         data = measure_parallel_speedup(sizes=_TINY, backend="serial",

@@ -1,0 +1,81 @@
+"""Registry-driven agreement tests.
+
+One parametrized check replaces the per-kernel hand-enumerated
+"matches reference tier" tests: every implementation registered with
+:mod:`repro.registry` (each kernel × tier × backend) prices the
+kernel's shared workload and must agree with the serial reference tier
+within its registered tolerance.  Tiers registered on both backends
+must additionally be bit-identical across them (PR 1's determinism
+guarantee, now enforced for the whole registry)."""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.config import WorkloadSizes
+from repro.parallel import SlabExecutor
+
+#: Seconds-scale sizes; small enough that even the scalar reference
+#: tiers (pure-Python loops) price in milliseconds.
+_TINY = WorkloadSizes(
+    black_scholes_nopt=512, binomial_steps=(16, 32), binomial_nopt=4,
+    brownian_steps=16, brownian_paths=128, mc_path_length=512, mc_nopt=2,
+    cn_prices=32, cn_steps=10, cn_nopt=2, rng_numbers=256,
+)
+
+
+@pytest.fixture(scope="module")
+def executors():
+    with SlabExecutor("serial", slab_bytes=16 * 1024) as serial, \
+            SlabExecutor("thread", n_workers=2,
+                         slab_bytes=16 * 1024) as thread:
+        yield {"serial": serial, "thread": thread}
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    return {k: registry.workload(k).build(_TINY, seed=2012)
+            for k in registry.kernels()}
+
+
+@pytest.fixture(scope="module")
+def references(payloads):
+    with SlabExecutor("serial", slab_bytes=16 * 1024) as ex:
+        return {k: np.asarray(registry.reference_impl(k).fn(payloads[k], ex))
+                for k in registry.kernels()}
+
+
+def _checked_impls():
+    return [pytest.param(i, id=i.label) for i in registry.impls()
+            if i.checked]
+
+
+@pytest.mark.parametrize("impl", _checked_impls())
+def test_agrees_with_reference(impl, payloads, references, executors):
+    spec = registry.workload(impl.kernel)
+    out = np.asarray(impl.fn(payloads[impl.kernel],
+                             executors[impl.backend]))
+    ref = references[impl.kernel]
+    assert out.shape == ref.shape
+    tol = impl.tolerance if impl.tolerance is not None else spec.tolerance
+    np.testing.assert_allclose(out, ref, rtol=0, atol=tol)
+
+
+@pytest.mark.parametrize(
+    "kernel", [pytest.param(k, id=k) for k in registry.parallel_kernels()])
+def test_backends_bit_identical(kernel, payloads, executors):
+    tier = registry.parallel_tier(kernel)
+    serial = np.asarray(registry.impl(kernel, tier, "serial")
+                        .fn(payloads[kernel], executors["serial"]))
+    thread = np.asarray(registry.impl(kernel, tier, "thread")
+                        .fn(payloads[kernel], executors["thread"]))
+    assert np.array_equal(serial, thread)
+
+
+def test_reference_rerun_is_deterministic(payloads, references, executors):
+    # The shared payload is reusable: re-pricing it must reproduce the
+    # reference bit for bit (no tier may corrupt the workload).
+    for kernel in registry.kernels():
+        again = np.asarray(registry.reference_impl(kernel)
+                           .fn(payloads[kernel], executors["serial"]))
+        assert np.array_equal(again, references[kernel]), kernel

@@ -35,6 +35,17 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "closed form" in out and "binomial" in out
 
+    def test_price_european_put_reports_monte_carlo(self, capsys):
+        assert main(["price", "--kind", "put", "--paths", "20000",
+                     "--steps", "256", "--grid", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "Monte-Carlo" in out
+        # The parity-derived put estimate sits near the closed form.
+        closed = float(out.split("closed form:")[1].split()[0])
+        mc = float(out.split("Monte-Carlo:")[1].split()[0])
+        err = float(out.split("±")[1].split()[0])
+        assert abs(mc - closed) < max(3 * err, 0.5)
+
     def test_price_american_put(self, capsys):
         assert main(["price", "--american", "--kind", "put",
                      "--steps", "256", "--grid", "96"]) == 0
@@ -49,6 +60,28 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "slab-parallel" in out and "monte_carlo" in out
         assert out_json.exists()
+
+    def test_sweep_smoke(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "--smoke", "--repeats", "1",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        # The gap table covers all six kernels plus the geomean row.
+        for kernel in ("black_scholes", "binomial", "brownian",
+                       "monte_carlo", "crank_nicolson", "rng"):
+            assert kernel in out
+        assert "AVERAGE" in out and "measured" in out
+        assert (tmp_path / "BENCH_ninja_measured.json").exists()
+
+    def test_sweep_kernel_subset_no_out(self, capsys, tmp_path,
+                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "--smoke", "--repeats", "1",
+                     "--backends", "serial", "--kernels", "rng",
+                     "--out", ""]) == 0
+        out = capsys.readouterr().out
+        assert "rng" in out and "black_scholes" not in out
+        assert not (tmp_path / "BENCH_ninja_measured.json").exists()
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,103 @@
+"""Functional-tier registry tests: population, ordering, lookups and
+registration-time validation."""
+
+import pytest
+
+from repro import registry
+from repro.errors import ConfigurationError
+from repro.kernels.base import OptLevel
+
+#: The paper's Sec. IV presentation order, which registration must keep
+#: (the modeled Ninja table and its golden baseline rely on it).
+PAPER_ORDER = ("black_scholes", "binomial", "brownian", "monte_carlo",
+               "crank_nicolson", "rng")
+
+
+class TestPopulation:
+    def test_kernels_in_paper_order(self):
+        assert registry.kernels() == PAPER_ORDER
+
+    def test_every_kernel_has_workload_and_reference(self):
+        for kernel in registry.kernels():
+            spec = registry.workload(kernel)
+            assert spec.kernel == kernel
+            assert spec.scale > 0 and spec.unit.strip()
+            ref = registry.reference_impl(kernel)
+            assert ref.level is OptLevel.REFERENCE
+            assert ref.backend == "serial"
+
+    def test_tiers_ladder_ordered(self):
+        for kernel in registry.kernels():
+            levels = [registry.impl(kernel, t).level.order
+                      for t in registry.tiers(kernel)]
+            assert levels == sorted(levels)
+
+    def test_parallel_kernels_have_both_backends(self):
+        parallel = registry.parallel_kernels()
+        assert set(parallel) == {"black_scholes", "binomial", "brownian",
+                                 "monte_carlo", "crank_nicolson"}
+        for kernel in parallel:
+            tier = registry.parallel_tier(kernel)
+            assert registry.impl(kernel, tier, "serial").fn is \
+                registry.impl(kernel, tier, "thread").fn
+
+    def test_rng_has_no_thread_backend(self):
+        assert registry.parallel_tier("rng") is None
+
+    def test_baseline_tier_is_registered_serial(self):
+        for kernel in registry.parallel_kernels():
+            baseline = registry.workload(kernel).baseline_tier
+            assert registry.impl(kernel, baseline, "serial")
+
+
+class TestLookups:
+    def test_impl_filtering(self):
+        serial = registry.impls(kernel="black_scholes", backend="serial")
+        assert all(i.backend == "serial" for i in serial)
+        assert [i.tier for i in serial] == ["reference", "basic",
+                                            "intermediate", "advanced",
+                                            "parallel"]
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ConfigurationError, match="no workload"):
+            registry.workload("heston")
+
+    def test_unknown_impl_raises_with_known_list(self):
+        with pytest.raises(ConfigurationError, match="registered"):
+            registry.impl("black_scholes", "ninja")
+
+    def test_label(self):
+        impl = registry.impl("brownian", "parallel", "thread")
+        assert impl.label == "brownian/parallel[thread]"
+
+
+class TestRegistrationValidation:
+    def test_duplicate_workload_rejected(self):
+        spec = registry.workload("rng")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register_workload(spec)
+
+    def test_duplicate_impl_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register_impl("rng", "reference", OptLevel.REFERENCE,
+                                   lambda p, ex: None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            registry.register_impl("rng", "gpu_tier", OptLevel.ADVANCED,
+                                   lambda p, ex: None, backends=("cuda",))
+
+
+class TestDerivedConsumers:
+    def test_gap_kernels_derived_from_registry(self):
+        from repro.bench import GAP_KERNELS
+        assert GAP_KERNELS == tuple(
+            k for k in registry.kernels()
+            if registry.workload(k).modeled_gap)
+        assert "rng" not in GAP_KERNELS
+
+    def test_cli_choices_cover_registry(self):
+        # Every registered kernel is a valid `figure`/`profile` choice.
+        from repro.__main__ import main
+        for kernel in registry.kernels():
+            assert main(["profile", kernel]) == 0

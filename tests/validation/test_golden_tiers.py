@@ -1,0 +1,26 @@
+"""Golden-anchor check dispatched through the registry: every serial
+Black-Scholes tier must reproduce the independently computed closed-form
+fixtures."""
+
+import pytest
+
+from repro import registry
+from repro.errors import ExperimentError
+from repro.validation import check_golden_tiers
+
+
+class TestGoldenTiers:
+    def test_every_serial_tier_hits_the_golden_points(self):
+        errors = check_golden_tiers()
+        tiers = {i.tier for i in registry.impls("black_scholes",
+                                                backend="serial")}
+        assert set(errors) == tiers
+        assert all(e <= 1e-7 for e in errors.values())
+
+    def test_tight_tolerance_still_passes(self):
+        # The functional tiers are double precision end to end.
+        assert check_golden_tiers(atol=1e-12)
+
+    def test_impossible_tolerance_raises(self):
+        with pytest.raises(ExperimentError, match="golden"):
+            check_golden_tiers(atol=1e-16)
