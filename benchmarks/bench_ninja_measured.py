@@ -34,9 +34,10 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads + 2 repeats (CI smoke run)")
-    ap.add_argument("--backends", default="serial,thread",
-                    help="comma-separated subset of serial,thread")
-    ap.add_argument("--workers", type=int, default=None)
+    ap.add_argument("--backends", default="serial,thread,process",
+                    help="comma-separated subset of serial,thread,process")
+    ap.add_argument("--workers", type=int, default=None,
+                    help="pool width (default: all host CPUs)")
     ap.add_argument("--slab-bytes", type=int, default=None)
     ap.add_argument("--repeats", type=int, default=None)
     ap.add_argument("--seed", type=int, default=2012)
@@ -46,8 +47,9 @@ def main(argv=None) -> int:
     sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
     repeats = args.repeats or (2 if args.smoke else 5)
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    workers = args.workers or os.cpu_count() or 1
     data = measure_ninja_sweep(
-        sizes=sizes, backends=backends, n_workers=args.workers,
+        sizes=sizes, backends=backends, n_workers=workers,
         slab_bytes=args.slab_bytes, repeats=repeats, seed=args.seed)
     data["smoke"] = args.smoke
     data["cpu_count"] = os.cpu_count()

@@ -35,8 +35,9 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads + 2 repeats (CI smoke run)")
     ap.add_argument("--backend", default="thread",
-                    choices=["serial", "thread"])
-    ap.add_argument("--workers", type=int, default=None)
+                    choices=["serial", "thread", "process"])
+    ap.add_argument("--workers", type=int, default=None,
+                    help="pool width (default: all host CPUs)")
     ap.add_argument("--slab-bytes", type=int, default=None)
     ap.add_argument("--repeats", type=int, default=None)
     ap.add_argument("--seed", type=int, default=2012)
@@ -45,8 +46,9 @@ def main(argv=None) -> int:
 
     sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
     repeats = args.repeats or (2 if args.smoke else 5)
+    workers = args.workers or os.cpu_count() or 1
     data = measure_parallel_speedup(
-        sizes=sizes, backend=args.backend, n_workers=args.workers,
+        sizes=sizes, backend=args.backend, n_workers=workers,
         slab_bytes=args.slab_bytes, repeats=repeats, seed=args.seed)
     data["smoke"] = args.smoke
     data["cpu_count"] = os.cpu_count()

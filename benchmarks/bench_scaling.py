@@ -1,0 +1,101 @@
+"""Measured core-scaling study, exported to ``BENCH_scaling.json``.
+
+Standalone (not pytest-benchmark): the study times every registered
+parallel-tier kernel at 1/2/4/…/cpu_count workers on the serial,
+thread, and process backends — the measured counterpart of the paper's
+Fig. 6/8 thread-scaling curves — and records speedup plus parallel
+efficiency per point next to the modeled SNB-EP/KNC ladders.  Every
+point's result digest is verified against the single-worker serial
+baseline, so the run fails loudly if any backend breaks slab
+determinism.
+
+Run ``python benchmarks/bench_scaling.py`` for the real measurement
+(SMALL_SIZES, best-of-5, all host CPUs) or ``--smoke`` for the
+seconds-long CI configuration.  On a >= 4-core host the acceptance
+line checks that at least three kernels clear 1.5x over serial at
+4 workers on the best backend; smaller hosts report the measured
+efficiency instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import measure_scaling, render, scaling_result  # noqa: E402
+from repro.config import SMALL_SIZES, SMOKE_SIZES  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_scaling.json")
+
+
+def _best_speedup_at(data: dict, kernel: dict, workers: int) -> float:
+    """The kernel's best pooled-backend speedup at ``workers``."""
+    pts = [p for p in kernel["points"]
+           if p["n_workers"] == workers and p["backend"] != "serial"]
+    return max((p["speedup"] for p in pts), default=0.0)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads + 2 repeats (CI smoke run)")
+    ap.add_argument("--backends", default="serial,thread,process",
+                    help="comma-separated subset of serial,thread,process")
+    ap.add_argument("--workers", default=None,
+                    help="comma-separated worker counts "
+                         "(default: 1,2,4,...,cpu_count)")
+    ap.add_argument("--slab-bytes", type=int, default=None)
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=2012)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
+    repeats = args.repeats or (2 if args.smoke else 5)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    workers = (tuple(int(w) for w in args.workers.split(","))
+               if args.workers else None)
+    data = measure_scaling(
+        sizes=sizes, backends=backends, worker_counts=workers,
+        slab_bytes=args.slab_bytes, repeats=repeats, seed=args.seed)
+    data["smoke"] = args.smoke
+
+    print(render(scaling_result(data), "text"))
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+
+    n_points = sum(len(k["points"]) for k in data["kernels"])
+    print(f"determinism: all {n_points} (kernel x backend x workers) "
+          f"points match the serial baseline digest")
+    if 4 in data["worker_counts"] and not args.smoke:
+        winners = [k["kernel"] for k in data["kernels"]
+                   if _best_speedup_at(data, k, 4) >= 1.5]
+        status = "PASS" if len(winners) >= 3 else "MISS"
+        print(f"scaling acceptance (>=1.5x over serial at 4 workers, "
+              f">=3 kernels): {len(winners)} kernel(s) {winners} "
+              f"[{status}]")
+    else:
+        top = max(data["worker_counts"])
+        effs = {k["kernel"]: max((p["efficiency"] for p in k["points"]
+                                  if p["n_workers"] == top
+                                  and p["backend"] != "serial"),
+                                 default=0.0)
+                for k in data["kernels"]}
+        effs_txt = ", ".join(f"{k}={v:.2f}" for k, v in effs.items())
+        print(f"measured parallel efficiency at {top} workers "
+              f"(host has {data['cpu_count']} CPU(s); the 4-worker "
+              f"acceptance gate needs >= 4 cores and a non-smoke run): "
+              f"{effs_txt}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ figure <kernel>         the modeled stacked-bar chart for one kernel
 profile <kernel>        VTune-style cycle profile on one platform
 ninja                   the modeled Ninja-gap table
 sweep                   measure the Ninja gap: time every registered tier
+scaling                 measured core-scaling curves (workers x backends)
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
@@ -113,6 +114,31 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_scaling(args) -> int:
+    import json
+
+    from .bench import measure_scaling, render, scaling_result
+    from .config import PAPER_SIZES, SMALL_SIZES, SMOKE_SIZES
+
+    sizes = (SMOKE_SIZES if args.smoke
+             else PAPER_SIZES if args.full else SMALL_SIZES)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    kernels = (tuple(k.strip() for k in args.kernels.split(","))
+               if args.kernels else None)
+    workers = (tuple(int(w) for w in args.workers.split(","))
+               if args.workers else None)
+    data = measure_scaling(
+        sizes=sizes, backends=backends, worker_counts=workers,
+        slab_bytes=args.slab_bytes, repeats=args.repeats, seed=args.seed,
+        kernels=kernels)
+    print(render(scaling_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_price(args) -> int:
     import math
 
@@ -206,8 +232,8 @@ def main(argv=None) -> int:
                    help="SMOKE_SIZES workloads (seconds; the CI mode)")
     p.add_argument("--full", action="store_true",
                    help="use PAPER_SIZES workloads")
-    p.add_argument("--backends", default="serial,thread",
-                   help="comma-separated subset of serial,thread")
+    p.add_argument("--backends", default="serial,thread,process",
+                   help="comma-separated subset of serial,thread,process")
     p.add_argument("--kernels", default=None,
                    help="comma-separated kernel subset (default: all)")
     p.add_argument("--workers", type=int, default=None)
@@ -219,6 +245,30 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="BENCH_ninja_measured.json",
                    help="raw measurement JSON path ('' to skip)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "scaling",
+        help="measured core scaling: parallel tiers x workers x backends")
+    p.add_argument("--smoke", action="store_true",
+                   help="SMOKE_SIZES workloads (seconds; the CI mode)")
+    p.add_argument("--full", action="store_true",
+                   help="use PAPER_SIZES workloads")
+    p.add_argument("--backends", default="serial,thread,process",
+                   help="comma-separated subset of serial,thread,process")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated kernel subset (default: all "
+                        "parallel-tier kernels)")
+    p.add_argument("--workers", default=None,
+                   help="comma-separated worker counts "
+                        "(default: 1,2,4,...,cpu_count)")
+    p.add_argument("--slab-bytes", type=int, default=None)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default="BENCH_scaling.json",
+                   help="raw measurement JSON path ('' to skip)")
+    p.set_defaults(fn=_cmd_scaling)
 
     p = sub.add_parser("price", help="price one contract, every engine")
     p.add_argument("--spot", type=float, default=100.0)

@@ -11,6 +11,7 @@ from .harness import (TimedRun, binomial_workload, brownian_randoms,
                       time_run)
 from .ninja import GAP_KERNELS, ninja_gaps, ninja_table
 from .record import kernel_record, ratio_of, timing_fields
+from .scaling_measured import measure_scaling, scaling_result
 from .sweep import (MeasuredNinjaGap, measure_ninja_sweep, measured_gaps,
                     sweep_detail_result, sweep_gap_result)
 from .profile import (ProfileLine, format_profile, hotspot, profile_trace)
@@ -28,6 +29,7 @@ __all__ = [
     "kernel_record", "ratio_of", "timing_fields",
     "MeasuredNinjaGap", "measure_ninja_sweep", "measured_gaps",
     "sweep_gap_result", "sweep_detail_result",
+    "measure_scaling", "scaling_result",
     "profile_trace", "hotspot", "format_profile", "ProfileLine",
     "SCENARIOS", "ScenarioResult", "run_scenario",
     "render", "to_json", "to_csv", "from_json", "FORMATS",

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..config import SMALL_SIZES, WorkloadSizes
+from ..config import BENCH_WARMUP, SMALL_SIZES, WorkloadSizes
 from ..errors import ExperimentError
 
 
@@ -39,11 +39,22 @@ class TimedRun:
         return self.items / self.seconds if self.seconds > 0 else float("inf")
 
 
-def time_run(label: str, fn, items: int, repeats: int = 3) -> TimedRun:
+def time_run(label: str, fn, items: int, repeats: int = 3,
+             warmup: int = BENCH_WARMUP) -> TimedRun:
     """Best-of-``repeats`` wall-clock timing of ``fn()``, with median
-    and spread recorded alongside."""
+    and spread recorded alongside.
+
+    ``warmup`` extra runs execute untimed first, so one-off costs —
+    allocator growth, lazy imports, thread/process pool start — land in
+    no reported figure (they used to skew the *median* even when the
+    best-of shrugged them off).
+    """
     if repeats < 1:
         raise ExperimentError("repeats must be >= 1")
+    if warmup < 0:
+        raise ExperimentError("warmup must be >= 0")
+    for _ in range(warmup):
+        fn()
     times = []
     for _ in range(repeats):
         t0 = time.perf_counter()
@@ -103,8 +114,8 @@ def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
                              slab_bytes: int | None = None,
                              repeats: int = 3, seed: int = 2012) -> dict:
     """Wall-clock serial-vs-slab comparison for every kernel whose
-    parallel tier is registered with a thread backend; the data behind
-    ``BENCH_parallel.json``.
+    parallel tier is registered with a pooled backend (``thread`` or
+    ``process``); the data behind ``BENCH_parallel.json``.
 
     Per kernel: the registered serial baseline tier (the kernel's
     ``WorkloadSpec.baseline_tier``, its fastest pre-existing serial
@@ -146,10 +157,18 @@ def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
                     f"{kernel}_{tier}_{backend}",
                     lambda: slab.fn(payload, slab_ex), items, repeats),
             }
-            kernels.append(kernel_record(
+            record = kernel_record(
                 kernel, items, runs,
                 ratios={"speedup": ("serial", "slab"),
-                        "fused_vs_serial": ("serial", "fused_serial")}))
+                        "fused_vs_serial": ("serial", "fused_serial")})
+            # Worker count actually used per timed run: serial runs are
+            # single-worker by construction, the slab run uses the pool.
+            record["n_workers"] = {
+                "serial": 1,
+                "fused_serial": 1,
+                "slab": 1 if backend == "serial" else slab_ex.n_workers,
+            }
+            kernels.append(record)
         return {
             "backend": backend,
             "n_workers": slab_ex.n_workers,

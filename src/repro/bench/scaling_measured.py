@@ -1,0 +1,239 @@
+"""Measured core-scaling study (the paper's Figs. 6 and 8, on the host).
+
+The paper's headline curves plot throughput versus hardware threads —
+16 on SNB-EP, 240 on KNC — for each kernel's best parallel code.
+:mod:`repro.bench.scaling_exp` *projects* those curves from the machine
+models; this module *measures* them: every registered parallel-tier
+kernel is timed at 1/2/4/…/cpu_count workers on each requested backend
+(``serial``/``thread``/``process``), and each point reports speedup
+over the single-worker serial baseline plus parallel efficiency
+(speedup / workers), side by side with the modeled SNB-EP/KNC curves.
+
+The measurement doubles as a determinism audit: at **every** point the
+result digest must equal the serial baseline digest — the slab plan is
+a pure function of ``(n, slab_bytes, bytes_per_item, n_workers)`` and
+every registered parallel tier is slab-size independent, so a mismatch
+anywhere is a real bug and raises :class:`~repro.errors.ExperimentError`
+rather than silently shipping a wrong curve.
+
+Interpreting the two pooled backends: ``thread`` scales only as far as
+NumPy ufuncs release the GIL (large-array tiers scale, Python-bound
+tiers flatline — exactly the gap this study exists to expose), while
+``process`` sidesteps the GIL by mapping slabs out of shared-memory
+segments at the cost of one staging copy per dispatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+
+from ..config import SMALL_SIZES, WorkloadSizes
+from ..errors import ExperimentError
+from .harness import time_run
+from .record import timing_fields
+
+#: Modeled platforms overlaid next to the measured points.
+_MODEL_ARCHES = ("SNB-EP", "KNC")
+
+
+def _digest(out: np.ndarray) -> str:
+    return hashlib.md5(np.ascontiguousarray(out).tobytes()).hexdigest()
+
+
+def _modeled_curves(kernel: str) -> dict | None:
+    """Per-platform modeled ``{cores, speedup, efficiency}`` ladders for
+    the kernel's best tier, or ``None`` when the kernel has no machine
+    model (rng)."""
+    from .. import registry
+    if not registry.workload(kernel).modeled_gap:
+        return None
+    from ..arch.cost import CostModel
+    from ..arch.spec import PLATFORMS
+    from ..kernels import build_model
+    from ..parallel import doubling_counts
+    km = build_model(kernel)
+    curves = {}
+    for arch in PLATFORMS:
+        if arch.name not in _MODEL_ARCHES:
+            continue
+        tp = km.best(arch.name)
+        model = CostModel(arch)
+        t1 = model.seconds(tp.trace, tp.ctx, cores=1)
+        curves[arch.name] = [
+            {"cores": c,
+             "speedup": t1 / model.seconds(tp.trace, tp.ctx, cores=c),
+             "efficiency": t1 / model.seconds(tp.trace, tp.ctx, cores=c) / c}
+            for c in doubling_counts(arch.total_cores)
+        ]
+    return curves
+
+
+def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
+                    backends: tuple = ("serial", "thread", "process"),
+                    worker_counts: tuple | None = None,
+                    slab_bytes: int | None = None,
+                    repeats: int = 3, seed: int = 2012,
+                    kernels: tuple | None = None) -> dict:
+    """Time every parallel-tier kernel across backends × worker counts.
+
+    ``worker_counts`` defaults to the doubling ladder ``1, 2, 4, …,
+    cpu_count`` (the Fig. 6/8 x-axis).  Per kernel the workload is
+    built once; the single-worker serial run is the baseline for every
+    speedup/efficiency figure and the digest oracle for every point.
+    Returns the JSON-ready dict behind ``BENCH_scaling.json``; raises
+    :class:`~repro.errors.ExperimentError` if any point's digest
+    disagrees with the serial baseline.
+    """
+    from .. import registry
+    from ..parallel import SlabExecutor, doubling_counts
+
+    for backend in backends:
+        if backend not in registry.BACKENDS:
+            raise ExperimentError(
+                f"unknown backend {backend!r}; want one of "
+                f"{registry.BACKENDS}")
+    cpu_count = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = tuple(doubling_counts(cpu_count))
+    if any(w < 1 for w in worker_counts):
+        raise ExperimentError("worker counts must be >= 1")
+    names = registry.parallel_kernels()
+    if kernels is not None:
+        unknown = [k for k in kernels if k not in names]
+        if unknown:
+            raise ExperimentError(
+                f"unknown parallel kernel(s) {unknown}; "
+                f"registered: {list(names)}")
+        names = tuple(k for k in names if k in kernels)
+
+    entries = []
+    resolved_slab_bytes = None
+    for kernel in names:
+        spec = registry.workload(kernel)
+        tier = registry.parallel_tier(kernel)
+        payload = spec.build(sizes, seed=seed)
+        items = spec.items(payload)
+
+        with SlabExecutor("serial", n_workers=1,
+                          slab_bytes=slab_bytes) as base_ex:
+            resolved_slab_bytes = base_ex.slab_bytes
+            impl = registry.impl(kernel, tier, "serial")
+            base_out = np.asarray(impl.fn(payload, base_ex))
+            base_digest = _digest(base_out)
+            base_run = time_run(f"{kernel}_{tier}_serial_w1",
+                                lambda: impl.fn(payload, base_ex),
+                                items, repeats)
+
+        points = []
+        for backend in backends:
+            for w in worker_counts:
+                if backend == "serial" and w == 1:
+                    run, digest = base_run, base_digest
+                else:
+                    impl = registry.impl(kernel, tier, backend)
+                    with SlabExecutor(backend, n_workers=w,
+                                      slab_bytes=slab_bytes) as ex:
+                        out = np.asarray(impl.fn(payload, ex))
+                        digest = _digest(out)
+                        # The warmup inside time_run has already primed
+                        # the pool/arena, so timed repeats see a warm
+                        # executor.
+                        run = time_run(f"{kernel}_{tier}_{backend}_w{w}",
+                                       lambda: impl.fn(payload, ex),
+                                       items, repeats)
+                if digest != base_digest:
+                    raise ExperimentError(
+                        f"{kernel}/{tier}[{backend}] at {w} workers "
+                        f"diverged from the serial baseline digest — "
+                        f"the backend broke slab determinism")
+                speedup = (base_run.seconds / run.seconds
+                           if run.seconds > 0 else float("inf"))
+                point = {
+                    "backend": backend,
+                    "n_workers": w,
+                    "rate": run.rate * spec.scale,
+                    "speedup": speedup,
+                    "efficiency": speedup / w,
+                    "digest": digest,
+                    "agrees": True,
+                }
+                point.update(timing_fields("time", run))
+                points.append(point)
+
+        entries.append({
+            "kernel": kernel,
+            "tier": tier,
+            "items": items,
+            "unit": spec.unit.strip(),
+            "scale": spec.scale,
+            "serial_digest": base_digest,
+            "points": points,
+            "modeled": _modeled_curves(kernel),
+        })
+        for f, v in timing_fields("serial", base_run).items():
+            entries[-1][f] = v
+
+    return {
+        "cpu_count": cpu_count,
+        "worker_counts": list(worker_counts),
+        "backends": list(backends),
+        "slab_bytes": resolved_slab_bytes,
+        "repeats": repeats,
+        "seed": seed,
+        "kernels": entries,
+    }
+
+
+def _modeled_note(kernel: str, modeled: dict | None) -> str | None:
+    """One-line modeled-curve summary for a kernel (full-chip point)."""
+    if not modeled:
+        return None
+    parts = []
+    for arch, curve in modeled.items():
+        last = curve[-1]
+        parts.append(f"{arch} {last['cores']}c "
+                     f"{last['speedup']:.1f}x ({last['efficiency']:.0%})")
+    return f"{kernel} modeled full-chip: " + "; ".join(parts)
+
+
+def scaling_result(data: dict):
+    """Render :func:`measure_scaling` output as an
+    :class:`~repro.bench.experiments.ExperimentResult` (one row per
+    kernel × backend × worker count, modeled curves in the notes)."""
+    from .experiments import ExperimentResult
+    rows = []
+    for k in data["kernels"]:
+        for p in k["points"]:
+            rows.append((
+                k["kernel"], p["backend"], p["n_workers"],
+                round(p["time_s"] * 1e3, 3),
+                round(p["rate"], 3), k["unit"],
+                round(p["speedup"], 2),
+                round(p["efficiency"], 2),
+                "yes" if p["agrees"] else "NO",
+            ))
+    notes = [
+        f"host cpu_count={data['cpu_count']} "
+        f"workers={data['worker_counts']} "
+        f"backends={','.join(data['backends'])} "
+        f"repeats={data['repeats']} seed={data['seed']}",
+        "speedup = single-worker serial time / point time; "
+        "efficiency = speedup / workers; every point's digest is "
+        "verified against the serial baseline",
+    ]
+    for k in data["kernels"]:
+        note = _modeled_note(k["kernel"], k["modeled"])
+        if note:
+            notes.append(note)
+    return ExperimentResult(
+        exp_id="scaling_measured",
+        title="Measured core scaling (host wall clock vs modeled "
+              "SNB-EP/KNC)",
+        headers=("kernel", "backend", "workers", "best ms", "rate",
+                 "unit", "speedup", "efficiency", "agrees"),
+        rows=rows,
+        notes=notes,
+    )

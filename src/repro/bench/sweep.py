@@ -11,8 +11,9 @@ the modeled figures.
 Every tier is also checked against the reference tier on the same
 payload (within the registered tolerance) and fingerprinted with an MD5
 digest of its result vector, so the sweep doubles as a cross-backend
-determinism check: for a fixed seed, a tier registered on both the
-``serial`` and ``thread`` backends must produce bit-identical results.
+determinism check: for a fixed seed, a tier registered on several
+backends (``serial``/``thread``/``process``) must produce bit-identical
+results on all of them.
 """
 
 from __future__ import annotations
@@ -46,7 +47,7 @@ def _digest(out: np.ndarray) -> str:
 
 
 def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
-                        backends: tuple = ("serial", "thread"),
+                        backends: tuple = ("serial", "thread", "process"),
                         n_workers: int | None = None,
                         slab_bytes: int | None = None,
                         repeats: int = 3, seed: int = 2012,
@@ -108,6 +109,8 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
                     "tier": impl.tier,
                     "backend": impl.backend,
                     "level": impl.level.value,
+                    "n_workers": 1 if impl.backend == "serial"
+                    else ex.n_workers,
                     "items": items,
                     "rate": run.rate * spec.scale,
                     "checked": impl.checked,

@@ -23,6 +23,11 @@ CACHELINE_BYTES = 64
 #: Doubles per cacheline.
 DP_PER_LINE = CACHELINE_BYTES // DP_BYTES
 
+#: Untimed warmup runs before the timed repeats of every wall-clock
+#: measurement, so first-call costs (allocator growth, lazy imports,
+#: pool/worker start) never land in a reported figure.
+BENCH_WARMUP = 1
+
 
 @dataclass(frozen=True)
 class RunConfig:

@@ -22,6 +22,15 @@ from ...pricing.options import ExerciseStyle
 from .tiled import price_tiled
 
 
+def _tiled_slab(arrays: dict, consts: dict, a: int, b: int,
+                slab: int) -> None:
+    """Slab task (module-level for process-backend pickling): run the
+    tiled ladder on this slab's options (shipped via ``per_slab``)."""
+    arrays["out"][:] = price_tiled(consts["options"], consts["n_steps"],
+                                   ts=consts["ts"],
+                                   vector_registers=consts["vr"])
+
+
 def price_tiled_parallel(options, n_steps: int,
                          executor: SlabExecutor | None = None,
                          ts: int | None = None,
@@ -46,11 +55,11 @@ def price_tiled_parallel(options, n_steps: int,
     # Per option in flight: the full tree row, its working copy inside
     # tiled_reduce, and the leaf construction scratch.
     bytes_per_option = 3 * (n_steps + 1) * 8
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        out[a:b] = price_tiled(options[a:b], n_steps, ts=ts,
-                               vector_registers=vector_registers)
-
-    executor.map_slabs(kernel, len(options),
-                       bytes_per_item=bytes_per_option)
+    executor.map_shm(
+        _tiled_slab, len(options), bytes_per_item=bytes_per_option,
+        sliced={"out": out}, writes=("out",),
+        consts={"n_steps": n_steps, "ts": ts, "vr": vector_registers},
+        # Each slab task carries only its own options, not the batch.
+        per_slab=lambda a, b, i: {"options": options[a:b]},
+    )
     return out

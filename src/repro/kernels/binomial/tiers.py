@@ -50,4 +50,4 @@ register_impl("binomial", "tiled", OptLevel.ADVANCED,
 register_impl("binomial", "parallel", OptLevel.PARALLEL,
               lambda p, ex: price_tiled_parallel(p["options"], p["steps"],
                                                  ex),
-              backends=("serial", "thread"))
+              backends=("serial", "thread", "process"))

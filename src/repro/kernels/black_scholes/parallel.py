@@ -8,8 +8,9 @@ per-operation temporaries, so the slab's working set (3 inputs,
 exactly as the paper's Sec. IV-A3 peak code keeps its vectors in
 registers and L1.  The math is the advanced tier's (erf substitution +
 put-call parity); slabs are dispatched by a
-:class:`~repro.parallel.slab.SlabExecutor`, whose threads overlap
-because NumPy ufuncs drop the GIL.
+:class:`~repro.parallel.slab.SlabExecutor` — threads overlap because
+NumPy ufuncs drop the GIL, and the ``process`` backend maps the same
+slabs out of shared-memory segments, bit-identical on every backend.
 """
 
 from __future__ import annotations
@@ -90,17 +91,23 @@ def price_parallel(batch: OptionBatch,
         raise LayoutError(f"unsupported layout {batch.layout!r}")
 
 
+def _price_slab_task(arrays: dict, consts: dict, a: int, b: int,
+                     slab: int) -> None:
+    """Slab task in the backend-portable shape (module-level so the
+    process backend can pickle it by reference)."""
+    _price_slab(arrays["S"], arrays["X"], arrays["T"],
+                consts["r"], consts["sig"],
+                arrays["call"], arrays["put"], consts["lib"])
+
+
 def _price_soa_slabs(soa, r: float, sig: float, executor: SlabExecutor,
                      lib: VectorMathLib) -> None:
     S = soa.get("S")
-    X = soa.get("X")
-    T = soa.get("T")
-    call = soa.get("call")
-    put = soa.get("put")
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        _price_slab(S[a:b], X[a:b], T[a:b], r, sig,
-                    call[a:b], put[a:b], lib)
-
-    executor.map_slabs(kernel, S.shape[0],
-                       bytes_per_item=SLAB_BYTES_PER_OPTION)
+    executor.map_shm(
+        _price_slab_task, S.shape[0],
+        bytes_per_item=SLAB_BYTES_PER_OPTION,
+        sliced={"S": S, "X": soa.get("X"), "T": soa.get("T"),
+                "call": soa.get("call"), "put": soa.get("put")},
+        writes=("call", "put"),
+        consts={"r": r, "sig": sig, "lib": lib},
+    )

@@ -34,6 +34,23 @@ def _bytes_per_path(schedule: BridgeSchedule) -> int:
     return (schedule.randoms_per_path() + 3 * schedule.n_points) * 8
 
 
+def _build_slab(arrays: dict, consts: dict, a: int, b: int,
+                slab: int) -> None:
+    """Pre-generated-stream slab task (module-level for process-backend
+    pickling): build this slab's bridges into the output view."""
+    build_vectorized(consts["schedule"], arrays["r"].reshape(-1),
+                     out=arrays["out"])
+
+
+def _interleaved_slab(arrays: dict, consts: dict, a: int, b: int,
+                      slab: int) -> None:
+    """Interleaved-RNG slab task: generate this slab's normals from its
+    own stream and consume them immediately."""
+    gen = NormalGenerator(consts["stream"], consts["method"])
+    z = gen.normals((b - a) * consts["per_path"])
+    build_vectorized(consts["schedule"], z, out=arrays["out"])
+
+
 def build_parallel(schedule: BridgeSchedule, randoms: np.ndarray,
                    executor: SlabExecutor | None = None) -> np.ndarray:
     """Build all bridges from a pre-generated stream, slab-parallel.
@@ -46,12 +63,11 @@ def build_parallel(schedule: BridgeSchedule, randoms: np.ndarray,
     r = randoms_to_path_major(schedule, randoms)
     n_paths = r.shape[0]
     out = np.empty((n_paths, schedule.n_points), dtype=DTYPE)
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        build_vectorized(schedule, r[a:b].reshape(-1), out=out[a:b])
-
-    executor.map_slabs(kernel, n_paths,
-                       bytes_per_item=_bytes_per_path(schedule))
+    executor.map_shm(
+        _build_slab, n_paths, bytes_per_item=_bytes_per_path(schedule),
+        sliced={"r": r, "out": out}, writes=("out",),
+        consts={"schedule": schedule},
+    )
     return out
 
 
@@ -74,11 +90,11 @@ def build_interleaved_parallel(schedule: BridgeSchedule, n_paths: int,
     streams = make_streams(max(1, len(slabs)), kind=kind, seed=seed,
                            draws_per_worker=4 * max_paths * per_path + 8)
     out = np.empty((n_paths, schedule.n_points), dtype=DTYPE)
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        gen = NormalGenerator(streams[slab], method)
-        z = gen.normals((b - a) * per_path)
-        build_vectorized(schedule, z, out=out[a:b])
-
-    executor.map_slabs(kernel, n_paths, bytes_per_item=bpp)
+    executor.map_shm(
+        _interleaved_slab, n_paths, bytes_per_item=bpp,
+        sliced={"out": out}, writes=("out",),
+        consts={"schedule": schedule, "per_path": per_path,
+                "method": method},
+        per_slab=lambda a, b, i: {"stream": streams[i]},
+    )
     return out

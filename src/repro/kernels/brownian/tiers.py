@@ -72,4 +72,4 @@ register_impl("brownian", "interleaved", OptLevel.ADVANCED,
 register_impl("brownian", "parallel", OptLevel.PARALLEL,
               lambda p, ex: build_parallel(p["schedule"], p["randoms"],
                                            ex).ravel(),
-              backends=("serial", "thread"))
+              backends=("serial", "thread", "process"))

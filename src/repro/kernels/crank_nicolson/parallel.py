@@ -20,6 +20,16 @@ from ...parallel.slab import SlabExecutor, default_executor
 from .solver import solve
 
 
+def _solve_slab(arrays: dict, consts: dict, a: int, b: int,
+                slab: int) -> None:
+    """Slab task (module-level for process-backend pickling): march this
+    slab's contracts (shipped via ``per_slab``) into the output view."""
+    out = arrays["out"]
+    for j, opt in enumerate(consts["options"]):
+        out[j] = solve(opt, consts["n_points"], consts["n_steps"],
+                       consts["solver"], **consts["kwargs"]).price
+
+
 def solve_batch_parallel(options, n_points: int = 256, n_steps: int = 1000,
                          solver: str = "red_black",
                          executor: SlabExecutor | None = None,
@@ -38,12 +48,11 @@ def solve_batch_parallel(options, n_points: int = 256, n_steps: int = 1000,
     out = np.empty(len(options), dtype=DTYPE)
     # Per option in flight: u/b/g lattice rows plus the grid tables.
     bytes_per_option = 8 * 8 * n_points
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        for i in range(a, b):
-            out[i] = solve(options[i], n_points, n_steps, solver,
-                           **kwargs).price
-
-    executor.map_slabs(kernel, len(options),
-                       bytes_per_item=bytes_per_option)
+    executor.map_shm(
+        _solve_slab, len(options), bytes_per_item=bytes_per_option,
+        sliced={"out": out}, writes=("out",),
+        consts={"n_points": n_points, "n_steps": n_steps,
+                "solver": solver, "kwargs": kwargs},
+        per_slab=lambda a, b, i: {"options": options[a:b]},
+    )
     return out

@@ -57,4 +57,4 @@ register_impl("crank_nicolson", "wavefront_transformed", OptLevel.ADVANCED,
 register_impl("crank_nicolson", "parallel", OptLevel.PARALLEL,
               lambda p, ex: solve_batch_parallel(
                   p["options"], p["n_points"], p["n_steps"], executor=ex),
-              backends=("serial", "thread"))
+              backends=("serial", "thread", "process"))

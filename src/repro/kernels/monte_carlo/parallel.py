@@ -69,6 +69,22 @@ def _price_option_fused(s: float, x: float, t: float, rate: float,
     return df * mean, df * np.sqrt(var / n_paths)
 
 
+def _stream_slab(arrays: dict, consts: dict, a: int, b: int,
+                 slab: int) -> None:
+    """STREAM-mode slab task (module-level for process-backend pickling):
+    price this slab's options against the shared random stream."""
+    S, X, T = arrays["S"], arrays["X"], arrays["T"]
+    price, stderr = arrays["price"], arrays["stderr"]
+    randoms = arrays["randoms"]
+    rate, vol, block = consts["rate"], consts["vol"], consts["block"]
+    n_paths = randoms.size
+    scratch = np.empty(min(block, n_paths), dtype=DTYPE)
+    for o in range(S.shape[0]):
+        price[o], stderr[o] = _price_option_fused(
+            S[o], X[o], T[o], rate, vol, n_paths,
+            lambda n, lo: randoms[lo:lo + n], block, scratch)
+
+
 def price_stream_parallel(S, X, T, rate: float, vol: float,
                           randoms: np.ndarray,
                           executor: SlabExecutor | None = None,
@@ -90,17 +106,30 @@ def price_stream_parallel(S, X, T, rate: float, vol: float,
     n_paths = randoms.size
     price = np.empty(nopt, dtype=DTYPE)
     stderr = np.empty(nopt, dtype=DTYPE)
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        scratch = np.empty(min(block, n_paths), dtype=DTYPE)
-        for o in range(a, b):
-            price[o], stderr[o] = _price_option_fused(
-                S[o], X[o], T[o], rate, vol, n_paths,
-                lambda n, lo: randoms[lo:lo + n], block, scratch)
-
     # Per-option traffic: one pass over the stream (plus the scratch).
-    executor.map_slabs(kernel, nopt, bytes_per_item=8 * n_paths)
+    executor.map_shm(
+        _stream_slab, nopt, bytes_per_item=8 * n_paths,
+        sliced={"S": S, "X": X, "T": T, "price": price, "stderr": stderr},
+        shared={"randoms": randoms},
+        writes=("price", "stderr"),
+        consts={"rate": rate, "vol": vol, "block": block},
+    )
     return MCResult(price=price, stderr=stderr, n_paths=n_paths)
+
+
+def _computed_slab(arrays: dict, consts: dict, a: int, b: int,
+                   slab: int) -> None:
+    """Computed-RNG slab task: this slab's options priced from the
+    slab's own independent stream (shipped via ``per_slab``)."""
+    S, X, T = arrays["S"], arrays["X"], arrays["T"]
+    price, stderr = arrays["price"], arrays["stderr"]
+    n_paths, block = consts["n_paths"], consts["block"]
+    gen = NormalGenerator(consts["stream"], consts["method"])
+    scratch = np.empty(min(block, n_paths), dtype=DTYPE)
+    for o in range(S.shape[0]):
+        price[o], stderr[o] = _price_option_fused(
+            S[o], X[o], T[o], consts["rate"], consts["vol"], n_paths,
+            lambda n, lo: gen.normals(n), block, scratch)
 
 
 def price_computed_parallel(S, X, T, rate: float, vol: float,
@@ -131,17 +160,30 @@ def price_computed_parallel(S, X, T, rate: float, vol: float,
                            draws_per_worker=4 * max_opts * n_paths + 8)
     price = np.empty(nopt, dtype=DTYPE)
     stderr = np.empty(nopt, dtype=DTYPE)
-
-    def kernel(a: int, b: int, slab: int) -> None:
-        gen = NormalGenerator(streams[slab], method)
-        scratch = np.empty(min(block, n_paths), dtype=DTYPE)
-        for o in range(a, b):
-            price[o], stderr[o] = _price_option_fused(
-                S[o], X[o], T[o], rate, vol, n_paths,
-                lambda n, lo: gen.normals(n), block, scratch)
-
-    executor.map_slabs(kernel, nopt, bytes_per_item=bytes_per_opt)
+    executor.map_shm(
+        _computed_slab, nopt, bytes_per_item=bytes_per_opt,
+        sliced={"S": S, "X": X, "T": T, "price": price, "stderr": stderr},
+        writes=("price", "stderr"),
+        consts={"rate": rate, "vol": vol, "n_paths": n_paths,
+                "method": method, "block": block},
+        per_slab=lambda a, b, i: {"stream": streams[i]},
+    )
     return MCResult(price=price, stderr=stderr, n_paths=n_paths)
+
+
+def _asian_slab(arrays: dict, consts: dict, a: int, b: int,
+                slab: int) -> tuple:
+    """Asian slab task: simulate this slab's GBM chunk from its own
+    stream and reduce to the six running moments."""
+    take = b - a
+    opt, n_fixings = consts["opt"], consts["n_fixings"]
+    gen = NormalGenerator(consts["stream"], consts["method"])
+    z = gen.normals(take * n_fixings).reshape(take, n_fixings)
+    paths = simulate_gbm_paths(opt, take, n_fixings, z)
+    arith, geo = _fixing_payoffs(opt, paths)
+    return (take, float(arith.sum()), float(geo.sum()),
+            float((arith * arith).sum()), float((geo * geo).sum()),
+            float((arith * geo).sum()))
 
 
 def price_asian_parallel(opt: Option, n_paths: int, n_fixings: int,
@@ -169,19 +211,11 @@ def price_asian_parallel(opt: Option, n_paths: int, n_fixings: int,
     max_paths = max((b - a) for a, b in slabs) if slabs else 1
     streams = make_streams(max(1, len(slabs)), kind=kind, seed=seed,
                            draws_per_worker=4 * max_paths * n_fixings + 8)
-
-    def kernel(a: int, b: int, slab: int) -> tuple:
-        take = b - a
-        gen = NormalGenerator(streams[slab], method)
-        z = gen.normals(take * n_fixings).reshape(take, n_fixings)
-        paths = simulate_gbm_paths(opt, take, n_fixings, z)
-        arith, geo = _fixing_payoffs(opt, paths)
-        return (take, float(arith.sum()), float(geo.sum()),
-                float((arith * arith).sum()), float((geo * geo).sum()),
-                float((arith * geo).sum()))
-
-    moments = executor.map_slabs(kernel, n_paths,
-                                 bytes_per_item=bytes_per_path)
+    moments = executor.map_shm(
+        _asian_slab, n_paths, bytes_per_item=bytes_per_path,
+        consts={"opt": opt, "n_fixings": n_fixings, "method": method},
+        per_slab=lambda a, b, i: {"stream": streams[i]},
+    )
     n = sa = sg = saa = sgg = sag = 0.0
     for take, a_, g_, aa_, gg_, ag_ in moments:   # fixed slab order
         n += take

@@ -2,9 +2,11 @@
 
 from .functional import ScalarMT19937, rng_tier_rates
 from .model import TIERS, build, modeled_rate
+from .parallel import uniform53_parallel
 
-# Registers the scalar-vs-vectorized functional pair with repro.registry.
+# Registers the scalar/vectorized/jump-ahead functional ladder with
+# repro.registry.
 from . import tiers  # noqa: E402,F401
 
 __all__ = ["build", "TIERS", "modeled_rate", "ScalarMT19937",
-           "rng_tier_rates"]
+           "rng_tier_rates", "uniform53_parallel"]

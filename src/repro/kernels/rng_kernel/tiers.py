@@ -2,9 +2,10 @@
 
 Table II rows 3–4 treatment: the scalar mt19937ar transliteration as
 the reference tier versus the block-vectorized :class:`repro.rng.MT19937`
-as the optimized tier.  The two are bit-identical stream-for-stream
-(tolerance 0.0), so the measured gap between them isolates exactly the
-vectorization win.  The kernel has no modeled reference tier, so it is
+as the optimized tier, plus the jump-ahead slab-parallel tier.  All
+three are bit-identical stream-for-stream (tolerance 0.0), so the
+measured gap between them isolates exactly the vectorization and
+threading wins.  The kernel has no modeled reference tier, so it is
 excluded from the modeled Ninja-gap average.
 """
 
@@ -14,6 +15,7 @@ from ...registry import WorkloadSpec, register_impl, register_workload
 from ...rng.mt19937 import MT19937
 from ..base import OptLevel
 from .functional import ScalarMT19937
+from .parallel import uniform53_parallel
 
 
 def build_workload(sizes, seed: int = 5489) -> dict:
@@ -29,8 +31,12 @@ register_workload(WorkloadSpec(
     scale=1e-9,
     tolerance=0.0,
     modeled_gap=False,
+    baseline_tier="vectorized",
 ))
 register_impl("rng", "reference", OptLevel.REFERENCE,
               lambda p, ex: ScalarMT19937(p["seed"]).uniform53(p["n"]))
 register_impl("rng", "vectorized", OptLevel.ADVANCED,
               lambda p, ex: MT19937(p["seed"]).uniform53(p["n"]))
+register_impl("rng", "parallel", OptLevel.PARALLEL,
+              lambda p, ex: uniform53_parallel(p["n"], p["seed"], ex),
+              backends=("serial", "thread", "process"))

@@ -3,14 +3,16 @@ chunked executor (the OpenMP stand-in) and the zero-copy slab engine
 behind the parallel kernel tier."""
 
 from .executor import ChunkExecutor
-from .partition import (block_ranges, chunk_ranges, round_robin,
-                        simd_groups, slab_ranges)
-from .slab import (DEFAULT_LLC_BYTES, SlabExecutor, default_executor,
-                   host_llc_bytes)
+from .partition import (block_ranges, chunk_ranges, doubling_counts,
+                        round_robin, simd_groups, slab_ranges)
+from .shm import ArraySpec, ShmArena, run_slab_task
+from .slab import (BACKENDS, DEFAULT_LLC_BYTES, SlabExecutor,
+                   default_executor, host_llc_bytes)
 
 __all__ = [
     "ChunkExecutor", "SlabExecutor", "default_executor",
-    "host_llc_bytes", "DEFAULT_LLC_BYTES",
-    "block_ranges", "chunk_ranges", "round_robin", "simd_groups",
-    "slab_ranges",
+    "host_llc_bytes", "BACKENDS", "DEFAULT_LLC_BYTES",
+    "ArraySpec", "ShmArena", "run_slab_task",
+    "block_ranges", "chunk_ranges", "doubling_counts", "round_robin",
+    "simd_groups", "slab_ranges",
 ]

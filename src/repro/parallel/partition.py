@@ -64,6 +64,22 @@ def slab_ranges(n: int, slab_elems: int, n_workers: int = 1):
     return chunk_ranges(n, max(1, min(slab_elems, per_worker)))
 
 
+def doubling_counts(limit: int):
+    """Worker-count ladder ``1, 2, 4, …`` up to and including ``limit``
+    — the x-axis of the paper's Fig. 6/8 scaling curves.  ``limit`` is
+    always the last entry (so an off-power core count like 6 or 12
+    still gets measured at full width)."""
+    if limit < 1:
+        raise ConfigurationError("limit must be >= 1")
+    counts = []
+    c = 1
+    while c < limit:
+        counts.append(c)
+        c *= 2
+    counts.append(limit)
+    return counts
+
+
 def round_robin(n: int, n_workers: int):
     """Index arrays per worker, dealt card-style — useful when cost
     varies monotonically with index (e.g. option expiry sweeps)."""

@@ -7,32 +7,51 @@ a :class:`SlabExecutor` partitions a NumPy workload into contiguous
 the last-level cache (Sec. IV's "chunk the problem to the LLC" rule,
 the same sizing :func:`repro.kernels.brownian.default_block_paths`
 applies to bridges) — and dispatches whole slabs to a **persistent**
-thread pool.  NumPy ufuncs release the GIL for the duration of the
-array operation, so threads genuinely overlap on multi-core hosts, and
-because the workers receive views into the caller's arrays there is no
-pickling, no copying in, and no reassembly copying out: kernels write
-straight into preallocated output buffers.
+worker pool.
+
+Three backends share one slab plan:
+
+* ``serial`` — in-caller execution, the timing baseline.
+* ``thread`` — a reusable :class:`ThreadPoolExecutor`.  NumPy ufuncs
+  release the GIL for the duration of the array operation, so threads
+  genuinely overlap on multi-core hosts, and workers receive views into
+  the caller's arrays: no pickling, no copying in, no reassembly.
+* ``process`` — a reusable :class:`ProcessPoolExecutor` over
+  :mod:`multiprocessing.shared_memory` segments (:mod:`.shm`).  The
+  hot Python portions of a slab kernel — loop control, small-slab
+  dispatch, generator state — hold the GIL, so thread scaling tops out
+  well below the core count; worker processes sidestep the GIL
+  entirely.  Arrays are staged into shared segments once per dispatch
+  and sliced by workers as views (*copy once, slice many*); per-slab
+  task messages never carry array data.
 
 Determinism contract
 --------------------
 The slab plan is a pure function of ``(n, slab_bytes, bytes_per_item,
 n_workers)`` — never of the backend — and random streams are assigned
 **per slab** (not per worker), the deterministic refinement of the
-paper's per-thread interleaved RNG (Sec. IV-D3).  A serial and a
-threaded run therefore consume identical draws on identical slabs and
-produce bit-identical prices for a fixed seed, which the test suite
-asserts kernel by kernel.
+paper's per-thread interleaved RNG (Sec. IV-D3).  Serial, threaded and
+process-pool runs therefore consume identical draws on identical slabs
+and produce bit-identical prices for a fixed seed, which the test
+suite asserts kernel by kernel and the measured benches assert digest
+by digest.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..errors import ConfigurationError
 from .partition import slab_ranges
 
-_BACKENDS = ("serial", "thread")
+#: Execution backends: in-caller, GIL-releasing thread pool, or
+#: shared-memory process pool.  :data:`repro.registry.BACKENDS` mirrors
+#: this tuple for implementation registration.
+BACKENDS = ("serial", "thread", "process")
+
+_BACKENDS = BACKENDS  # historical alias
 
 #: Fallback LLC size when sysfs is unreadable — matches the generic
 #: 8 MiB L3 that :func:`repro.arch.host.calibrate_host` assumes.
@@ -79,15 +98,24 @@ def _arch_llc_bytes(arch) -> int:
     return best or DEFAULT_LLC_BYTES
 
 
+def _default_mp_context() -> str:
+    """``fork`` where available (instant worker start, inherited
+    imports), else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else "spawn"
+
+
 class SlabExecutor:
     """Persistent-pool slab dispatcher for NumPy kernels.
 
     Parameters
     ----------
     backend:
-        ``serial`` (in-caller execution, the timing baseline) or
+        ``serial`` (in-caller execution, the timing baseline),
         ``thread`` (reusable :class:`ThreadPoolExecutor`; ufuncs release
-        the GIL so slabs overlap on real cores).
+        the GIL so slabs overlap on real cores) or ``process``
+        (reusable :class:`ProcessPoolExecutor`; slabs are mapped out of
+        shared-memory segments, so GIL-bound kernel portions scale too).
     n_workers:
         Pool width; defaults to the host CPU count.
     slab_bytes:
@@ -99,17 +127,23 @@ class SlabExecutor:
     arch:
         Optional :class:`~repro.arch.spec.ArchSpec` to size slabs from
         instead of the host cache hierarchy.
+    mp_context:
+        Start method for the process backend (``fork``/``spawn``/
+        ``forkserver``); default picks ``fork`` where the platform
+        offers it.  Ignored by the other backends.
 
-    The pool is created lazily on the first threaded dispatch and
+    The pool is created lazily on the first pooled dispatch and
     **reused across calls** until :meth:`close` (or context-manager
-    exit) — no per-call pool churn.
+    exit) — no per-call pool churn.  The process backend's shared
+    segments are likewise pooled and reused across dispatches.
     """
 
     def __init__(self, backend: str = "thread", n_workers: int | None = None,
-                 slab_bytes: int | None = None, arch=None):
-        if backend not in _BACKENDS:
+                 slab_bytes: int | None = None, arch=None,
+                 mp_context: str | None = None):
+        if backend not in BACKENDS:
             raise ConfigurationError(
-                f"unknown backend {backend!r}; want one of {_BACKENDS}"
+                f"unknown backend {backend!r}; want one of {BACKENDS}"
             )
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
@@ -121,26 +155,46 @@ class SlabExecutor:
             llc = _arch_llc_bytes(arch) if arch is not None else host_llc_bytes()
             slab_bytes = max(1, llc // 2)
         self.slab_bytes = slab_bytes
-        self._pool: ThreadPoolExecutor | None = None
+        self.mp_context = mp_context or _default_mp_context()
+        self._pool = None          # ThreadPoolExecutor | ProcessPoolExecutor
+        self._arena = None         # ShmArena (process backend only)
         self._closed = False
 
     # -- lifecycle -----------------------------------------------------
-    def _get_pool(self) -> ThreadPoolExecutor:
+    def _get_pool(self):
         if self._closed:
             raise ConfigurationError("executor is closed")
         if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_workers,
-                thread_name_prefix="repro-slab",
-            )
+            if self.backend == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=multiprocessing.get_context(self.mp_context),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="repro-slab",
+                )
         return self._pool
 
+    def _get_arena(self):
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        if self._arena is None:
+            from .shm import ShmArena
+            self._arena = ShmArena()
+        return self._arena
+
     def close(self) -> None:
-        """Shut the pool down; the executor cannot dispatch afterwards."""
+        """Shut the pool down and release any shared segments; the
+        executor cannot dispatch afterwards."""
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "SlabExecutor":
         return self
@@ -151,6 +205,8 @@ class SlabExecutor:
     def __del__(self):
         if getattr(self, "_pool", None) is not None:
             self._pool.shutdown(wait=False)
+        if getattr(self, "_arena", None) is not None:
+            self._arena.close()
 
     # -- planning ------------------------------------------------------
     def plan(self, n: int, bytes_per_item: int = 8):
@@ -175,8 +231,12 @@ class SlabExecutor:
 
         Returns the per-slab results in slab order (kernels that write
         through views into preallocated outputs return ``None``).
-        Threaded dispatch submits every slab to the persistent pool —
+        Pooled dispatch submits every slab to the persistent pool —
         workers pull slabs dynamically, so uneven slab costs balance.
+
+        On the ``process`` backend ``fn`` must be picklable (a
+        module-level function); array-closure kernels should use
+        :meth:`map_shm`, which stages arrays through shared memory.
         """
         if self._closed:
             raise ConfigurationError("executor is closed")
@@ -188,6 +248,100 @@ class SlabExecutor:
                    for i, (a, b) in enumerate(slabs)]
         return [f.result() for f in futures]
 
+    def map_shm(self, fn, n: int, bytes_per_item: int = 8, *,
+                sliced: dict | None = None, shared: dict | None = None,
+                writes=(), consts: dict | None = None, per_slab=None):
+        """Structured slab dispatch: the backend-portable kernel shape.
+
+        ``fn(arrays, consts, start, stop, slab_index)`` receives a dict
+        of NumPy views — ``sliced`` entries cut ``[start:stop]`` along
+        axis 0, ``shared`` entries whole — plus the merged constants.
+        On the ``serial``/``thread`` backends the views alias the
+        caller's arrays directly (zero-copy, results land in place); on
+        the ``process`` backend inputs are staged once into shared
+        segments, workers slice views of those segments, and arrays
+        named in ``writes`` are copied back into the caller's buffers
+        after the last slab completes.  Because every backend runs the
+        same ``fn`` over the same plan with the same values, results
+        are bit-identical across backends.
+
+        Parameters
+        ----------
+        sliced:
+            ``{name: ndarray}`` with first-dimension length ``n``;
+            workers see the ``[start:stop]`` view.
+        shared:
+            ``{name: ndarray}`` passed whole to every slab (e.g. a
+            common random stream).
+        writes:
+            Names (from ``sliced``/``shared``) the kernel writes.
+            Treated as write-only: their prior contents are not staged
+            to workers on the process backend.
+        consts:
+            Small picklable extras (scalars, schedules, seeds).
+        per_slab:
+            Optional ``per_slab(start, stop, slab_index) -> dict``
+            merged over ``consts`` for that slab — per-slab RNG
+            streams, pre-sliced object lists.  Computed in the caller,
+            so it is plan-deterministic, never worker-dependent.
+
+        ``fn`` must be a module-level (picklable) function for the
+        process backend; the other backends accept any callable.
+        """
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        sliced = dict(sliced or {})
+        shared = dict(shared or {})
+        consts = dict(consts or {})
+        for name, arr in sliced.items():
+            if arr.shape[0] != n:
+                raise ConfigurationError(
+                    f"sliced array {name!r} has leading dimension "
+                    f"{arr.shape[0]}, expected {n}")
+        unknown = [w for w in writes if w not in sliced and w not in shared]
+        if unknown:
+            raise ConfigurationError(
+                f"writes names {unknown} not among the dispatched arrays")
+        slabs = self.plan(n, bytes_per_item)
+
+        if self.backend != "process" or len(slabs) <= 1:
+            def call(a, b, i):
+                arrays = {k: v[a:b] for k, v in sliced.items()}
+                arrays.update(shared)
+                c = (consts if per_slab is None
+                     else {**consts, **per_slab(a, b, i)})
+                return fn(arrays, c, a, b, i)
+
+            if self.backend == "serial" or len(slabs) <= 1:
+                return [call(a, b, i) for i, (a, b) in enumerate(slabs)]
+            pool = self._get_pool()
+            futures = [pool.submit(call, a, b, i)
+                       for i, (a, b) in enumerate(slabs)]
+            return [f.result() for f in futures]
+
+        from .shm import run_slab_task
+        arena = self._get_arena()
+        pool = self._get_pool()
+        specs = {}
+        for name, arr in sliced.items():
+            spec = arena.stage(name, arr, copy=name not in writes)
+            spec.sliced = True
+            specs[name] = spec
+        for name, arr in shared.items():
+            specs[name] = arena.stage(name, arr, copy=name not in writes)
+        futures = []
+        for i, (a, b) in enumerate(slabs):
+            c = consts if per_slab is None else {**consts,
+                                                 **per_slab(a, b, i)}
+            futures.append(pool.submit(run_slab_task, fn, specs, c,
+                                       a, b, i))
+        results = [f.result() for f in futures]
+        for name in writes:
+            target = sliced.get(name, shared.get(name))
+            import numpy as np
+            np.copyto(target, arena.view(specs[name]))
+        return results
+
     # -- RNG -----------------------------------------------------------
     def streams(self, n: int, bytes_per_item: int = 8,
                 kind: str = "mt2203", seed: int = 1,
@@ -196,10 +350,10 @@ class SlabExecutor:
 
         Per-slab (rather than per-worker) assignment makes the draws a
         function of the plan alone: whichever worker executes slab ``i``
-        consumes stream ``i``, so serial and threaded runs are
-        bit-identical.  Stream kinds are the paper's (Sec. IV-D3):
-        ``mt2203`` family members, counter-split ``philox``, or a
-        block-skipped ``mt19937``.
+        consumes stream ``i``, so all backends are bit-identical.
+        Stream kinds are the paper's (Sec. IV-D3): ``mt2203`` family
+        members, counter-split ``philox``, or a block-skipped
+        ``mt19937``.
         """
         from ..rng import make_streams
         n_slabs = max(1, len(self.plan(n, bytes_per_item)))

@@ -35,8 +35,11 @@ from .errors import ConfigurationError
 
 #: Execution backends a functional tier may register for.  ``serial``
 #: runs in the caller; ``thread`` dispatches LLC-sized slabs to the
-#: persistent :class:`~repro.parallel.slab.SlabExecutor` pool.
-BACKENDS = ("serial", "thread")
+#: persistent :class:`~repro.parallel.slab.SlabExecutor` pool;
+#: ``process`` dispatches the same slabs to a persistent process pool
+#: over shared-memory segments (:mod:`repro.parallel.shm`), sidestepping
+#: the GIL on the kernels' Python-bound portions.
+BACKENDS = ("serial", "thread", "process")
 
 _SEQ = itertools.count()
 
@@ -55,7 +58,7 @@ class KernelImpl:
     kernel: str
     tier: str                      # functional tier name, e.g. "tiled"
     level: "OptLevel"              # modeled-ladder rung (kernels.base)
-    backend: str                   # "serial" | "thread"
+    backend: str                   # "serial" | "thread" | "process"
     fn: Callable
     checked: bool = True           # compared against the reference tier
     tolerance: float | None = None  # per-impl override of the workload tol
@@ -97,7 +100,7 @@ class WorkloadSpec:
         kernel does not).
     baseline_tier:
         The serial tier the serial-vs-slab parallel bench uses as its
-        baseline (``None`` when the kernel has no thread backend).
+        baseline (``None`` when the kernel has no pooled backend).
     """
 
     kernel: str

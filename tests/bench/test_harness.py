@@ -7,7 +7,7 @@ from repro.bench import (TimedRun, binomial_workload, brownian_randoms,
                          bs_workload, cn_workload, mc_workload,
                          measure_parallel_speedup, parallel_speedup_result,
                          time_run)
-from repro.config import SMALL_SIZES, WorkloadSizes
+from repro.config import BENCH_WARMUP, SMALL_SIZES, WorkloadSizes
 from repro.errors import ExperimentError
 from repro.pricing import ExerciseStyle
 
@@ -21,12 +21,26 @@ class TestTimeRun:
 
     def test_best_of_repeats(self):
         calls = []
-        time_run("t", lambda: calls.append(1), items=1, repeats=5)
+        time_run("t", lambda: calls.append(1), items=1, repeats=5, warmup=0)
         assert len(calls) == 5
+
+    def test_warmup_runs_untimed(self):
+        # Default: one extra untimed call before the timed repeats.
+        calls = []
+        time_run("t", lambda: calls.append(1), items=1, repeats=3)
+        assert len(calls) == 3 + BENCH_WARMUP
+        # Explicit warmup adds exactly that many extra executions.
+        calls.clear()
+        time_run("t", lambda: calls.append(1), items=1, repeats=2, warmup=4)
+        assert len(calls) == 6
 
     def test_repeats_validated(self):
         with pytest.raises(ExperimentError):
             time_run("t", lambda: None, items=1, repeats=0)
+
+    def test_warmup_validated(self):
+        with pytest.raises(ExperimentError):
+            time_run("t", lambda: None, items=1, repeats=1, warmup=-1)
 
     def test_median_and_spread(self):
         r = time_run("t", lambda: sum(range(200)), items=1, repeats=5)
@@ -105,6 +119,11 @@ class TestMeasureParallelSpeedup:
             assert k["fused_vs_serial"] == pytest.approx(
                 k["serial_s"] / k["fused_serial_s"])
             assert k["unit"] and k["scale"] > 0
+            # Satellite: every record says how many workers each timed
+            # run actually used.
+            assert k["n_workers"]["serial"] == 1
+            assert k["n_workers"]["fused_serial"] == 1
+            assert k["n_workers"]["slab"] == data["n_workers"]
 
         result = parallel_speedup_result(data)
         assert result.exp_id == "parallel"

@@ -59,17 +59,17 @@ class TestSweepStructure:
 
 class TestDeterminism:
     def test_backends_produce_identical_digests(self, sweep):
-        # For a fixed seed the thread backend must be bit-identical to
-        # the serial backend: same tier, same digest.
+        # For a fixed seed every pooled backend must be bit-identical
+        # to the serial backend: same tier, same digest.
         for k in sweep["kernels"]:
             by_backend = {}
             for t in k["tiers"]:
                 by_backend.setdefault(t["tier"], {})[t["backend"]] = \
                     t["digest"]
             for tier, digests in by_backend.items():
-                if len(digests) == 2:
-                    assert digests["serial"] == digests["thread"], \
-                        f"{k['kernel']}/{tier}"
+                for backend, digest in digests.items():
+                    assert digest == digests["serial"], \
+                        f"{k['kernel']}/{tier}[{backend}]"
 
     def test_rerun_same_seed_same_digests(self, sweep):
         again = measure_ninja_sweep(sizes=_TINY, repeats=1, n_workers=2,

@@ -4,9 +4,10 @@ One parametrized check replaces the per-kernel hand-enumerated
 "matches reference tier" tests: every implementation registered with
 :mod:`repro.registry` (each kernel × tier × backend) prices the
 kernel's shared workload and must agree with the serial reference tier
-within its registered tolerance.  Tiers registered on both backends
-must additionally be bit-identical across them (PR 1's determinism
-guarantee, now enforced for the whole registry)."""
+within its registered tolerance.  Tiers registered on several backends
+(serial/thread/process) must additionally be bit-identical across all
+of them (PR 1's determinism guarantee, now enforced for the whole
+registry including the shared-memory process pool)."""
 
 import numpy as np
 import pytest
@@ -26,10 +27,11 @@ _TINY = WorkloadSizes(
 
 @pytest.fixture(scope="module")
 def executors():
-    with SlabExecutor("serial", slab_bytes=16 * 1024) as serial, \
-            SlabExecutor("thread", n_workers=2,
-                         slab_bytes=16 * 1024) as thread:
-        yield {"serial": serial, "thread": thread}
+    made = {b: SlabExecutor(b, n_workers=2, slab_bytes=16 * 1024)
+            for b in registry.BACKENDS}
+    yield made
+    for ex in made.values():
+        ex.close()
 
 
 @pytest.fixture(scope="module")
@@ -62,14 +64,18 @@ def test_agrees_with_reference(impl, payloads, references, executors):
 
 
 @pytest.mark.parametrize(
+    "backend", [pytest.param(b, id=b) for b in registry.BACKENDS
+                if b != "serial"])
+@pytest.mark.parametrize(
     "kernel", [pytest.param(k, id=k) for k in registry.parallel_kernels()])
-def test_backends_bit_identical(kernel, payloads, executors):
+def test_backends_bit_identical(kernel, backend, payloads, executors):
     tier = registry.parallel_tier(kernel)
     serial = np.asarray(registry.impl(kernel, tier, "serial")
                         .fn(payloads[kernel], executors["serial"]))
-    thread = np.asarray(registry.impl(kernel, tier, "thread")
-                        .fn(payloads[kernel], executors["thread"]))
-    assert np.array_equal(serial, thread)
+    other = np.asarray(registry.impl(kernel, tier, backend)
+                       .fn(payloads[kernel], executors[backend]))
+    assert np.array_equal(serial, other)
+    assert serial.tobytes() == other.tobytes()
 
 
 def test_reference_rerun_is_deterministic(payloads, references, executors):

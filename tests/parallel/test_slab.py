@@ -11,7 +11,12 @@ from repro.parallel import (DEFAULT_LLC_BYTES, SlabExecutor,
 class TestConstruction:
     def test_backend_validated(self):
         with pytest.raises(ConfigurationError):
-            SlabExecutor("process")
+            SlabExecutor("cuda")
+
+    def test_process_backend_accepted(self):
+        with SlabExecutor("process", n_workers=2) as ex:
+            assert ex.backend == "process"
+            assert ex.mp_context in ("fork", "spawn", "forkserver")
 
     def test_defaults(self):
         with SlabExecutor() as ex:

@@ -32,17 +32,23 @@ class TestPopulation:
                       for t in registry.tiers(kernel)]
             assert levels == sorted(levels)
 
-    def test_parallel_kernels_have_both_backends(self):
+    def test_parallel_kernels_have_all_backends(self):
         parallel = registry.parallel_kernels()
         assert set(parallel) == {"black_scholes", "binomial", "brownian",
-                                 "monte_carlo", "crank_nicolson"}
+                                 "monte_carlo", "crank_nicolson", "rng"}
         for kernel in parallel:
             tier = registry.parallel_tier(kernel)
-            assert registry.impl(kernel, tier, "serial").fn is \
-                registry.impl(kernel, tier, "thread").fn
+            for backend in registry.BACKENDS:
+                assert registry.impl(kernel, tier, backend).fn is \
+                    registry.impl(kernel, tier, "serial").fn
 
-    def test_rng_has_no_thread_backend(self):
-        assert registry.parallel_tier("rng") is None
+    def test_rng_parallel_is_exactly_checked(self):
+        # The jump-ahead tier keeps the kernel's 0.0 tolerance: it must
+        # reproduce the scalar reference stream bit for bit.
+        impl = registry.impl("rng", "parallel", "process")
+        assert impl.checked
+        assert (impl.tolerance if impl.tolerance is not None
+                else registry.workload("rng").tolerance) == 0.0
 
     def test_baseline_tier_is_registered_serial(self):
         for kernel in registry.parallel_kernels():
