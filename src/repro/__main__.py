@@ -11,6 +11,7 @@ scaling                 measured core-scaling curves (workers x backends)
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
+lint                    AST conformance analysis of the tree (R001-R005)
 
 Kernel choices everywhere are derived from :mod:`repro.registry`, so a
 newly registered kernel shows up in ``figure``/``profile``/``sweep``
@@ -269,6 +270,9 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="BENCH_scaling.json",
                    help="raw measurement JSON path ('' to skip)")
     p.set_defaults(fn=_cmd_scaling)
+
+    from .analysis.cli import add_lint_parser
+    add_lint_parser(sub)
 
     p = sub.add_parser("price", help="price one contract, every engine")
     p.add_argument("--spot", type=float, default=100.0)

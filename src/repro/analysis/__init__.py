@@ -1,0 +1,30 @@
+"""Static analysis of the kernel tree: ``python -m repro lint``.
+
+The analyzer encodes the repo's performance and correctness contracts
+as AST rules (no third-party dependencies — :mod:`ast` only):
+
+====  ==========================================================
+R001  no fresh allocations / out=-less vector math in hot tiers
+R002  RNG discipline: seeded streams, randomness from the slab plan
+R003  ``map_shm`` slab bodies must be module-level (picklable)
+R004  dtype discipline: explicit dtype=, no float32 mixing
+R005  slab-body writes declared in ``writes=`` and race-free
+====  ==========================================================
+
+Hot tiers are discovered by importing :mod:`repro.registry` (advanced/
+parallel ``OptLevel`` implementations plus their one-hop callees), not
+by filename convention.  Findings can be suppressed in place with
+``# repro-lint: disable=R00x`` or grandfathered via a JSON baseline.
+R005 has a runtime twin in :func:`repro.parallel.safety.validate_write_plan`.
+"""
+
+from .baseline import load_baseline, split_baselined, write_baseline
+from .engine import LintContext, Linter, LintResult, lint_source
+from .findings import Finding
+from .rule import Rule, all_rules, rule_codes, rule_for
+
+__all__ = [
+    "Finding", "LintContext", "Linter", "LintResult", "Rule",
+    "all_rules", "lint_source", "load_baseline", "rule_codes",
+    "rule_for", "split_baselined", "write_baseline",
+]

@@ -1,0 +1,74 @@
+"""Baseline files: grandfathering known findings without hiding new ones.
+
+A baseline is a JSON file of finding fingerprints (see
+:attr:`~.findings.Finding.fingerprint`).  Fingerprints hash the finding
+code, file, enclosing symbol, source snippet and same-symbol occurrence
+index — not the line number — so unrelated edits above a grandfathered
+finding do not resurrect it, while any change to the offending line
+itself produces a fresh (non-baselined) finding.
+
+The tree is expected to lint clean; the shipped baseline is empty and
+exists so CI has a stable contract when a future PR needs to
+grandfather a finding deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import AnalysisError
+
+BASELINE_VERSION = 1
+
+#: Default location, relative to the repo root / current directory.
+DEFAULT_BASELINE = Path("baselines") / "lint-baseline.json"
+
+
+def load_baseline(path) -> frozenset:
+    """Read a baseline file into a set of fingerprints."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise AnalysisError(
+            f"baseline {path} must be an object with a 'findings' list")
+    fps = []
+    for entry in data["findings"]:
+        if isinstance(entry, str):
+            fps.append(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fps.append(entry["fingerprint"])
+        else:
+            raise AnalysisError(
+                f"baseline {path}: each finding must be a fingerprint "
+                f"string or an object with a 'fingerprint' key")
+    return frozenset(fps)
+
+
+def write_baseline(path, findings) -> None:
+    """Write the given findings as the new baseline."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"fingerprint": f.fingerprint, "code": f.code,
+             "path": f.path, "symbol": f.symbol, "message": f.message}
+            for f in findings
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def split_baselined(findings, fingerprints):
+    """Partition findings into (new, baselined) against a baseline set."""
+    new, baselined = [], []
+    for f in findings:
+        (baselined if f.fingerprint in fingerprints else new).append(f)
+    return new, baselined

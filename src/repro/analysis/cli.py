@@ -1,0 +1,111 @@
+"""``python -m repro lint`` — the static-analysis entry point.
+
+Exit codes: 0 clean (or every finding baselined/suppressed), 1 when
+non-baselined findings remain, 2 on driver misuse (unknown rule code,
+unreadable baseline, no lintable files).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from ..errors import AnalysisError
+from .baseline import (DEFAULT_BASELINE, load_baseline, split_baselined,
+                       write_baseline)
+from .engine import Linter
+from .report import dumps, render_json, render_text
+from .rule import all_rules, rule_for
+
+
+def default_lint_paths() -> list:
+    """The package source tree of the running ``repro`` checkout."""
+    import repro
+    return [Path(repro.__file__).parent]
+
+
+def _pick_root(paths) -> Path:
+    """Report paths relative to cwd when everything lives under it."""
+    cwd = Path.cwd()
+    for p in paths:
+        try:
+            Path(p).resolve().relative_to(cwd.resolve())
+        except ValueError:
+            return Path(p).resolve().parent
+    return cwd
+
+
+def add_lint_parser(sub):
+    p = sub.add_parser(
+        "lint",
+        help="AST conformance analysis of the kernel tree (R001-R005)")
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files/directories to lint "
+                        "(default: the repro package source)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the JSON report on stdout")
+    p.add_argument("--out", default=None,
+                   help="also write the JSON report to this path "
+                        "(the CI artifact)")
+    p.add_argument("--baseline", default=None,
+                   help=f"baseline file of grandfathered fingerprints "
+                        f"(default: {DEFAULT_BASELINE} when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="record current findings as the baseline and exit 0")
+    p.add_argument("--explain", default=None, metavar="CODE",
+                   help="print a rule's rationale and example fix, then exit")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated subset of rule codes to run")
+    p.set_defaults(fn=run_lint)
+    return p
+
+
+def run_lint(args) -> int:
+    try:
+        return _run(args)
+    except AnalysisError as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
+    if args.explain:
+        print(rule_for(args.explain)().explain())
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = tuple(rule_for(code.strip())()
+                      for code in args.rules.split(",") if code.strip())
+        if not rules:
+            rules = all_rules()
+
+    paths = ([Path(p) for p in args.paths] if args.paths
+             else default_lint_paths())
+    linter = Linter(paths, root=_pick_root(paths), rules=rules)
+    result = linter.run()
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+        write_baseline(target, result.findings)
+        print(f"wrote {len(result.findings)} fingerprint"
+              f"{'s' if len(result.findings) != 1 else ''} to {target}")
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    fingerprints = (load_baseline(baseline_path) if baseline_path
+                    else frozenset())
+    new, baselined = split_baselined(result.findings, fingerprints)
+
+    payload = render_json(result, new, baselined)
+    if args.out:
+        Path(args.out).write_text(dumps(payload) + "\n")
+    if args.json:
+        print(dumps(payload))
+    else:
+        print(render_text(result, new, baselined))
+        if args.out:
+            print(f"wrote {args.out}")
+    return 1 if new else 0

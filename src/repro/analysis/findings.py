@@ -1,0 +1,70 @@
+"""Finding: one rule violation at one source location.
+
+Findings carry a *fingerprint* — a stable identity built from the rule
+code, the file, the enclosing symbol and the offending source text —
+so a baseline file keeps matching across unrelated edits that only
+shift line numbers.  Two textually identical violations in the same
+symbol are disambiguated by an occurrence index the engine assigns
+after collection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis violation."""
+
+    code: str                  # rule code, e.g. "R001"
+    path: str                  # path relative to the lint root
+    line: int                  # 1-based line of the offending node
+    column: int                # 0-based column
+    message: str               # human sentence describing the defect
+    symbol: str = "<module>"   # enclosing function, or "<module>"
+    snippet: str = ""          # stripped source line (fingerprint input)
+    occurrence: int = 1        # disambiguates identical violations
+    severity: str = "error"
+    suppressed: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline."""
+        raw = "|".join((self.code, self.path, self.symbol, self.snippet,
+                        str(self.occurrence)))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def with_occurrence(self, occurrence: int) -> "Finding":
+        return replace(self, occurrence=occurrence)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "symbol": self.symbol,
+            "message": self.message,
+            "severity": self.severity,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        where = f" in {self.symbol}" if self.symbol != "<module>" else ""
+        return (f"{self.path}:{self.line}:{self.column + 1}: "
+                f"{self.code} {self.message}{where}")
+
+
+def assign_occurrences(findings) -> list:
+    """Number textually identical findings 1, 2, … in line order so
+    each gets a distinct fingerprint."""
+    seen: dict = {}
+    out = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.column,
+                                             f.code)):
+        key = (f.code, f.path, f.symbol, f.snippet)
+        seen[key] = seen.get(key, 0) + 1
+        out.append(f.with_occurrence(seen[key]))
+    return out

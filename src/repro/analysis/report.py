@@ -1,0 +1,46 @@
+"""Rendering lint results for humans and for CI."""
+
+from __future__ import annotations
+
+import json
+
+
+def render_text(result, new, baselined) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.render() for f in new]
+    if lines:
+        lines.append("")
+    summary = (f"checked {result.files} file"
+               f"{'s' if result.files != 1 else ''}: "
+               f"{len(new)} finding{'s' if len(new) != 1 else ''}")
+    extras = []
+    if baselined:
+        extras.append(f"{len(baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result, new, baselined) -> dict:
+    """Machine-readable report — the CI artifact payload."""
+    return {
+        "version": 1,
+        "files": result.files,
+        "summary": {
+            "findings": len(new),
+            "baselined": len(baselined),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "hot_files": {path: list(labels)
+                      for path, labels in result.hot_files.items()},
+    }
+
+
+def dumps(payload: dict) -> str:
+    return json.dumps(payload, indent=2)

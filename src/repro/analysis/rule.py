@@ -1,0 +1,99 @@
+"""The lint rule framework.
+
+A rule is a class with a ``code`` (``R001``…), human metadata used by
+``repro lint --explain``, and a :meth:`Rule.check` generator producing
+:class:`~.findings.Finding` objects for one :class:`~.source.SourceFile`
+under one :class:`~.engine.LintContext`.  Rules register themselves via
+the :func:`register` decorator; the engine instantiates every
+registered rule unless told otherwise.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from .findings import Finding
+
+_RULES: dict = {}          # code -> Rule subclass
+
+
+def _load() -> None:
+    """Import the bundled rule modules so they self-register."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+
+def register(cls):
+    """Class decorator: add ``cls`` to the rule registry by code."""
+    code = getattr(cls, "code", None)
+    if not code:
+        raise AnalysisError(f"rule {cls.__name__} has no code")
+    if code in _RULES:
+        raise AnalysisError(f"rule code {code} registered twice")
+    _RULES[code] = cls
+    return cls
+
+
+def rule_codes() -> tuple:
+    _load()
+    return tuple(sorted(_RULES))
+
+
+def rule_for(code: str):
+    _load()
+    try:
+        return _RULES[code.upper()]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule code {code!r}; known: {', '.join(sorted(_RULES))}"
+        ) from None
+
+
+def all_rules() -> tuple:
+    """One instance of every registered rule, code-ordered."""
+    _load()
+    return tuple(_RULES[c]() for c in sorted(_RULES))
+
+
+class Rule:
+    """Base class: subclasses set the metadata and implement check()."""
+
+    code: str = ""
+    name: str = ""
+    #: What contract the rule protects and why breaking it is costly.
+    rationale: str = ""
+    #: Minimal violating snippet, shown by ``--explain``.
+    example_bad: str = ""
+    #: The corresponding fix.
+    example_fix: str = ""
+
+    def check(self, sf, ctx):
+        """Yield findings for one source file.  Suppressions and
+        baseline filtering are applied by the engine, not here."""
+        raise NotImplementedError
+
+    def finding(self, sf, node, message: str) -> Finding:
+        """A finding anchored at an AST node of ``sf``."""
+        return Finding(
+            code=self.code,
+            path=sf.rel,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+            symbol=sf.symbol(node),
+            snippet=sf.snippet(node),
+        )
+
+    def explain(self) -> str:
+        return (
+            f"{self.code} — {self.name}\n\n"
+            f"{self.rationale.strip()}\n\n"
+            f"Violation:\n{_indent(self.example_bad)}\n\n"
+            f"Fix:\n{_indent(self.example_fix)}\n\n"
+            f"Suppress a deliberate exception with:\n"
+            f"    # repro-lint: disable={self.code}\n"
+            f"(on the offending line, or on/above a `def` to cover the "
+            f"whole function)."
+        )
+
+
+def _indent(block: str) -> str:
+    return "\n".join("    " + ln for ln in block.strip("\n").splitlines())

@@ -1,0 +1,3 @@
+"""Rule implementations; importing this package registers them all."""
+
+from . import allocation, dtype, pickling, rng, writes  # noqa: F401

@@ -1,0 +1,86 @@
+"""R004 — dtype discipline in optimized kernel tiers.
+
+Every kernel in this repo computes in ``repro.config.DTYPE`` (float64,
+the paper's double-precision benchmarks); the SYCL Black-Scholes
+follow-up attributes a large share of "mysterious" slowdowns to
+accidental precision mixing — a float32 literal silently upcasting per
+element, or a dtype-less constructor defaulting differently from the
+operands it later meets.  In hot tiers either costs a conversion pass
+per array, so the rule enforces explicitness where it matters:
+
+* array constructors (``np.empty``/``zeros``/``array``/…) in hot-tier
+  files must pass ``dtype=`` (the ``*_like`` constructors inherit and
+  are exempt);
+* any ``float32`` reference in a hot-tier file is flagged as implicit
+  mixed precision against the float64 workload.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..rule import Rule, register
+from .allocation import NP_NAMES
+
+#: Constructors whose default dtype depends on the input or platform.
+NEED_DTYPE = frozenset({
+    "empty", "zeros", "ones", "full", "arange", "linspace", "array",
+    "eye", "identity", "fromiter",
+})
+
+
+@register
+class DtypeDiscipline(Rule):
+    code = "R004"
+    name = "dtype discipline (dtype-less constructors, float32 mixing)"
+    rationale = (
+        "Optimized tiers promise one precision end to end: the paper "
+        "benchmarks double precision, and repro.config.DTYPE pins it. "
+        "A dtype-less constructor picks its own default (int for "
+        "arange on int bounds, float64 today but input-dependent for "
+        "array), and any float32 creeping in forces NumPy to upcast "
+        "per operation — an invisible conversion sweep per array in "
+        "exactly the code whose working set was hand-budgeted."
+    )
+    example_bad = (
+        "out = np.empty(n)                  # dtype decided elsewhere\n"
+        "w = np.array(weights, dtype=np.float32)   # mixes with float64"
+    )
+    example_fix = (
+        "from ...config import DTYPE\n"
+        "out = np.empty(n, dtype=DTYPE)\n"
+        "w = np.asarray(weights, dtype=DTYPE)"
+    )
+
+    def check(self, sf, ctx):
+        if not ctx.is_hot(sf):
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call):
+                f = node.func
+                if (isinstance(f, ast.Attribute)
+                        and isinstance(f.value, ast.Name)
+                        and f.value.id in NP_NAMES
+                        and f.attr in NEED_DTYPE
+                        and not any(kw.arg == "dtype"
+                                    for kw in node.keywords)):
+                    yield self.finding(
+                        sf, node,
+                        f"np.{f.attr} without an explicit dtype= in a "
+                        f"hot tier; pin it to repro.config.DTYPE")
+            if (isinstance(node, ast.Attribute)
+                    and node.attr == "float32"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in NP_NAMES):
+                yield self.finding(
+                    sf, node,
+                    "float32 referenced in a float64 kernel tier; "
+                    "mixing precisions inserts an upcast pass per "
+                    "operation")
+            if (isinstance(node, ast.Constant)
+                    and node.value == "float32"):
+                yield self.finding(
+                    sf, node,
+                    "'float32' dtype string in a float64 kernel tier; "
+                    "mixing precisions inserts an upcast pass per "
+                    "operation")

@@ -41,5 +41,16 @@ class DomainError(ReproError):
     """A pricing input was outside the valid financial domain."""
 
 
+class WriteRaceError(ReproError):
+    """A slab dispatch would let two workers write overlapping memory
+    (overlapping slab ranges, a shared array in ``writes``, or two write
+    arrays aliasing one buffer). Raised before any worker runs."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis driver was misused (unknown rule code,
+    unreadable baseline, unparseable input)."""
+
+
 class ExperimentError(ReproError):
     """A benchmark experiment id is unknown or its inputs are invalid."""

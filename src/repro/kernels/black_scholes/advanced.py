@@ -45,6 +45,10 @@ def price_advanced(batch: OptionBatch, lib: VectorMathLib | str = "numpy",
         raise LayoutError(f"unsupported layout {batch.layout!r}")
 
 
+# The SVML-style tier allocates block-sized temporaries on purpose:
+# `block` caps the working set at cache size, and the lib-vs-out=
+# trade-off is exactly what this tier exists to measure (Sec. IV-A2).
+# repro-lint: disable=R001
 def _price_blocked(soa, r: float, sig: float, lib: VectorMathLib,
                    block: int) -> None:
     S_all = soa.get("S")

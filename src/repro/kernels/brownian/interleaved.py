@@ -57,11 +57,15 @@ def build_interleaved(schedule: BridgeSchedule, normal_source,
                 f"normal_source returned shape {z.shape}, wanted "
                 f"({take * per_path},)"
             )
-        out[done:done + take] = build_vectorized(schedule, z)
+        build_vectorized(schedule, z, out=out[done:done + take])
         done += take
     return out
 
 
+# Each block must be a fresh allocation: the consumer may retain the
+# array (tests accumulate blocks), so a reused scratch buffer would
+# alias every block it has already been handed.
+# repro-lint: disable=R001
 def build_cache_to_cache(schedule: BridgeSchedule, normal_source,
                          n_paths: int, block_paths: int, consumer) -> None:
     """Interleaved construction that hands each hot block to ``consumer``

@@ -5,6 +5,7 @@ behind the parallel kernel tier."""
 from .executor import ChunkExecutor
 from .partition import (block_ranges, chunk_ranges, doubling_counts,
                         round_robin, simd_groups, slab_ranges)
+from .safety import validate_slab_plan, validate_write_plan
 from .shm import ArraySpec, ShmArena, run_slab_task
 from .slab import (BACKENDS, DEFAULT_LLC_BYTES, SlabExecutor,
                    default_executor, host_llc_bytes)
@@ -15,4 +16,5 @@ __all__ = [
     "ArraySpec", "ShmArena", "run_slab_task",
     "block_ranges", "chunk_ranges", "doubling_counts", "round_robin",
     "simd_groups", "slab_ranges",
+    "validate_slab_plan", "validate_write_plan",
 ]

@@ -1,0 +1,94 @@
+"""Runtime write-safety checks for slab dispatch.
+
+The shared-memory process backend gives every worker a view into the
+same segments, so the only thing standing between a slab plan and
+silently corrupted results is the discipline that slab write-ranges
+never overlap.  :func:`validate_write_plan` turns that discipline into
+an assertion executed **before any worker runs**:
+
+* the slab plan's ``(start, stop)`` ranges must be pairwise disjoint
+  and in bounds — two slabs that both own index ``i`` would both write
+  ``out[i]``;
+* an array listed in ``writes`` must be ``sliced`` (each slab writes
+  only its own ``[start:stop]`` view).  A ``shared`` array is handed
+  whole to every slab, so writing it from more than one slab is a race
+  by construction;
+* two ``writes`` arrays must not alias the same memory (e.g. the same
+  buffer dispatched under two names, or two overlapping views);
+* a ``writes`` name must not simultaneously appear in ``consts`` —
+  the kernel would mutate the staged array while every slab reads the
+  pickled constant of the same name, a silent divergence between
+  backends.
+
+The static counterpart is rule R005 of ``python -m repro lint``, which
+cross-checks at the source level that every array a slab body mutates
+is declared in ``writes=``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, WriteRaceError
+
+
+def validate_slab_plan(slabs, n: int) -> None:
+    """Assert the plan's ranges partition ``range(n)`` without overlap.
+
+    Raises :class:`WriteRaceError` naming the first offending pair, or
+    :class:`ConfigurationError` for out-of-bounds/inverted ranges.
+    """
+    for a, b in slabs:
+        if not (0 <= a <= b <= n):
+            raise ConfigurationError(
+                f"slab range ({a}, {b}) is not within [0, {n}]")
+    ordered = sorted(range(len(slabs)), key=lambda i: slabs[i])
+    for prev, cur in zip(ordered, ordered[1:]):
+        if slabs[prev][1] > slabs[cur][0]:
+            raise WriteRaceError(
+                f"slab ranges overlap: slab {prev} covers "
+                f"{tuple(slabs[prev])} and slab {cur} covers "
+                f"{tuple(slabs[cur])}; two workers would write the same "
+                f"output indices"
+            )
+
+
+def validate_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
+                        writes, consts: dict) -> None:
+    """Full pre-dispatch write-safety check for one ``map_shm`` call.
+
+    Called by :meth:`~repro.parallel.slab.SlabExecutor.map_shm` on every
+    backend (the race is a property of the plan, not of the pool), so a
+    bad dispatch fails identically under serial, thread and process
+    execution — before any slab task starts.
+    """
+    writes = tuple(writes)
+    clashing = sorted(set(writes) & set(consts))
+    if clashing:
+        raise ConfigurationError(
+            f"names {clashing} appear in both writes= and consts=: the "
+            f"slab body would mutate the staged array while every slab "
+            f"reads a pickled constant of the same name; pass the array "
+            f"through sliced=/shared= only"
+        )
+    racing = sorted(w for w in writes if w in shared and w not in sliced)
+    if racing and len(slabs) > 1:
+        raise WriteRaceError(
+            f"shared arrays {racing} are listed in writes=: every slab "
+            f"receives the whole array, so {len(slabs)} slabs would "
+            f"write it concurrently; dispatch written arrays through "
+            f"sliced= so each slab owns a disjoint [start:stop] range"
+        )
+    written = [(name, np.asarray(sliced[name] if name in sliced
+                                 else shared[name]))
+               for name in writes]
+    for i, (name_a, arr_a) in enumerate(written):
+        for name_b, arr_b in written[i + 1:]:
+            if np.shares_memory(arr_a, arr_b):
+                raise WriteRaceError(
+                    f"write arrays {name_a!r} and {name_b!r} share "
+                    f"memory: slabs writing one would race with slabs "
+                    f"writing the other"
+                )
+    if writes:
+        validate_slab_plan(slabs, n)

@@ -45,6 +45,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..errors import ConfigurationError
 from .partition import slab_ranges
+from .safety import validate_write_plan
 
 #: Execution backends: in-caller, GIL-releasing thread pool, or
 #: shared-memory process pool.  :data:`repro.registry.BACKENDS` mirrors
@@ -276,7 +277,11 @@ class SlabExecutor:
         writes:
             Names (from ``sliced``/``shared``) the kernel writes.
             Treated as write-only: their prior contents are not staged
-            to workers on the process backend.
+            to workers on the process backend.  Checked before dispatch
+            by :func:`.safety.validate_write_plan`: written arrays must
+            be ``sliced`` whenever the plan has more than one slab,
+            must not alias each other, and must not double as ``consts``
+            names — violations raise before any slab task runs.
         consts:
             Small picklable extras (scalars, schedules, seeds).
         per_slab:
@@ -303,6 +308,10 @@ class SlabExecutor:
             raise ConfigurationError(
                 f"writes names {unknown} not among the dispatched arrays")
         slabs = self.plan(n, bytes_per_item)
+        # Write-race detector: a bad plan or declaration fails here, on
+        # every backend, before any slab task is submitted.
+        validate_write_plan(slabs, n, sliced=sliced, shared=shared,
+                            writes=writes, consts=consts)
 
         if self.backend != "process" or len(slabs) <= 1:
             def call(a, b, i):

@@ -1,0 +1,128 @@
+"""Minimal good/bad source snippets, one pair per lint rule.
+
+Each ``bad`` snippet must make its rule fire (at least ``bad_count``
+times, and nothing but that rule when run alone); each ``good`` snippet
+is the corresponding sanctioned pattern and must lint clean under the
+same rule.  Tier-scoped rules are exercised with ``assume_hot``.
+"""
+
+R001_BAD = '''\
+import numpy as np
+
+def fused_kernel(x, out, lib):
+    y = lib.exp(x)                       # vmath without out=
+    for i in range(4):
+        t = np.zeros(16)                 # allocator in the hot loop
+        s = np.exp(x)                    # ufunc temporary per iteration
+        out[i] = t[0] + s[0] + y[0]
+'''
+
+R001_GOOD = '''\
+import numpy as np
+
+def fused_kernel(x, out, lib):
+    scratch = np.empty_like(x)           # hoisted, reused
+    lib.exp(x, out=scratch)
+    for i in range(4):
+        np.exp(x, out=scratch)
+        out[i] = scratch[0]
+'''
+
+R002_BAD = '''\
+import numpy as np
+from repro.rng import MT19937
+
+def _slab(arrays, consts, a, b, slab):
+    gen = MT19937(1234)                  # seed not from the plan
+    arrays["out"][:] = 0.0
+
+def run(ex, out, n):
+    np.random.seed(7)                    # global state
+    z = np.random.rand(n)                # global state
+    g = np.random.default_rng()          # unseeded
+    ex.map_shm(_slab, n, sliced={"out": out}, writes=("out",))
+    return z, g
+'''
+
+R002_GOOD = '''\
+from numpy.random import default_rng
+from repro.rng import MT19937
+
+def _slab(arrays, consts, a, b, slab):
+    gen = MT19937(consts["seed"])        # plan-derived seed
+    arrays["out"][:] = 0.0
+
+def run(ex, out, n):
+    rng = default_rng(2012)
+    ex.map_shm(_slab, n, sliced={"out": out}, writes=("out",),
+               consts={"seed": 2012})
+    return rng
+'''
+
+R003_BAD = '''\
+def run(ex, out, n):
+    def body(arrays, consts, a, b, slab):    # closure capture
+        arrays["out"][:] = 1.0
+    ex.map_shm(body, n, sliced={"out": out}, writes=("out",))
+    ex.map_shm(lambda arrays, consts, a, b, slab: None, n,
+               sliced={"out": out}, writes=("out",))
+'''
+
+R003_GOOD = '''\
+def _body(arrays, consts, a, b, slab):
+    arrays["out"][:] = 1.0
+
+def run(ex, out, n):
+    ex.map_shm(_body, n, sliced={"out": out}, writes=("out",))
+'''
+
+R004_BAD = '''\
+import numpy as np
+
+def kernel(n, w):
+    out = np.empty(n)                    # dtype decided elsewhere
+    x = np.zeros(n, dtype=np.float32)    # mixes with float64
+    y = np.asarray(w, dtype="float32")
+    return out, x, y
+'''
+
+R004_GOOD = '''\
+import numpy as np
+
+DTYPE = np.float64
+
+def kernel(n, x):
+    out = np.empty(n, dtype=DTYPE)
+    s = np.empty_like(x)                 # *_like inherits the dtype
+    return out, s
+'''
+
+R005_BAD = '''\
+def _slab(arrays, consts, a, b, slab):
+    arrays["out"][:] = 1.0
+    arrays["err"][:] = 2.0               # mutated but not declared
+
+def run(ex, out, err, n):
+    ex.map_shm(_slab, n,
+               sliced={"out": out, "err": err},
+               writes=("out",))
+'''
+
+R005_GOOD = '''\
+def _slab(arrays, consts, a, b, slab):
+    arrays["out"][:] = 1.0
+    arrays["err"][:] = 2.0
+
+def run(ex, out, err, n):
+    ex.map_shm(_slab, n,
+               sliced={"out": out, "err": err},
+               writes=("out", "err"))
+'''
+
+FIXTURES = {
+    "R001": {"bad": R001_BAD, "bad_count": 3, "good": R001_GOOD},
+    "R002": {"bad": R002_BAD, "bad_count": 4, "good": R002_GOOD},
+    "R003": {"bad": R003_BAD, "bad_count": 2, "good": R003_GOOD},
+    "R004": {"bad": R004_BAD, "bad_count": 3, "good": R004_GOOD},
+    "R005": {"bad": R005_BAD, "bad_count": 1, "good": R005_GOOD},
+}

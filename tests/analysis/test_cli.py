@@ -1,0 +1,75 @@
+"""``python -m repro lint`` end-to-end (in-process, like test_cli)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis import rule_codes
+
+BAD = ("import numpy as np\n"
+       "def kernel(n):\n"
+       "    return np.empty(n)\n")
+
+
+class TestLintCLI:
+    def test_tree_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["findings"] == 0
+        assert report["files"] > 100
+        assert report["hot_files"]
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        assert main(["lint", str(bad)]) == 0   # not hot: R004 is scoped
+        text = BAD + "z = np.random.rand(4)\n"  # R002 applies everywhere
+        bad.write_text(text)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "1 finding" in out
+
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        assert main(["lint", "--out", str(target)]) == 0
+        report = json.loads(target.read_text())
+        assert report["summary"]["findings"] == 0
+        capsys.readouterr()
+
+    def test_baseline_grandfathers(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nz = np.random.rand(4)\n")
+        base = tmp_path / "base.json"
+        assert main(["lint", str(bad)]) == 1
+        assert main(["lint", str(bad), "--write-baseline",
+                     "--baseline", str(base)]) == 0
+        assert main(["lint", str(bad), "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        # A *new* finding is still fatal under the old baseline.
+        bad.write_text("import numpy as np\nz = np.random.rand(4)\n"
+                       "g = np.random.default_rng()\n")
+        assert main(["lint", str(bad), "--baseline", str(base)]) == 1
+
+    @pytest.mark.parametrize("code", rule_codes())
+    def test_explain_every_rule(self, code, capsys):
+        assert main(["lint", "--explain", code]) == 0
+        out = capsys.readouterr().out
+        assert code in out and "disable=" in out
+        assert "Violation:" in out and "Fix:" in out
+
+    def test_unknown_rule_code(self, capsys):
+        assert main(["lint", "--explain", "R999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_rule_subset(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nz = np.random.rand(4)\n")
+        assert main(["lint", str(bad), "--rules", "R003"]) == 0
+        assert main(["lint", str(bad), "--rules", "R002"]) == 1
+        capsys.readouterr()

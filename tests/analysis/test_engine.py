@@ -1,0 +1,136 @@
+"""Engine-level behaviour: suppressions, fingerprints, baselines,
+directory runs, hot-tier discovery — and the tree itself lints clean."""
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import (Linter, lint_source, load_baseline,
+                            split_baselined, write_baseline)
+from repro.analysis.hot import discover_hot_files
+from repro.errors import AnalysisError
+
+BAD_R004 = ("import numpy as np\n"
+            "def kernel(n):\n"
+            "    return np.empty(n)\n")
+
+
+class TestSuppressions:
+    def test_trailing_comment_silences_line(self):
+        text = ("import numpy as np\n"
+                "def kernel(n):\n"
+                "    return np.empty(n)  # repro-lint: disable=R004\n")
+        assert lint_source(text) == []
+
+    def test_wrong_code_does_not_silence(self):
+        text = ("import numpy as np\n"
+                "def kernel(n):\n"
+                "    return np.empty(n)  # repro-lint: disable=R001\n")
+        assert [f.code for f in lint_source(text)] == ["R004"]
+
+    def test_def_line_covers_function(self):
+        text = ("import numpy as np\n"
+                "def kernel(n):  # repro-lint: disable=R004\n"
+                "    x = np.empty(n)\n"
+                "    return np.empty(n)\n")
+        assert lint_source(text) == []
+
+    def test_comment_above_def_covers_function(self):
+        text = ("import numpy as np\n"
+                "# repro-lint: disable=R004\n"
+                "def kernel(n):\n"
+                "    return np.empty(n)\n")
+        assert lint_source(text) == []
+
+    def test_disable_all(self):
+        text = ("import numpy as np\n"
+                "def kernel(n):\n"
+                "    return np.empty(n)  # repro-lint: disable=all\n")
+        assert lint_source(text) == []
+
+    def test_multiple_codes(self):
+        text = ("import numpy as np\n"
+                "def kernel(n):\n"
+                "    w = np.array([1.0], dtype='float32')"
+                "  # repro-lint: disable=R001,R004\n"
+                "    return w\n")
+        assert lint_source(text) == []
+
+
+class TestFingerprints:
+    def test_stable_under_line_shift(self):
+        shifted = "# a new comment\n\n" + BAD_R004
+        (f1,) = lint_source(BAD_R004)
+        (f2,) = lint_source(shifted)
+        assert f1.line != f2.line
+        assert f1.fingerprint == f2.fingerprint
+
+    def test_occurrences_distinguish_identical_lines(self):
+        text = ("import numpy as np\n"
+                "def kernel(n):\n"
+                "    a = np.empty(n)\n"
+                "    b = np.empty(n)\n")
+        f1, f2 = lint_source(text)
+        assert f1.snippet != f2.snippet       # different targets
+        text2 = ("import numpy as np\n"
+                 "def kernel(n):\n"
+                 "    a = np.empty(n)\n"
+                 "    a = np.empty(n)\n")
+        g1, g2 = lint_source(text2)
+        assert (g1.occurrence, g2.occurrence) == (1, 2)
+        assert g1.fingerprint != g2.fingerprint
+
+
+class TestBaseline:
+    def test_round_trip_and_split(self, tmp_path):
+        findings = lint_source(BAD_R004)
+        path = tmp_path / "base.json"
+        write_baseline(path, findings)
+        fps = load_baseline(path)
+        assert fps == {f.fingerprint for f in findings}
+        new, grandfathered = split_baselined(findings, fps)
+        assert new == [] and grandfathered == findings
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+        with pytest.raises(AnalysisError):
+            load_baseline(tmp_path / "missing.json")
+
+
+class TestLinter:
+    def test_directory_run_and_parse_errors(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(BAD_R004)
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        result = Linter([tmp_path], root=tmp_path, use_registry=False,
+                        assume_hot=True).run()
+        assert result.files == 3
+        codes = {f.code for f in result.findings}
+        assert codes == {"R004", "E001"}
+        assert {f.path for f in result.findings} == {"bad.py", "broken.py"}
+
+    def test_no_files_is_an_error(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            Linter([tmp_path], use_registry=False).run()
+
+
+class TestRealTree:
+    def test_hot_discovery_finds_registry_tiers(self):
+        hot = discover_hot_files()
+        assert hot, "registry produced no hot-tier files"
+        names = {Path(p).name for p in hot}
+        assert "parallel.py" in names or "advanced.py" in names
+        for labels in hot.values():
+            assert labels        # every entry says why it is hot
+
+    def test_package_tree_lints_clean(self):
+        pkg = Path(repro.__file__).parent
+        result = Linter([pkg], root=pkg.parent).run()
+        assert result.findings == [], \
+            [f.render() for f in result.findings]
+        # The deliberate suppressions are present and accounted for.
+        assert result.suppressed

@@ -1,0 +1,157 @@
+"""Per-rule fixture tests: every rule fires on its bad snippet and
+stays quiet on the sanctioned pattern."""
+
+import pytest
+
+from repro.analysis import all_rules, lint_source
+
+from .fixtures import FIXTURES
+
+RULES = {r.code: r for r in all_rules()}
+
+
+def run_rule(code, text, **kw):
+    return lint_source(text, rules=[RULES[code]], **kw)
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_bad_fixture_fires(self, code):
+        fx = FIXTURES[code]
+        findings = run_rule(code, fx["bad"])
+        assert len(findings) >= fx["bad_count"], \
+            [f.render() for f in findings]
+        assert {f.code for f in findings} == {code}
+
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_good_fixture_clean(self, code):
+        fx = FIXTURES[code]
+        assert run_rule(code, fx["good"]) == []
+
+    @pytest.mark.parametrize("code", sorted(FIXTURES))
+    def test_findings_carry_anchors(self, code):
+        for f in run_rule(code, FIXTURES[code]["bad"]):
+            assert f.line >= 1 and f.snippet
+            assert f.fingerprint and len(f.fingerprint) == 16
+
+
+class TestR001Scope:
+    def test_cold_files_exempt(self):
+        # Tier scoping: the same code outside a hot-tier file is fine.
+        assert run_rule("R001", FIXTURES["R001"]["bad"],
+                        assume_hot=False) == []
+
+    def test_allocation_outside_loop_allowed(self):
+        text = ("import numpy as np\n"
+                "def kernel(x):\n"
+                "    scratch = np.zeros(16)\n"
+                "    return scratch\n")
+        assert run_rule("R001", text) == []
+
+    def test_out_capable_kernel_in_loop(self):
+        text = ("def run(schedule, z, out):\n"
+                "    for i in range(4):\n"
+                "        out[i] = build_vectorized(schedule, z)\n")
+        findings = run_rule("R001", text)
+        assert len(findings) == 1
+        assert "build_vectorized" in findings[0].message
+
+
+class TestR002Scope:
+    def test_consts_get_form_allowed(self):
+        text = ("from repro.rng import MT19937\n"
+                "def _slab(arrays, consts, a, b, slab):\n"
+                "    gen = MT19937(consts.get('seed', 0))\n"
+                "def run(ex, out, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'out': out},\n"
+                "               writes=('out',), consts={'seed': 1})\n")
+        assert run_rule("R002", text) == []
+
+    def test_seeding_outside_slab_body_allowed(self):
+        text = ("from repro.rng import MT19937\n"
+                "def make(seed):\n"
+                "    return MT19937(seed)\n")
+        assert run_rule("R002", text) == []
+
+
+class TestR003Scope:
+    def test_imported_body_allowed(self):
+        text = ("from repro.kernels.black_scholes.parallel import "
+                "_price_slab_task\n"
+                "def run(ex, out, n):\n"
+                "    ex.map_shm(_price_slab_task, n, sliced={'out': out},\n"
+                "               writes=('out',))\n")
+        assert run_rule("R003", text) == []
+
+    def test_module_attribute_body_allowed(self):
+        text = ("import tasks\n"
+                "def run(ex, out, n):\n"
+                "    ex.map_shm(tasks.body, n, sliced={'out': out},\n"
+                "               writes=('out',))\n")
+        assert run_rule("R003", text) == []
+
+    def test_nested_def_names_enclosing_function(self):
+        findings = run_rule("R003", FIXTURES["R003"]["bad"])
+        nested = [f for f in findings if "inside run" in f.message]
+        assert nested, [f.message for f in findings]
+
+
+class TestR005Scope:
+    def test_writes_consts_clash(self):
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['out'][:] = 1.0\n"
+                "def run(ex, out, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'out': out},\n"
+                "               writes=('out',), consts={'out': 3})\n")
+        findings = run_rule("R005", text)
+        assert any("both writes= and consts=" in f.message
+                   for f in findings)
+
+    def test_shared_write_race(self):
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['acc'][:] = 1.0\n"
+                "def run(ex, acc, n):\n"
+                "    ex.map_shm(_slab, n, shared={'acc': acc},\n"
+                "               writes=('acc',))\n")
+        findings = run_rule("R005", text)
+        assert any("race" in f.message for f in findings)
+
+    def test_unknown_write_name(self):
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    pass\n"
+                "def run(ex, out, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'out': out},\n"
+                "               writes=('out', 'ghost'))\n")
+        findings = run_rule("R005", text)
+        assert any("'ghost'" in f.message for f in findings)
+
+    def test_one_hop_helper_write_detected(self):
+        text = ("import numpy as np\n"
+                "def _fill(z, out):\n"
+                "    np.exp(z, out=out)\n"
+                "def _slab(arrays, consts, a, b, slab):\n"
+                "    _fill(arrays['z'], arrays['out'])\n"
+                "def run(ex, z, out, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'z': z, 'out': out},\n"
+                "               writes=())\n")
+        findings = run_rule("R005", text)
+        assert any("'out'" in f.message and "silently lost" in f.message
+                   for f in findings)
+
+    def test_bound_name_augassign_detected(self):
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    call = arrays['call']\n"
+                "    call -= 1.0\n"
+                "def run(ex, call, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'call': call},\n"
+                "               writes=())\n")
+        findings = run_rule("R005", text)
+        assert any("'call'" in f.message for f in findings)
+
+    def test_dynamic_site_skipped(self):
+        # Non-literal declarations are the runtime checker's job.
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['out'][:] = 1.0\n"
+                "def run(ex, arrs, names, n):\n"
+                "    ex.map_shm(_slab, n, sliced=arrs, writes=names)\n")
+        assert run_rule("R005", text) == []

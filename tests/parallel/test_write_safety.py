@@ -1,0 +1,120 @@
+"""Runtime write-race checks: bad dispatches fail before any worker runs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WriteRaceError
+from repro.parallel import (SlabExecutor, validate_slab_plan,
+                            validate_write_plan)
+
+
+def _fill(arrays, consts, a, b, slab):
+    arrays["out"][:] = slab
+
+
+class TestValidateSlabPlan:
+    def test_disjoint_plan_passes(self):
+        validate_slab_plan([(0, 4), (4, 8), (8, 10)], 10)
+
+    def test_unordered_disjoint_plan_passes(self):
+        validate_slab_plan([(4, 8), (0, 4)], 8)
+
+    def test_overlap_raises(self):
+        with pytest.raises(WriteRaceError, match="overlap"):
+            validate_slab_plan([(0, 6), (4, 10)], 10)
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(ConfigurationError):
+            validate_slab_plan([(0, 12)], 10)
+        with pytest.raises(ConfigurationError):
+            validate_slab_plan([(-1, 4)], 10)
+        with pytest.raises(ConfigurationError):
+            validate_slab_plan([(5, 3)], 10)
+
+
+class TestValidateWritePlan:
+    def test_writes_consts_clash(self):
+        out = np.zeros(8)
+        with pytest.raises(ConfigurationError, match="consts"):
+            validate_write_plan([(0, 8)], 8, sliced={"out": out},
+                                shared={}, writes=("out",),
+                                consts={"out": 1})
+
+    def test_shared_write_race(self):
+        acc = np.zeros(8)
+        with pytest.raises(WriteRaceError, match="shared"):
+            validate_write_plan([(0, 4), (4, 8)], 8, sliced={},
+                                shared={"acc": acc}, writes=("acc",),
+                                consts={})
+
+    def test_shared_write_single_slab_allowed(self):
+        acc = np.zeros(8)
+        validate_write_plan([(0, 8)], 8, sliced={}, shared={"acc": acc},
+                            writes=("acc",), consts={})
+
+    def test_aliasing_write_arrays(self):
+        buf = np.zeros(8)
+        with pytest.raises(WriteRaceError, match="share memory"):
+            validate_write_plan([(0, 8)], 8,
+                                sliced={"a": buf, "b": buf[::-1]},
+                                shared={}, writes=("a", "b"), consts={})
+
+    def test_distinct_write_arrays_pass(self):
+        a, b = np.zeros(8), np.zeros(8)
+        validate_write_plan([(0, 4), (4, 8)], 8, sliced={"a": a, "b": b},
+                            shared={}, writes=("a", "b"), consts={})
+
+
+class TestMapShmGuards:
+    """The executor applies the checks on every backend, pre-dispatch."""
+
+    def test_overlapping_plan_fails_before_any_worker(self, monkeypatch):
+        calls = []
+
+        def body(arrays, consts, a, b, slab):
+            calls.append(slab)
+
+        out = np.zeros(10)
+        with SlabExecutor("thread", n_workers=2) as ex:
+            monkeypatch.setattr(ex, "plan",
+                                lambda n, bpi=8: [(0, 6), (4, 10)])
+            with pytest.raises(WriteRaceError):
+                ex.map_shm(body, 10, sliced={"out": out},
+                           writes=("out",))
+        assert calls == []                 # no slab task ever ran
+        assert not out.any()               # and nothing was written
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_writes_consts_clash_raises(self, backend):
+        out = np.zeros(8)
+        with SlabExecutor(backend) as ex:
+            with pytest.raises(ConfigurationError, match="consts"):
+                ex.map_shm(_fill, 8, sliced={"out": out},
+                           writes=("out",), consts={"out": 3})
+
+    def test_shared_write_race_raises(self):
+        # slab_bytes=32 at 8 bytes/item -> 4-element slabs -> 4 slabs.
+        acc = np.zeros(16)
+        with SlabExecutor("serial", n_workers=4, slab_bytes=32) as ex:
+            assert ex.n_slabs(16) > 1
+            with pytest.raises(WriteRaceError, match="shared"):
+                ex.map_shm(_fill, 16, shared={"out": acc},
+                           writes=("out",))
+
+    def test_aliasing_writes_raise(self):
+        buf = np.zeros(8)
+        with SlabExecutor("serial") as ex:
+            with pytest.raises(WriteRaceError, match="share memory"):
+                ex.map_shm(_fill, 8,
+                           sliced={"out": buf, "mirror": buf},
+                           writes=("out", "mirror"))
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_valid_dispatch_still_runs(self, backend):
+        out = np.zeros(16)
+        with SlabExecutor(backend, n_workers=4, slab_bytes=32) as ex:
+            n_slabs = ex.n_slabs(16)
+            assert n_slabs > 1
+            ex.map_shm(_fill, 16, sliced={"out": out}, writes=("out",))
+        # Every slab wrote its own range with its slab index.
+        assert set(np.unique(out)) == set(range(n_slabs))
