@@ -11,6 +11,7 @@ scaling                 measured core-scaling curves (workers x backends)
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
+serve-bench             steady-state serving: warm plan vs cold compile
 lint                    AST conformance analysis of the tree (R001-R005)
 
 Kernel choices everywhere are derived from :mod:`repro.registry`, so a
@@ -73,19 +74,49 @@ def _cmd_platforms(args) -> int:
 def _cmd_parallel(args) -> int:
     import json
 
-    from .bench import (measure_parallel_speedup, parallel_speedup_result,
-                        render)
+    from .bench import (measure_parallel_speedup, measure_pool_crossover,
+                        parallel_speedup_result, render)
     from .config import PAPER_SIZES, SMALL_SIZES
 
     sizes = PAPER_SIZES if args.full else SMALL_SIZES
     data = measure_parallel_speedup(
         sizes=sizes, backend=args.backend, n_workers=args.workers,
         slab_bytes=args.slab_bytes, repeats=args.repeats, seed=args.seed)
+    if args.crossover:
+        data["crossover"] = measure_pool_crossover(
+            backend=args.backend if args.backend != "serial" else "thread",
+            repeats=args.repeats, seed=args.seed)
     print(render(parallel_speedup_result(data), args.format))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(data, fh, indent=2)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .bench import render
+    from .bench.serve import measure_steady_state, steady_state_result
+    from .config import SMALL_SIZES, SMOKE_SIZES
+
+    sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    data = measure_steady_state(
+        sizes=sizes, backends=backends, samples=args.samples,
+        cold_samples=args.cold_samples, seed=args.seed)
+    print(render(steady_state_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
+    mismatches = [f"{k['kernel']}/{k['backend']}"
+                  for k in data["kernels"] if not k["digest_match"]]
+    if mismatches:
+        print(f"DIGEST MISMATCH: planned results diverge from unplanned "
+              f"for {', '.join(mismatches)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -224,7 +255,30 @@ def main(argv=None) -> int:
                    choices=["text", "json", "csv"])
     p.add_argument("--out", default=None,
                    help="also dump the raw measurement dict as JSON")
+    p.add_argument("--crossover", action="store_true",
+                   help="also measure the pool-crossover overhead table "
+                        "(recorded under 'crossover' in --out JSON)")
     p.set_defaults(fn=_cmd_parallel)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="steady-state serving: warm plan.run() vs cold "
+             "compile-per-call, with digest and allocation checks")
+    p.add_argument("--backends", default="serial,thread",
+                   help="comma-separated backend list")
+    p.add_argument("--samples", type=int, default=30,
+                   help="warm-latency samples per kernel x backend")
+    p.add_argument("--cold-samples", type=int, default=5,
+                   help="cold compile+run samples per kernel x backend")
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--smoke", action="store_true",
+                   help="use SMOKE_SIZES workloads (CI)")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default=None,
+                   help="dump the raw measurement dict as JSON "
+                        "(BENCH_steady_state.json)")
+    p.set_defaults(fn=_cmd_serve_bench)
 
     p = sub.add_parser(
         "sweep",

@@ -33,6 +33,17 @@ def _module_file(module_name: str):
     return Path(path).resolve() if path else None
 
 
+def _code_names(code):
+    """``co_names`` of ``code`` and of every nested code object —
+    comprehensions and lambdas compile to their own code objects, and
+    the planners allocate per-slab workspaces inside exactly those."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _code_names(const)
+    return names
+
+
 def _one_hop_callees(fn):
     """Global functions referenced by ``fn``'s code object, resolved in
     its defining module — the adapters' direct kernel entry points."""
@@ -42,7 +53,7 @@ def _one_hop_callees(fn):
     code = getattr(fn, "__code__", None)
     if code is None:
         return
-    for name in code.co_names:
+    for name in sorted(_code_names(code)):
         obj = getattr(mod, name, None)
         if (isinstance(obj, types.FunctionType)
                 and obj.__module__
@@ -71,8 +82,21 @@ def discover_hot_files() -> dict:
     for impl in registry.impls():
         if impl.level not in hot_levels:
             continue
-        fn = impl.fn
-        add(fn.__module__, impl.label)
-        for callee in _one_hop_callees(fn):
+        # The planner path is the optimized path too: a plan's runner
+        # closes over the same hot code, and its compile module (the
+        # ``planned.py`` companions) holds the out=-wired sweeps.
+        add(impl.fn.__module__, impl.label)
+        for callee in _one_hop_callees(impl.fn):
             add(callee.__module__, impl.label)
+        if impl.planner is not None:
+            add(impl.planner.__module__, impl.label)
+            for callee in _one_hop_callees(impl.planner):
+                add(callee.__module__, impl.label)
+                # Planners are thin adapters over compile_* functions;
+                # one more hop through those reaches the planned-sweep
+                # modules they compile against (``kernels/*/planned.py``).
+                if not callee.__name__.startswith("compile_"):
+                    continue
+                for deep in _one_hop_callees(callee):
+                    add(deep.__module__, impl.label)
     return {path: tuple(sorted(labels)) for path, labels in out.items()}

@@ -18,6 +18,18 @@ via :mod:`..hot`, levels ``advanced``/``parallel``), and only flags:
   construction;
 * known ``out=``-capable repro kernels (``build_vectorized``) called
   inside a loop without ``out=``.
+
+The plan layer (:mod:`repro.plan`) moved allocation wholesale to
+compile time, and the rule knows it: :class:`~repro.plan.WorkspaceArena`
+allocations (``arena.reserve``/``reserve_like``, and any ``np.*``
+constructor nested in their arguments) are the *sanctioned* way to hold
+scratch, wherever they appear — the arena hands out compile-time
+buffers, so a reserve inside a per-slab loop is setup, not hot-path
+traffic.  Likewise whole functions that exist to run once per plan or
+per batch — planners (``plan_*``), plan compilers (``compile_*``),
+workspace builders (``make_workspace``) and constructors
+(``__init__``) — are setup phase, exempt from the per-iteration
+allocation contract.
 """
 
 from __future__ import annotations
@@ -52,9 +64,45 @@ VMATH_OPS = frozenset({"exp", "log", "erf", "erfc", "cnd", "invcnd",
 #: repro kernel entry points with native ``out=`` support.
 OUT_CAPABLE = frozenset({"build_vectorized"})
 
+#: :class:`repro.plan.WorkspaceArena` allocation methods.
+ARENA_METHODS = frozenset({"reserve", "reserve_like"})
+
+#: Functions that are plan-compile/setup phase by contract: they run
+#: once per plan (or per batch), so allocation inside them is exactly
+#: the hoisting the rule asks for.
+SETUP_NAMES = frozenset({"__init__", "make_workspace"})
+SETUP_PREFIXES = ("compile_", "plan_")
+
 
 def _has_out(call: ast.Call) -> bool:
     return any(kw.arg == "out" for kw in call.keywords)
+
+
+def _is_arena_call(call: ast.Call) -> bool:
+    f = call.func
+    return (isinstance(f, ast.Attribute)
+            and f.attr in ARENA_METHODS
+            and isinstance(f.value, ast.Name)
+            and (f.value.id == "arena" or f.value.id.endswith("_arena")))
+
+
+def _in_setup_function(sf, node) -> bool:
+    fn = sf.enclosing_function(node)
+    return (fn is not None
+            and (fn.name in SETUP_NAMES
+                 or fn.name.startswith(SETUP_PREFIXES)))
+
+
+def _arena_arg_nodes(tree) -> set:
+    """Every AST node nested inside the arguments of an arena
+    allocation call — an ``np.zeros`` feeding ``arena.reserve`` is the
+    arena's problem, not a stray temporary."""
+    out: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _is_arena_call(node):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                out.update(ast.walk(arg))
+    return out
 
 
 def _np_attr(call: ast.Call):
@@ -99,8 +147,12 @@ class HotLoopAllocation(Rule):
     def check(self, sf, ctx):
         if not ctx.is_hot(sf):
             return
+        arena_args = _arena_arg_nodes(sf.tree)
         for node in ast.walk(sf.tree):
             if not isinstance(node, ast.Call):
+                continue
+            if (_is_arena_call(node) or node in arena_args
+                    or _in_setup_function(sf, node)):
                 continue
             attr = _np_attr(node)
             in_loop = sf.in_loop(node)

@@ -7,11 +7,13 @@ from .experiments import (EXPERIMENTS, ExperimentResult, fig4, fig5, fig6,
                           table2)
 from .harness import (TimedRun, binomial_workload, brownian_randoms,
                       bs_workload, cn_workload, mc_workload,
-                      measure_parallel_speedup, parallel_speedup_result,
-                      time_run)
+                      measure_parallel_speedup, measure_pool_crossover,
+                      parallel_speedup_result, time_run)
 from .ninja import GAP_KERNELS, ninja_gaps, ninja_table
 from .record import kernel_record, ratio_of, timing_fields
 from .scaling_measured import measure_scaling, scaling_result
+from .serve import (PEAK_NOISE_BUDGET, measure_steady_state,
+                    steady_state_result)
 from .sweep import (MeasuredNinjaGap, measure_ninja_sweep, measured_gaps,
                     sweep_detail_result, sweep_gap_result)
 from .profile import (ProfileLine, format_profile, hotspot, profile_trace)
@@ -25,11 +27,13 @@ __all__ = [
     "format_table", "stacked_bars", "ladder_bars",
     "TimedRun", "time_run", "bs_workload", "binomial_workload",
     "brownian_randoms", "mc_workload", "cn_workload",
-    "measure_parallel_speedup", "parallel_speedup_result",
+    "measure_parallel_speedup", "measure_pool_crossover",
+    "parallel_speedup_result",
     "kernel_record", "ratio_of", "timing_fields",
     "MeasuredNinjaGap", "measure_ninja_sweep", "measured_gaps",
     "sweep_gap_result", "sweep_detail_result",
     "measure_scaling", "scaling_result",
+    "PEAK_NOISE_BUDGET", "measure_steady_state", "steady_state_result",
     "profile_trace", "hotspot", "format_profile", "ProfileLine",
     "SCENARIOS", "ScenarioResult", "run_scenario",
     "render", "to_json", "to_csv", "from_json", "FORMATS",

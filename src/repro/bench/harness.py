@@ -108,11 +108,66 @@ def cn_workload(sizes: WorkloadSizes = SMALL_SIZES, seed: int = 2012):
 # Serial-vs-slab speedup (the parallel-tier trajectory)
 # ----------------------------------------------------------------------
 
+def measure_pool_crossover(backend: str = "thread", n_workers: int = 2,
+                           repeats: int = 5, seed: int = 2012) -> dict:
+    """Measure where pooled slab dispatch earns back its submission
+    overhead — the data behind :data:`~repro.parallel.slab
+    .MEASURED_CROSSOVER_BYTES`.
+
+    Each registered parallel kernel runs at several workload scales on
+    the same executor twice: once pooled, once forced in-caller
+    (``min_parallel_bytes`` maxed out).  Both paths run the identical
+    slab plan, so the ratio isolates pure dispatch overhead.  The
+    recommended threshold is the smallest measured working set whose
+    pooled/inline ratio stays within 5% — every smaller configuration
+    ran faster inline.
+    """
+    import dataclasses
+
+    from .. import registry
+    from ..parallel import SlabExecutor
+
+    scales = {
+        "black_scholes": ("black_scholes_nopt", (512, 2048, 8192, 20000)),
+        "binomial": ("binomial_nopt", (8, 32, 128)),
+        "brownian": ("brownian_paths", (256, 1024, 4096)),
+        "rng": ("rng_numbers", (4096, 32768, 262144)),
+    }
+    rows = []
+    for kernel, (field, vals) in scales.items():
+        if kernel not in registry.parallel_kernels():
+            continue
+        spec = registry.workload(kernel)
+        fn = registry.impl(kernel, "parallel", backend).fn
+        for v in vals:
+            sz = dataclasses.replace(SMALL_SIZES, **{field: v})
+            payload = spec.build(sz, seed=seed)
+            with SlabExecutor(backend, n_workers=n_workers) as pooled, \
+                    SlabExecutor(backend, n_workers=n_workers,
+                                 min_parallel_bytes=1 << 62) as inline:
+                t_inline = time_run(f"{kernel}_{v}_inline",
+                                    lambda: fn(payload, inline),
+                                    v, repeats)
+                t_pooled = time_run(f"{kernel}_{v}_pooled",
+                                    lambda: fn(payload, pooled),
+                                    v, repeats)
+            rows.append({
+                "kernel": kernel, "n": v,
+                "inline_s": t_inline.seconds,
+                "pooled_s": t_pooled.seconds,
+                "ratio": (t_pooled.seconds / t_inline.seconds
+                          if t_inline.seconds > 0 else float("inf")),
+            })
+    return {"backend": backend, "n_workers": n_workers,
+            "repeats": repeats, "rows": rows}
+
+
 def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
                              backend: str = "thread",
                              n_workers: int | None = None,
                              slab_bytes: int | None = None,
-                             repeats: int = 3, seed: int = 2012) -> dict:
+                             repeats: int = 3, seed: int = 2012,
+                             min_parallel_bytes: int | None = None) -> dict:
     """Wall-clock serial-vs-slab comparison for every kernel whose
     parallel tier is registered with a pooled backend (``thread`` or
     ``process``); the data behind ``BENCH_parallel.json``.
@@ -124,17 +179,25 @@ def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
     low-temporary fusion gain from the threading gain (the paper's
     stacked-bar attribution style); ``fused_vs_serial`` reports that
     ratio.
+
+    ``min_parallel_bytes`` (default the measured
+    :data:`~repro.parallel.slab.MEASURED_CROSSOVER_BYTES`) applies the
+    pool-crossover fallback to the slab executor: sub-threshold
+    workloads run their slab plan in-caller, and each kernel record's
+    ``inline`` flag reports whether its timed dispatch actually did
+    (detected by whether the runs ever started the pool).
     """
     from .. import registry
-    from ..parallel import SlabExecutor
+    from ..parallel import MEASURED_CROSSOVER_BYTES, SlabExecutor
     from .record import kernel_record
 
+    if min_parallel_bytes is None:
+        min_parallel_bytes = MEASURED_CROSSOVER_BYTES
     serial_ex = SlabExecutor("serial", n_workers=n_workers,
                              slab_bytes=slab_bytes)
-    slab_ex = SlabExecutor(backend, n_workers=n_workers,
-                           slab_bytes=slab_bytes)
     kernels = []
-    with serial_ex, slab_ex:
+    pool_workers = None
+    with serial_ex:
         for kernel in registry.parallel_kernels():
             spec = registry.workload(kernel)
             if spec.baseline_tier is None:
@@ -146,33 +209,48 @@ def measure_parallel_speedup(sizes: WorkloadSizes = SMALL_SIZES,
             fused = registry.impl(kernel, tier, "serial")
             slab = registry.impl(
                 kernel, tier, backend if backend != "serial" else "serial")
-            runs = {
-                "serial": time_run(
-                    f"{kernel}_{spec.baseline_tier}",
-                    lambda: baseline.fn(payload, serial_ex), items, repeats),
-                "fused_serial": time_run(
-                    f"{kernel}_{tier}_serial",
-                    lambda: fused.fn(payload, serial_ex), items, repeats),
-                "slab": time_run(
-                    f"{kernel}_{tier}_{backend}",
-                    lambda: slab.fn(payload, slab_ex), items, repeats),
-            }
+            # One slab executor per kernel: its pool starts lazily on
+            # the first pooled dispatch, so whether it exists after the
+            # timed runs records this kernel's crossover decision.
+            slab_ex = SlabExecutor(backend, n_workers=n_workers,
+                                   slab_bytes=slab_bytes,
+                                   min_parallel_bytes=min_parallel_bytes)
+            with slab_ex:
+                pool_workers = slab_ex.n_workers
+                runs = {
+                    "serial": time_run(
+                        f"{kernel}_{spec.baseline_tier}",
+                        lambda: baseline.fn(payload, serial_ex),
+                        items, repeats),
+                    "fused_serial": time_run(
+                        f"{kernel}_{tier}_serial",
+                        lambda: fused.fn(payload, serial_ex),
+                        items, repeats),
+                    "slab": time_run(
+                        f"{kernel}_{tier}_{backend}",
+                        lambda: slab.fn(payload, slab_ex), items, repeats),
+                }
+                inline = backend != "serial" and slab_ex._pool is None
             record = kernel_record(
                 kernel, items, runs,
                 ratios={"speedup": ("serial", "slab"),
                         "fused_vs_serial": ("serial", "fused_serial")})
+            record["inline"] = inline
             # Worker count actually used per timed run: serial runs are
-            # single-worker by construction, the slab run uses the pool.
+            # single-worker by construction, the slab run uses the pool
+            # unless the crossover fallback kept it in-caller.
             record["n_workers"] = {
                 "serial": 1,
                 "fused_serial": 1,
-                "slab": 1 if backend == "serial" else slab_ex.n_workers,
+                "slab": 1 if backend == "serial" or inline
+                else pool_workers,
             }
             kernels.append(record)
         return {
             "backend": backend,
-            "n_workers": slab_ex.n_workers,
-            "slab_bytes": slab_ex.slab_bytes,
+            "n_workers": pool_workers or 1,
+            "slab_bytes": serial_ex.slab_bytes,
+            "min_parallel_bytes": min_parallel_bytes,
             "repeats": repeats,
             "seed": seed,
             "kernels": kernels,
@@ -192,18 +270,22 @@ def parallel_speedup_result(data: dict):
             round(k["speedup"], 2),
             round(k.get("fused_vs_serial", 0.0), 2),
             round(k.get("slab_spread_s", 0.0) * 1e3, 3),
+            "inline" if k.get("inline") else "pooled",
         ))
     return ExperimentResult(
         exp_id="parallel",
         title="Serial vs slab-parallel functional speedup (host)",
         headers=("kernel", "items", "serial ms", "slab ms", "speedup",
-                 "fused vs serial", "slab spread ms"),
+                 "fused vs serial", "slab spread ms", "dispatch"),
         rows=rows,
         notes=[
             f"backend={data['backend']} workers={data['n_workers']} "
-            f"slab_bytes={data['slab_bytes']} repeats={data['repeats']}",
+            f"slab_bytes={data['slab_bytes']} repeats={data['repeats']} "
+            f"min_parallel_bytes={data.get('min_parallel_bytes', 0)}",
             "serial = registered baseline tier; slab = SlabExecutor "
             "zero-copy views + fused kernels; fused vs serial = fused "
-            "kernel on the serial backend (fusion gain alone)",
+            "kernel on the serial backend (fusion gain alone); dispatch "
+            "= inline when the working set sat under the measured "
+            "pool-crossover threshold",
         ],
     )

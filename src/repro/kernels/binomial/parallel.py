@@ -19,7 +19,8 @@ from ...config import DTYPE
 from ...errors import DomainError
 from ...parallel.slab import SlabExecutor, default_executor
 from ...pricing.options import ExerciseStyle
-from .tiled import price_tiled
+from .params import crr_params, leaf_values
+from .tiled import default_tile_size, price_tiled, tiled_reduce_ws
 
 
 def _tiled_slab(arrays: dict, consts: dict, a: int, b: int,
@@ -29,6 +30,90 @@ def _tiled_slab(arrays: dict, consts: dict, a: int, b: int,
     arrays["out"][:] = price_tiled(consts["options"], consts["n_steps"],
                                    ts=consts["ts"],
                                    vector_registers=consts["vr"])
+
+
+def _tiled_slab_ws(arrays: dict, consts: dict, a: int, b: int,
+                   slab: int) -> None:
+    """Planned slab task: refill the workspace call matrix from the
+    precomputed leaves and run the zero-allocation tiled ladder."""
+    ws = consts["ws"]
+    np.copyto(ws["call"], arrays["leaves"])
+    tiled_reduce_ws(ws["call"], consts["n_steps"], consts["ts"], ws,
+                    arrays["out"])
+
+
+def compile_price_tiled(options, n_steps: int, executor: SlabExecutor,
+                        arena, ts: int | None = None,
+                        vector_registers: int = 32):
+    """Plan-compile the tiled-parallel tier.
+
+    Everything the cold path recomputes per call is hoisted to compile
+    time: CRR parameters and leaf values (the options are baked into
+    the plan), the per-lane ``pu``/``pd`` coefficient vectors, and a
+    full tiled-reduction workspace per slab — so each warm run is just
+    a leaf refill plus the register pipeline, with zero allocations.
+    The process backend keeps the cold slab task (its workers own their
+    address space), compiled for staging/validation reuse only.
+    """
+    options = list(options)
+    if not options:
+        raise DomainError("empty option group")
+    if any(o.style is ExerciseStyle.AMERICAN for o in options):
+        raise DomainError(
+            "register tiling pipelines across time steps and cannot apply "
+            "per-step early exercise; use the basic/SIMD tiers for "
+            "American options"
+        )
+    if ts is None:
+        ts = default_tile_size(vector_registers)
+    nopt = len(options)
+    n1 = n_steps + 1
+    bytes_per_option = 3 * n1 * 8
+    out = arena.reserve("result", nopt)
+    if executor.backend == "process":
+        dispatch = executor.compile_shm(
+            _tiled_slab, nopt, bytes_per_item=bytes_per_option,
+            sliced={"out": out}, writes=("out",),
+            consts={"n_steps": n_steps, "ts": ts,
+                    "vr": vector_registers},
+            per_slab=lambda a, b, i: {"options": options[a:b]},
+            tag="bin")
+    else:
+        params = [crr_params(o, n_steps) for o in options]
+        leaves = arena.reserve("leaves", (nopt, n1))
+        for lane, (o, p) in enumerate(zip(options, params)):
+            leaves[lane] = leaf_values(o, p)
+        pu = arena.reserve("pu", nopt)
+        pd = arena.reserve("pd", nopt)
+        pu[:] = [p.pu_by_df for p in params]
+        pd[:] = [p.pd_by_df for p in params]
+        slabs = executor.plan(nopt, bytes_per_option)
+        wss = []
+        for i, (a, b) in enumerate(slabs):
+            lanes = b - a
+            wss.append({
+                "call": arena.reserve(f"call{i}", (lanes, n1)),
+                "t1": arena.reserve(f"t1_{i}", (lanes, n1)),
+                "t2": arena.reserve(f"t2_{i}", (lanes, n1)),
+                "tile": arena.reserve(f"tile{i}", (lanes, ts)),
+                "tmp": arena.reserve(f"tmp{i}", (lanes, ts)),
+                "m1": arena.reserve(f"m1_{i}", lanes),
+                "m2": arena.reserve(f"m2_{i}", lanes),
+                "mt": arena.reserve(f"mt_{i}", lanes),
+                "pu": pu[a:b], "pd": pd[a:b],
+                "pu_c": pu[a:b, None], "pd_c": pd[a:b, None],
+            })
+        dispatch = executor.compile_shm(
+            _tiled_slab_ws, nopt, bytes_per_item=bytes_per_option,
+            sliced={"out": out, "leaves": leaves}, writes=("out",),
+            consts={"n_steps": n_steps, "ts": ts},
+            per_slab=lambda a, b, i: {"ws": wss[i]}, tag="bin")
+
+    def run() -> np.ndarray:
+        dispatch.run()
+        return out
+
+    return run
 
 
 def price_tiled_parallel(options, n_steps: int,

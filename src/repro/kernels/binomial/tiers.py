@@ -14,7 +14,7 @@ from ...pricing.options import Option
 from ...registry import WorkloadSpec, register_impl, register_workload
 from ..base import OptLevel
 from .basic import price_basic_batch
-from .parallel import price_tiled_parallel
+from .parallel import compile_price_tiled, price_tiled_parallel
 from .reference import price_reference_batch
 from .simd_across import price_simd_across
 from .tiled import price_tiled
@@ -47,7 +47,15 @@ register_impl("binomial", "simd_across", OptLevel.INTERMEDIATE,
               lambda p, ex: price_simd_across(p["options"], p["steps"]))
 register_impl("binomial", "tiled", OptLevel.ADVANCED,
               lambda p, ex: price_tiled(p["options"], p["steps"]))
+def _plan_parallel(payload, executor, arena):
+    """Planner: leaves, CRR coefficients and the full tiled-reduction
+    workspace are hoisted out of the hot path."""
+    return compile_price_tiled(payload["options"], payload["steps"],
+                               executor, arena)
+
+
 register_impl("binomial", "parallel", OptLevel.PARALLEL,
               lambda p, ex: price_tiled_parallel(p["options"], p["steps"],
                                                  ex),
-              backends=("serial", "thread", "process"))
+              backends=("serial", "thread", "process"),
+              planner=_plan_parallel)

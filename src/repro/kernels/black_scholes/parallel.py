@@ -30,16 +30,21 @@ SLAB_BYTES_PER_OPTION = 8 * 8
 
 
 def _price_slab(S, X, T, r: float, sig: float, call, put,
-                lib: VectorMathLib) -> None:
+                lib: VectorMathLib, scratch=None) -> None:
     """Fused pricing of one slab, writing ``call``/``put`` in place.
 
     Three scratch arrays cover every intermediate; ``a``/``b`` are
     reused across five algebraic roles each (annotated inline).
+    ``scratch`` — a ``(3, len(S))`` block — supplies them preallocated
+    (the planned path); without it the slab allocates its own.
     """
     sig22 = sig * sig / 2.0
-    a = np.empty_like(S)
-    b = np.empty_like(S)
-    c = np.empty_like(S)
+    if scratch is None:
+        a = np.empty_like(S)
+        b = np.empty_like(S)
+        c = np.empty_like(S)
+    else:
+        a, b, c = scratch
     np.divide(S, X, out=a)
     lib.log(a, out=a)                      # a = ln(S/X)
     np.sqrt(T, out=b)
@@ -97,7 +102,49 @@ def _price_slab_task(arrays: dict, consts: dict, a: int, b: int,
     process backend can pickle it by reference)."""
     _price_slab(arrays["S"], arrays["X"], arrays["T"],
                 consts["r"], consts["sig"],
-                arrays["call"], arrays["put"], consts["lib"])
+                arrays["call"], arrays["put"], consts["lib"],
+                consts.get("scratch"))
+
+
+def compile_price_parallel(batch: OptionBatch, executor: SlabExecutor,
+                           arena, lib: VectorMathLib | str = "numpy"):
+    """Plan-compile the fused slab tier for repeated same-shape calls.
+
+    Reserves the concatenated ``[calls | puts]`` result vector and one
+    ``(3, slab_len)`` scratch block per slab in ``arena`` — the slab
+    kernel then writes every price and every intermediate through
+    ``out=`` into arena memory, and the compiled dispatch replays with
+    no staging or validation.  The process backend skips the scratch
+    handoff (workers allocate in their own address space rather than
+    receive pickled copies each run).  Returns the zero-argument
+    runner; its result view is ``arena.get("result")``.
+    """
+    if isinstance(lib, str):
+        lib = get_lib(lib)
+    soa = batch.batch if batch.layout == "soa" else aos_to_soa(batch.batch)
+    S, X, T = soa.get("S"), soa.get("X"), soa.get("T")
+    n = S.shape[0]
+    result = arena.reserve("result", 2 * n)
+    call, put = result[:n], result[n:]
+    per_slab = None
+    if executor.backend != "process":
+        slabs = executor.plan(n, SLAB_BYTES_PER_OPTION)
+        scratch = [arena.reserve(f"scratch{i}", (3, b - a))
+                   for i, (a, b) in enumerate(slabs)]
+        per_slab = lambda a, b, i: {"scratch": scratch[i]}  # noqa: E731
+    dispatch = executor.compile_shm(
+        _price_slab_task, n,
+        bytes_per_item=SLAB_BYTES_PER_OPTION,
+        sliced={"S": S, "X": X, "T": T, "call": call, "put": put},
+        writes=("call", "put"),
+        consts={"r": batch.rate, "sig": batch.vol, "lib": lib},
+        per_slab=per_slab, tag="bs")
+
+    def run() -> np.ndarray:
+        dispatch.run()
+        return result
+
+    return run
 
 
 def _price_soa_slabs(soa, r: float, sig: float, executor: SlabExecutor,

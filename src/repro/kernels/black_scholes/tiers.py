@@ -18,7 +18,8 @@ from ..base import OptLevel
 from .advanced import price_advanced
 from .basic import price_basic
 from .intermediate import price_intermediate
-from .parallel import SLAB_BYTES_PER_OPTION, price_parallel
+from .parallel import (SLAB_BYTES_PER_OPTION, compile_price_parallel,
+                       price_parallel)
 from .reference import price_reference
 
 
@@ -70,6 +71,12 @@ def _run_parallel(payload, executor):
     return _extract(payload["soa"])
 
 
+def _plan_parallel(payload, executor, arena):
+    """Planner: prices land in the arena's ``[calls | puts]`` vector,
+    so the cold path's per-call ``np.concatenate`` disappears too."""
+    return compile_price_parallel(payload["soa"], executor, arena)
+
+
 register_workload(WorkloadSpec(
     kernel="black_scholes",
     build=build_workload,
@@ -88,4 +95,5 @@ register_impl("black_scholes", "intermediate", OptLevel.INTERMEDIATE,
 register_impl("black_scholes", "advanced", OptLevel.ADVANCED,
               _run_advanced)
 register_impl("black_scholes", "parallel", OptLevel.PARALLEL,
-              _run_parallel, backends=("serial", "thread", "process"))
+              _run_parallel, backends=("serial", "thread", "process"),
+              planner=_plan_parallel)

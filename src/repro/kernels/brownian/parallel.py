@@ -25,7 +25,8 @@ from ...errors import ConfigurationError
 from ...parallel.slab import SlabExecutor, default_executor
 from ...rng import NormalGenerator, make_streams
 from .bridge import BridgeSchedule
-from .vectorized import build_vectorized, randoms_to_path_major
+from .vectorized import (build_vectorized, build_vectorized_ws,
+                         level_coefficients, randoms_to_path_major)
 
 
 def _bytes_per_path(schedule: BridgeSchedule) -> int:
@@ -49,6 +50,65 @@ def _interleaved_slab(arrays: dict, consts: dict, a: int, b: int,
     gen = NormalGenerator(consts["stream"], consts["method"])
     z = gen.normals((b - a) * consts["per_path"])
     build_vectorized(consts["schedule"], z, out=arrays["out"])
+
+
+def _build_slab_ws(arrays: dict, consts: dict, a: int, b: int,
+                   slab: int) -> None:
+    """Planned slab task: build this slab's bridges through its own
+    preallocated level-state workspace."""
+    build_vectorized_ws(consts["schedule"], arrays["r"], consts["coefs"],
+                        consts["ws"], arrays["out"])
+
+
+def compile_build_parallel(schedule: BridgeSchedule, randoms: np.ndarray,
+                           executor: SlabExecutor, arena):
+    """Plan-compile the slab-parallel bridge builder.
+
+    Hoists to compile time what :func:`build_parallel` redoes per call:
+    the path-major reshape, the output allocation, the per-level
+    coefficient broadcasting, and — per slab — the two
+    ``(n_points, L)`` level-state arrays plus update scratch.  Row 0 of
+    each level state is zeroed exactly once, at reservation: the level
+    recurrence rewrites every row it reads except row 0, which it only
+    copies forward, so the zero survives every run.  Bit-identical to
+    the cold path; the runner's result view is the flat
+    ``arena.get("result")`` reshaped per path.
+    """
+    r = randoms_to_path_major(schedule, randoms)
+    n_paths = r.shape[0]
+    n_pts = schedule.n_points
+    out = arena.reserve("result", (n_paths, n_pts))
+    flat = out.reshape(-1)
+    bpp = _bytes_per_path(schedule)
+    if executor.backend == "process":
+        dispatch = executor.compile_shm(
+            _build_slab, n_paths, bytes_per_item=bpp,
+            sliced={"r": r, "out": out}, writes=("out",),
+            consts={"schedule": schedule}, tag="bb")
+    else:
+        coefs = level_coefficients(schedule)
+        half = max(1, n_pts // 2)
+        slabs = executor.plan(n_paths, bpp)
+        wss = []
+        for i, (a, b) in enumerate(slabs):
+            lanes = b - a
+            wss.append({
+                "src": arena.reserve(f"src{i}", (n_pts, lanes), fill=0.0),
+                "dst": arena.reserve(f"dst{i}", (n_pts, lanes), fill=0.0),
+                "t1": arena.reserve(f"t1_{i}", (half, lanes)),
+                "t2": arena.reserve(f"t2_{i}", (half, lanes)),
+            })
+        dispatch = executor.compile_shm(
+            _build_slab_ws, n_paths, bytes_per_item=bpp,
+            sliced={"r": r, "out": out}, writes=("out",),
+            consts={"schedule": schedule, "coefs": coefs},
+            per_slab=lambda a, b, i: {"ws": wss[i]}, tag="bb")
+
+    def run() -> np.ndarray:
+        dispatch.run()
+        return flat
+
+    return run
 
 
 def build_parallel(schedule: BridgeSchedule, randoms: np.ndarray,

@@ -16,7 +16,7 @@ from ...rng import MT19937, NormalGenerator
 from ..base import OptLevel
 from .bridge import make_schedule
 from .interleaved import build_interleaved, default_block_paths
-from .parallel import build_parallel
+from .parallel import build_parallel, compile_build_parallel
 from .reference import build_reference
 from .vectorized import build_vectorized
 
@@ -69,7 +69,15 @@ register_impl("brownian", "vectorized", OptLevel.INTERMEDIATE,
                                              p["randoms"]).ravel())
 register_impl("brownian", "interleaved", OptLevel.ADVANCED,
               _run_interleaved)
+def _plan_parallel(payload, executor, arena):
+    """Planner: level states, coefficients and the output block are
+    arena-owned; runs rebuild bridges from the rebound randoms."""
+    return compile_build_parallel(payload["schedule"],
+                                  payload["randoms"], executor, arena)
+
+
 register_impl("brownian", "parallel", OptLevel.PARALLEL,
               lambda p, ex: build_parallel(p["schedule"], p["randoms"],
                                            ex).ravel(),
-              backends=("serial", "thread", "process"))
+              backends=("serial", "thread", "process"),
+              planner=_plan_parallel)

@@ -33,6 +33,44 @@ def randoms_to_path_major(schedule: BridgeSchedule,
     return randoms.reshape(-1, per_path)
 
 
+def level_coefficients(schedule: BridgeSchedule) -> list:
+    """Per-level ``(w_l, w_r, sig)`` in column-broadcast form, hoisted
+    so the planned builder creates no views on the hot path."""
+    return [(schedule.w_l[d][:, None], schedule.w_r[d][:, None],
+             schedule.sig[d][:, None]) for d in range(schedule.depth)]
+
+
+def build_vectorized_ws(schedule: BridgeSchedule, r: np.ndarray,
+                        coefs: list, ws: dict, out: np.ndarray) -> None:
+    """:func:`build_vectorized` with every buffer supplied by ``ws``.
+
+    Identical level updates in identical operand order (each
+    ``w_l·a + w_r·b + sg·z`` accumulates left-to-right through the
+    ``t1``/``t2`` scratch rows), so paths are bit-identical to the
+    allocating builder.  ``ws`` carries ``src``/``dst``
+    ``(n_points, L)`` level states — row 0 zeroed once at reservation
+    and provably never overwritten — plus ``t1``/``t2``
+    ``(n_points//2, L)`` scratch.  ``r`` is the slab's path-major
+    ``(L, randoms_per_path)`` draw block.
+    """
+    src, dst = ws["src"], ws["dst"]
+    t1, t2 = ws["t1"], ws["t2"]
+    np.multiply(r[:, 0], schedule.last_sig, out=src[1, :])
+    for d in range(schedule.depth):
+        n_mid = 1 << d
+        w_l, w_r, sg = coefs[d]
+        z = r[:, n_mid:2 * n_mid].T          # level-d draws, path-major
+        dst[0, :] = src[0, :]
+        np.multiply(w_l, src[:n_mid, :], out=t1[:n_mid])
+        np.multiply(w_r, src[1:n_mid + 1, :], out=t2[:n_mid])
+        np.add(t1[:n_mid], t2[:n_mid], out=t1[:n_mid])
+        np.multiply(sg, z, out=t2[:n_mid])
+        np.add(t1[:n_mid], t2[:n_mid], out=dst[1:2 * n_mid + 1:2, :])
+        dst[2:2 * n_mid + 2:2, :] = src[1:n_mid + 1, :]
+        src, dst = dst, src
+    np.copyto(out, src.T)
+
+
 def build_vectorized(schedule: BridgeSchedule, randoms: np.ndarray,
                      out: np.ndarray | None = None) -> np.ndarray:
     """Construct all paths at once; returns (n_paths, n_points).

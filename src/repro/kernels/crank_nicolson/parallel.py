@@ -17,6 +17,7 @@ import numpy as np
 from ...config import DTYPE
 from ...errors import DomainError
 from ...parallel.slab import SlabExecutor, default_executor
+from .planned import make_workspace, march_planned, plan_contract
 from .solver import solve
 
 
@@ -28,6 +29,66 @@ def _solve_slab(arrays: dict, consts: dict, a: int, b: int,
     for j, opt in enumerate(consts["options"]):
         out[j] = solve(opt, consts["n_points"], consts["n_steps"],
                        consts["solver"], **consts["kwargs"]).price
+
+
+def _solve_slab_planned(arrays: dict, consts: dict, a: int, b: int,
+                        slab: int) -> None:
+    """Planned slab task: march this slab's precompiled contracts
+    through its own workspace, allocation-free."""
+    out = arrays["out"]
+    ws = consts["ws"]
+    for j, pre in enumerate(consts["plans"]):
+        out[j] = march_planned(pre, ws)
+
+
+def compile_solve_batch(options, n_points: int, n_steps: int,
+                        executor: SlabExecutor, arena,
+                        solver: str = "red_black", **kwargs):
+    """Plan-compile the slab-parallel contract pricer.
+
+    Hoists what :func:`solve_batch_parallel` redoes per call and per
+    option: the grid build, the transformed-payoff spatial profile, the
+    whole Dirichlet boundary sequence, the untransform/interp stencil
+    (see :mod:`.planned`), plus one set of march buffers per slab.  The
+    planned march exists for the default ``red_black`` solver; other
+    solvers — and process workers, which march in their own address
+    spaces — compile the cold per-option solve instead (still a frozen,
+    validated dispatch).
+    """
+    options = list(options)
+    if not options:
+        raise DomainError("empty option group")
+    nopt = len(options)
+    out = arena.reserve("result", nopt)
+    bytes_per_option = 8 * 8 * n_points
+    planned = solver == "red_black" and not kwargs
+    if executor.backend == "process" or not planned:
+        dispatch = executor.compile_shm(
+            _solve_slab, nopt, bytes_per_item=bytes_per_option,
+            sliced={"out": out}, writes=("out",),
+            consts={"n_points": n_points, "n_steps": n_steps,
+                    "solver": solver, "kwargs": kwargs},
+            per_slab=lambda a, b, i: {"options": options[a:b]}, tag="cn")
+    else:
+        plans = [plan_contract(o, n_points, n_steps) for o in options]
+        slabs = executor.plan(nopt, bytes_per_option)
+        wss = [
+            make_workspace(
+                lambda name, shape, i=i: arena.reserve(f"{name}{i}", shape),
+                n_points)
+            for i in range(len(slabs))
+        ]
+        dispatch = executor.compile_shm(
+            _solve_slab_planned, nopt, bytes_per_item=bytes_per_option,
+            sliced={"out": out}, writes=("out",),
+            per_slab=lambda a, b, i: {"ws": wss[i], "plans": plans[a:b]},
+            tag="cn")
+
+    def run() -> np.ndarray:
+        dispatch.run()
+        return out
+
+    return run
 
 
 def solve_batch_parallel(options, n_points: int = 256, n_steps: int = 1000,

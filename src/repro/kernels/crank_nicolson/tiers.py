@@ -16,7 +16,7 @@ import numpy as np
 from ...pricing.options import ExerciseStyle, Option, OptionKind
 from ...registry import WorkloadSpec, register_impl, register_workload
 from ..base import OptLevel
-from .parallel import solve_batch_parallel
+from .parallel import compile_solve_batch, solve_batch_parallel
 from .solver import solve_batch
 
 
@@ -54,7 +54,16 @@ register_impl("crank_nicolson", "wavefront", OptLevel.INTERMEDIATE,
               _solver_fn("wavefront"))
 register_impl("crank_nicolson", "wavefront_transformed", OptLevel.ADVANCED,
               _solver_fn("wavefront_transformed"))
+def _plan_parallel(payload, executor, arena):
+    """Planner: per-contract grids, payoff profiles, boundary sequences
+    and interp stencils are hoisted to compile time; per-slab march
+    buffers live in the arena (see :mod:`.planned`)."""
+    return compile_solve_batch(payload["options"], payload["n_points"],
+                               payload["n_steps"], executor, arena)
+
+
 register_impl("crank_nicolson", "parallel", OptLevel.PARALLEL,
               lambda p, ex: solve_batch_parallel(
                   p["options"], p["n_points"], p["n_steps"], executor=ex),
-              backends=("serial", "thread", "process"))
+              backends=("serial", "thread", "process"),
+              planner=_plan_parallel)

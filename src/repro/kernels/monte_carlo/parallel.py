@@ -78,7 +78,9 @@ def _stream_slab(arrays: dict, consts: dict, a: int, b: int,
     randoms = arrays["randoms"]
     rate, vol, block = consts["rate"], consts["vol"], consts["block"]
     n_paths = randoms.size
-    scratch = np.empty(min(block, n_paths), dtype=DTYPE)
+    scratch = consts.get("scratch")
+    if scratch is None:
+        scratch = np.empty(min(block, n_paths), dtype=DTYPE)
     for o in range(S.shape[0]):
         price[o], stderr[o] = _price_option_fused(
             S[o], X[o], T[o], rate, vol, n_paths,
@@ -115,6 +117,49 @@ def price_stream_parallel(S, X, T, rate: float, vol: float,
         consts={"rate": rate, "vol": vol, "block": block},
     )
     return MCResult(price=price, stderr=stderr, n_paths=n_paths)
+
+
+def compile_price_stream(S, X, T, rate: float, vol: float,
+                         randoms: np.ndarray, executor: SlabExecutor,
+                         arena, block: int = 65536):
+    """Plan-compile STREAM mode for repeated same-shape calls.
+
+    The ``[price | stderr]`` result vector and one payoff-scratch block
+    per slab live in ``arena``; the shared random stream is staged (and,
+    on the process backend, copied to its segment) once per run rather
+    than re-validated and re-staged.  Bit-identical to
+    :func:`price_stream_parallel` — same slab plan, same fused ops.
+    """
+    S = np.asarray(S, dtype=DTYPE)
+    X = np.asarray(X, dtype=DTYPE)
+    T = np.asarray(T, dtype=DTYPE)
+    _check(S, X, T, vol)
+    randoms = np.asarray(randoms, dtype=DTYPE)
+    if randoms.ndim != 1 or randoms.size == 0:
+        raise ConfigurationError("randoms must be a non-empty 1-D stream")
+    nopt = S.shape[0]
+    n_paths = randoms.size
+    result = arena.reserve("result", 2 * nopt)
+    price, stderr = result[:nopt], result[nopt:]
+    per_slab = None
+    if executor.backend != "process":
+        slabs = executor.plan(nopt, 8 * n_paths)
+        scratch = [arena.reserve(f"scratch{i}", min(block, n_paths))
+                   for i in range(len(slabs))]
+        per_slab = lambda a, b, i: {"scratch": scratch[i]}  # noqa: E731
+    dispatch = executor.compile_shm(
+        _stream_slab, nopt, bytes_per_item=8 * n_paths,
+        sliced={"S": S, "X": X, "T": T, "price": price, "stderr": stderr},
+        shared={"randoms": randoms},
+        writes=("price", "stderr"),
+        consts={"rate": rate, "vol": vol, "block": block},
+        per_slab=per_slab, tag="mc")
+
+    def run() -> np.ndarray:
+        dispatch.run()
+        return result
+
+    return run
 
 
 def _computed_slab(arrays: dict, consts: dict, a: int, b: int,

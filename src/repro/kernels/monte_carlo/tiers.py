@@ -15,7 +15,7 @@ import numpy as np
 from ...registry import WorkloadSpec, register_impl, register_workload
 from ...rng import MT19937, NormalGenerator
 from ..base import OptLevel
-from .parallel import price_stream_parallel
+from .parallel import compile_price_stream, price_stream_parallel
 from .reference import price_reference
 from .vectorized import price_stream
 
@@ -59,8 +59,17 @@ register_impl("monte_carlo", "vectorized", OptLevel.BASIC,
               lambda p, ex: _extract(price_stream(
                   p["S"], p["X"], p["T"], p["rate"], p["vol"],
                   p["randoms"])))
+def _plan_parallel(payload, executor, arena):
+    """Planner: prices and standard errors land in the arena's
+    ``[price | stderr]`` vector; scratch blocks are per slab."""
+    return compile_price_stream(
+        payload["S"], payload["X"], payload["T"], payload["rate"],
+        payload["vol"], payload["randoms"], executor, arena)
+
+
 register_impl("monte_carlo", "parallel", OptLevel.PARALLEL,
               lambda p, ex: _extract(price_stream_parallel(
                   p["S"], p["X"], p["T"], p["rate"], p["vol"],
                   p["randoms"], ex)),
-              backends=("serial", "thread", "process"))
+              backends=("serial", "thread", "process"),
+              planner=_plan_parallel)

@@ -26,7 +26,7 @@ import numpy as np
 from ...config import DTYPE
 from ...errors import ConfigurationError
 from ...parallel.slab import SlabExecutor, default_executor
-from ...rng.mt19937 import MT19937
+from ...rng.mt19937 import MT19937, block_workspace, uniform53_into
 
 #: Raw 32-bit outputs folded into each 53-bit uniform double.
 DRAWS_PER_DOUBLE = 2
@@ -38,6 +38,74 @@ def _rng_slab(arrays: dict, consts: dict, a: int, b: int,
     raw draw ``2·a``, then tabulate this slab's doubles in place."""
     gen = MT19937(consts["seed"]).jumped_copy(DRAWS_PER_DOUBLE * a)
     arrays["out"][:] = gen.uniform53(b - a)
+
+
+def _rng_slab_planned(arrays: dict, consts: dict, a: int, b: int,
+                      slab: int) -> None:
+    """Planned slab task: restore the pre-jumped state snapshot, then
+    tabulate in place through the slab workspace — the O(a) skip was
+    paid once, at compile time."""
+    ws = consts["ws"]
+    mt = ws["mt"]
+    np.copyto(mt, consts["snap_mt"])
+    uniform53_into(mt, consts["snap_mti"], arrays["out"], ws)
+
+
+def compile_uniform53_parallel(n: int, seed: int,
+                               executor: SlabExecutor, arena):
+    """Plan-compile the jump-ahead tabulation.
+
+    The expensive part of every cold call is the per-slab sequential
+    skip past the preceding slabs' ``2·a`` raw draws; the plan runs each
+    skip once, snapshots the jumped 624-word state, and warm runs just
+    restore the snapshot and generate.  One generator walks the stream
+    slab boundary to slab boundary, so compile pays O(2n) total skip
+    work rather than the cold path's O(n·slabs).  Generation itself
+    goes through :func:`~repro.rng.mt19937.uniform53_into` — the same
+    twist/temper/fold bit for bit, through arena-owned buffers.
+    """
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    out = arena.reserve("result", n)
+    if n == 0:
+        return lambda: out
+    if executor.backend == "process":
+        dispatch = executor.compile_shm(
+            _rng_slab, n, bytes_per_item=8,
+            sliced={"out": out}, writes=("out",),
+            consts={"seed": seed}, tag="rng")
+        return lambda: (dispatch.run(), out)[1]
+    slabs = executor.plan(n, 8)
+    walker = MT19937(seed)
+    cursor = 0
+    snaps = []
+    for a, b in slabs:
+        walker = walker.jumped_copy(DRAWS_PER_DOUBLE * (a - cursor))
+        cursor = a
+        snap = arena.reserve(f"snap{len(snaps)}", walker.state_size,
+                             dtype=np.uint32)
+        np.copyto(snap, walker._mt)
+        snaps.append((snap, walker._mti))
+    wss = []
+    for i, (a, b) in enumerate(slabs):
+        def _reserve(name, shape, dtype, i=i):
+            return arena.reserve(f"{name}{i}", shape, dtype=dtype)
+        ws = block_workspace(b - a, reserve=_reserve)
+        ws["mt"] = arena.reserve(f"mt{i}", MT19937.state_size,
+                                 dtype=np.uint32)
+        wss.append(ws)
+    dispatch = executor.compile_shm(
+        _rng_slab_planned, n, bytes_per_item=8,
+        sliced={"out": out}, writes=("out",),
+        per_slab=lambda a, b, i: {"ws": wss[i], "snap_mt": snaps[i][0],
+                                  "snap_mti": snaps[i][1]},
+        tag="rng")
+
+    def run() -> np.ndarray:
+        dispatch.run()
+        return out
+
+    return run
 
 
 def uniform53_parallel(n: int, seed: int = 5489,

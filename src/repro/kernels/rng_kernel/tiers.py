@@ -15,7 +15,7 @@ from ...registry import WorkloadSpec, register_impl, register_workload
 from ...rng.mt19937 import MT19937
 from ..base import OptLevel
 from .functional import ScalarMT19937
-from .parallel import uniform53_parallel
+from .parallel import compile_uniform53_parallel, uniform53_parallel
 
 
 def build_workload(sizes, seed: int = 5489) -> dict:
@@ -37,6 +37,15 @@ register_impl("rng", "reference", OptLevel.REFERENCE,
               lambda p, ex: ScalarMT19937(p["seed"]).uniform53(p["n"]))
 register_impl("rng", "vectorized", OptLevel.ADVANCED,
               lambda p, ex: MT19937(p["seed"]).uniform53(p["n"]))
+def _plan_parallel(payload, executor, arena):
+    """Planner: the per-slab jump-ahead skips run once at compile time
+    and leave 624-word state snapshots in the arena; warm runs restore
+    and tabulate allocation-free."""
+    return compile_uniform53_parallel(payload["n"], payload["seed"],
+                                      executor, arena)
+
+
 register_impl("rng", "parallel", OptLevel.PARALLEL,
               lambda p, ex: uniform53_parallel(p["n"], p["seed"], ex),
-              backends=("serial", "thread", "process"))
+              backends=("serial", "thread", "process"),
+              planner=_plan_parallel)

@@ -5,16 +5,20 @@ behind the parallel kernel tier."""
 from .executor import ChunkExecutor
 from .partition import (block_ranges, chunk_ranges, doubling_counts,
                         round_robin, simd_groups, slab_ranges)
-from .safety import validate_slab_plan, validate_write_plan
+from .safety import (WritePlan, freeze_write_plan, validate_slab_plan,
+                     validate_write_plan)
 from .shm import ArraySpec, ShmArena, run_slab_task
-from .slab import (BACKENDS, DEFAULT_LLC_BYTES, SlabExecutor,
-                   default_executor, host_llc_bytes)
+from .slab import (BACKENDS, DEFAULT_LLC_BYTES, MEASURED_CROSSOVER_BYTES,
+                   CompiledDispatch, SlabExecutor, default_executor,
+                   host_llc_bytes)
 
 __all__ = [
-    "ChunkExecutor", "SlabExecutor", "default_executor",
-    "host_llc_bytes", "BACKENDS", "DEFAULT_LLC_BYTES",
+    "ChunkExecutor", "CompiledDispatch", "SlabExecutor",
+    "default_executor", "host_llc_bytes",
+    "BACKENDS", "DEFAULT_LLC_BYTES", "MEASURED_CROSSOVER_BYTES",
     "ArraySpec", "ShmArena", "run_slab_task",
     "block_ranges", "chunk_ranges", "doubling_counts", "round_robin",
     "simd_groups", "slab_ranges",
+    "WritePlan", "freeze_write_plan",
     "validate_slab_plan", "validate_write_plan",
 ]

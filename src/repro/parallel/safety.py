@@ -27,6 +27,8 @@ is declared in ``writes=``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..errors import ConfigurationError, WriteRaceError
@@ -92,3 +94,43 @@ def validate_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
                 )
     if writes:
         validate_slab_plan(slabs, n)
+
+
+@dataclass(frozen=True)
+class WritePlan:
+    """A validated-once write plan, as carried by a compiled dispatch.
+
+    :meth:`~repro.parallel.slab.SlabExecutor.compile_shm` validates its
+    dispatch exactly once at plan-compile time and freezes the outcome
+    here; replays (``CompiledDispatch.run``) trust the record instead of
+    re-running :func:`validate_write_plan` per call.  Safe because every
+    input to the validation — the slab ranges, the array identities, the
+    writes/consts names — is captured by the compiled dispatch and
+    cannot change between replays.
+    """
+
+    n: int
+    slabs: tuple                   # ((start, stop), ...)
+    sliced_names: tuple
+    shared_names: tuple
+    writes: tuple
+    const_names: tuple
+
+    @property
+    def n_slabs(self) -> int:
+        return len(self.slabs)
+
+
+def freeze_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
+                      writes, consts: dict) -> WritePlan:
+    """Validate one dispatch and freeze it into a :class:`WritePlan`."""
+    validate_write_plan(slabs, n, sliced=sliced, shared=shared,
+                        writes=writes, consts=consts)
+    return WritePlan(
+        n=n,
+        slabs=tuple((int(a), int(b)) for a, b in slabs),
+        sliced_names=tuple(sorted(sliced)),
+        shared_names=tuple(sorted(shared)),
+        writes=tuple(writes),
+        const_names=tuple(sorted(consts)),
+    )

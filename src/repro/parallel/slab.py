@@ -45,7 +45,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..errors import ConfigurationError
 from .partition import slab_ranges
-from .safety import validate_write_plan
+from .safety import freeze_write_plan, validate_write_plan
 
 #: Execution backends: in-caller, GIL-releasing thread pool, or
 #: shared-memory process pool.  :data:`repro.registry.BACKENDS` mirrors
@@ -57,6 +57,25 @@ _BACKENDS = BACKENDS  # historical alias
 #: Fallback LLC size when sysfs is unreadable — matches the generic
 #: 8 MiB L3 that :func:`repro.arch.host.calibrate_host` assumes.
 DEFAULT_LLC_BYTES = 8 * 1024 * 1024
+
+#: Measured pool-crossover threshold (bytes of total working set) on
+#: the bench host: below this, pool submission overhead exceeds the
+#: parallel win and dispatch runs in-caller over the same slab plan.
+#: Measured by :func:`repro.bench.harness.measure_pool_crossover`
+#: (recorded under ``"crossover"`` in ``BENCH_parallel.json``): pooled
+#: thread dispatch costs a fixed ~25–40 µs per submission round, and
+#: every measured kernel configuration with a working set under 2 MiB
+#: ran *slower* pooled than inline (Black-Scholes at 1.25 MiB: 1.15x,
+#: brownian at 0.6 MiB: 1.4x, binomial at 32 options / ~0.8 MiB: the
+#: 0.95x that motivated the fallback), while at and above 2 MiB pooled
+#: was within noise of inline (rng at 2 MiB: 1.004x, binomial at
+#: 3.2 MiB: 1.003x).
+MEASURED_CROSSOVER_BYTES = 1 << 21
+
+#: Sequence for per-compiled-dispatch shared-memory role prefixes, so
+#: two compiled plans never share (and never re-grow) each other's
+#: segments.
+_COMPILE_SEQ = 0
 
 
 def host_llc_bytes(default: int = DEFAULT_LLC_BYTES) -> int:
@@ -132,6 +151,15 @@ class SlabExecutor:
         Start method for the process backend (``fork``/``spawn``/
         ``forkserver``); default picks ``fork`` where the platform
         offers it.  Ignored by the other backends.
+    min_parallel_bytes:
+        Crossover threshold for the small-problem regression: a
+        dispatch whose total working set (``n * bytes_per_item``) falls
+        below it runs in-caller over the *same* slab plan instead of
+        paying pool submission overhead — results are bit-identical,
+        only the transport changes.  Default ``0`` keeps the fallback
+        off (explicit executors always exercise their pool, which the
+        pool-persistence tests rely on); the benches and the serving
+        path pass the measured :data:`MEASURED_CROSSOVER_BYTES`.
 
     The pool is created lazily on the first pooled dispatch and
     **reused across calls** until :meth:`close` (or context-manager
@@ -141,7 +169,8 @@ class SlabExecutor:
 
     def __init__(self, backend: str = "thread", n_workers: int | None = None,
                  slab_bytes: int | None = None, arch=None,
-                 mp_context: str | None = None):
+                 mp_context: str | None = None,
+                 min_parallel_bytes: int = 0):
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; want one of {BACKENDS}"
@@ -150,6 +179,8 @@ class SlabExecutor:
             raise ConfigurationError("n_workers must be >= 1")
         if slab_bytes is not None and slab_bytes < 1:
             raise ConfigurationError("slab_bytes must be >= 1")
+        if min_parallel_bytes < 0:
+            raise ConfigurationError("min_parallel_bytes must be >= 0")
         self.backend = backend
         self.n_workers = n_workers or os.cpu_count() or 1
         if slab_bytes is None:
@@ -157,6 +188,7 @@ class SlabExecutor:
             slab_bytes = max(1, llc // 2)
         self.slab_bytes = slab_bytes
         self.mp_context = mp_context or _default_mp_context()
+        self.min_parallel_bytes = min_parallel_bytes
         self._pool = None          # ThreadPoolExecutor | ProcessPoolExecutor
         self._arena = None         # ShmArena (process backend only)
         self._closed = False
@@ -226,6 +258,13 @@ class SlabExecutor:
     def n_slabs(self, n: int, bytes_per_item: int = 8) -> int:
         return len(self.plan(n, bytes_per_item))
 
+    def inline(self, n: int, bytes_per_item: int = 8) -> bool:
+        """True when a dispatch of ``n`` items runs in-caller: the
+        measured crossover says its working set is too small to earn
+        back pool-submission overhead.  Never changes the slab plan or
+        the per-slab streams, so results stay bit-identical."""
+        return 0 < n * bytes_per_item < self.min_parallel_bytes
+
     # -- dispatch ------------------------------------------------------
     def map_slabs(self, fn, n: int, bytes_per_item: int = 8):
         """Run ``fn(start, stop, slab_index)`` over the slab plan.
@@ -242,7 +281,8 @@ class SlabExecutor:
         if self._closed:
             raise ConfigurationError("executor is closed")
         slabs = self.plan(n, bytes_per_item)
-        if self.backend == "serial" or len(slabs) <= 1:
+        if (self.backend == "serial" or len(slabs) <= 1
+                or self.inline(n, bytes_per_item)):
             return [fn(a, b, i) for i, (a, b) in enumerate(slabs)]
         pool = self._get_pool()
         futures = [pool.submit(fn, a, b, i)
@@ -313,7 +353,8 @@ class SlabExecutor:
         validate_write_plan(slabs, n, sliced=sliced, shared=shared,
                             writes=writes, consts=consts)
 
-        if self.backend != "process" or len(slabs) <= 1:
+        inline = self.inline(n, bytes_per_item)
+        if self.backend != "process" or len(slabs) <= 1 or inline:
             def call(a, b, i):
                 arrays = {k: v[a:b] for k, v in sliced.items()}
                 arrays.update(shared)
@@ -321,7 +362,7 @@ class SlabExecutor:
                      else {**consts, **per_slab(a, b, i)})
                 return fn(arrays, c, a, b, i)
 
-            if self.backend == "serial" or len(slabs) <= 1:
+            if self.backend == "serial" or len(slabs) <= 1 or inline:
                 return [call(a, b, i) for i, (a, b) in enumerate(slabs)]
             pool = self._get_pool()
             futures = [pool.submit(call, a, b, i)
@@ -351,6 +392,51 @@ class SlabExecutor:
             np.copyto(target, arena.view(specs[name]))
         return results
 
+    def compile_shm(self, fn, n: int, bytes_per_item: int = 8, *,
+                    sliced: dict | None = None, shared: dict | None = None,
+                    writes=(), consts: dict | None = None, per_slab=None,
+                    tag: str | None = None) -> "CompiledDispatch":
+        """Compile one :meth:`map_shm` call for zero-setup replay.
+
+        Same contract and parameters as :meth:`map_shm`, but everything
+        per-dispatch is paid **once**, here: the slab plan, the
+        write-plan validation (:func:`.safety.freeze_write_plan`), the
+        per-slab view dicts, the merged ``per_slab`` constants (RNG
+        streams, pre-sliced object lists) and — on the process backend —
+        the shared-segment staging.  The returned
+        :class:`CompiledDispatch`'s :meth:`~CompiledDispatch.run`
+        replays the dispatch against the *same array objects*: callers
+        refresh contents in place (``np.copyto``) between runs, never
+        rebind.  This is the slab engine's half of the plan layer's
+        zero-allocation contract.
+        """
+        global _COMPILE_SEQ
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        sliced = dict(sliced or {})
+        shared = dict(shared or {})
+        consts = dict(consts or {})
+        for name, arr in sliced.items():
+            if arr.shape[0] != n:
+                raise ConfigurationError(
+                    f"sliced array {name!r} has leading dimension "
+                    f"{arr.shape[0]}, expected {n}")
+        unknown = [w for w in writes if w not in sliced and w not in shared]
+        if unknown:
+            raise ConfigurationError(
+                f"writes names {unknown} not among the dispatched arrays")
+        slabs = self.plan(n, bytes_per_item)
+        plan = freeze_write_plan(slabs, n, sliced=sliced, shared=shared,
+                                 writes=writes, consts=consts)
+        _COMPILE_SEQ += 1
+        # The caller's tag is a readable prefix; the sequence keeps
+        # roles unique so no two compiled dispatches share segments.
+        return CompiledDispatch(
+            self, fn, plan, sliced=sliced, shared=shared, writes=writes,
+            consts=consts, per_slab=per_slab,
+            inline=self.inline(n, bytes_per_item),
+            tag=f"{tag or 'cd'}{_COMPILE_SEQ}")
+
     # -- RNG -----------------------------------------------------------
     def streams(self, n: int, bytes_per_item: int = 8,
                 kind: str = "mt2203", seed: int = 1,
@@ -370,6 +456,108 @@ class SlabExecutor:
                             draws_per_worker=draws_per_slab)
 
 
+class CompiledDispatch:
+    """One :meth:`SlabExecutor.map_shm` call, compiled for replay.
+
+    Built by :meth:`SlabExecutor.compile_shm`; holds the frozen
+    :class:`~.safety.WritePlan`, the prebuilt per-slab views and merged
+    constants, and (process backend) the staged shared segments with
+    their parent-side copy-in/copy-back views.  :meth:`run` replays the
+    dispatch with no validation, no staging and no array allocation in
+    the parent — the caller refreshes input contents in place between
+    runs.  Results are bit-identical to the equivalent ``map_shm`` call:
+    same plan, same values, same functions.
+    """
+
+    def __init__(self, executor: SlabExecutor, fn, plan, *, sliced: dict,
+                 shared: dict, writes, consts: dict, per_slab,
+                 inline: bool, tag: str):
+        self.executor = executor
+        self.fn = fn
+        self.plan = plan
+        self.tag = tag
+        slabs = plan.slabs
+        self._consts = [
+            consts if per_slab is None else {**consts, **per_slab(a, b, i)}
+            for i, (a, b) in enumerate(slabs)
+        ]
+        self._pooled_process = (executor.backend == "process"
+                                and len(slabs) > 1 and not inline)
+        self._pooled_thread = (executor.backend == "thread"
+                               and len(slabs) > 1 and not inline)
+        if not self._pooled_process:
+            # In-caller and thread paths call fn on prebuilt views into
+            # the caller's arrays — zero-copy, results land in place.
+            self._tasks = []
+            for i, (a, b) in enumerate(slabs):
+                arrays = {k: v[a:b] for k, v in sliced.items()}
+                arrays.update(shared)
+                self._tasks.append((arrays, self._consts[i], a, b, i))
+            self._specs = None
+            self._copy_in = ()
+            self._copy_back = ()
+            return
+        # Process backend: stage every array once, into roles unique to
+        # this compiled dispatch (so no other dispatch re-grows — and
+        # thereby invalidates — our segments), then remember the parent
+        # views for per-run input refresh and write copy-back.
+        arena = executor._get_arena()
+        import numpy as np
+        self._np = np
+        specs = {}
+        copy_in = []
+        copy_back = []
+        for name, arr in sliced.items():
+            spec = arena.stage(f"{tag}.{name}", arr, copy=False)
+            spec.sliced = True
+            specs[name] = spec
+            if name in writes:
+                copy_back.append((arr, arena.view(spec)))
+            else:
+                copy_in.append((arena.view(spec), arr))
+        for name, arr in shared.items():
+            spec = arena.stage(f"{tag}.{name}", arr, copy=False)
+            specs[name] = spec
+            if name in writes:
+                copy_back.append((arr, arena.view(spec)))
+            else:
+                copy_in.append((arena.view(spec), arr))
+        self._specs = specs
+        self._copy_in = tuple(copy_in)
+        self._copy_back = tuple(copy_back)
+        self._tasks = [(self._consts[i], a, b, i)
+                       for i, (a, b) in enumerate(slabs)]
+
+    @property
+    def n_slabs(self) -> int:
+        return self.plan.n_slabs
+
+    def run(self):
+        """Replay the compiled dispatch; per-slab results in slab
+        order (view-writing kernels return ``None`` per slab)."""
+        if self.executor._closed:
+            raise ConfigurationError("executor is closed")
+        if self._pooled_process:
+            from .shm import run_slab_task
+            for view, src in self._copy_in:
+                self._np.copyto(view, src)
+            pool = self.executor._get_pool()
+            futures = [pool.submit(run_slab_task, self.fn, self._specs,
+                                   c, a, b, i)
+                       for c, a, b, i in self._tasks]
+            results = [f.result() for f in futures]
+            for target, view in self._copy_back:
+                self._np.copyto(target, view)
+            return results
+        if self._pooled_thread:
+            pool = self.executor._get_pool()
+            futures = [pool.submit(self.fn, arrays, c, a, b, i)
+                       for arrays, c, a, b, i in self._tasks]
+            return [f.result() for f in futures]
+        return [self.fn(arrays, c, a, b, i)
+                for arrays, c, a, b, i in self._tasks]
+
+
 # ----------------------------------------------------------------------
 # Process-wide default executor
 # ----------------------------------------------------------------------
@@ -379,8 +567,11 @@ _DEFAULT: SlabExecutor | None = None
 
 def default_executor() -> SlabExecutor:
     """The process-wide threaded executor the parallel-tier kernels use
-    when none is passed: one persistent pool for the whole process."""
+    when none is passed: one persistent pool for the whole process.
+    Carries the measured crossover so incidental tiny dispatches do not
+    pay pool overhead."""
     global _DEFAULT
     if _DEFAULT is None or _DEFAULT._closed:
-        _DEFAULT = SlabExecutor("thread")
+        _DEFAULT = SlabExecutor(
+            "thread", min_parallel_bytes=MEASURED_CROSSOVER_BYTES)
     return _DEFAULT

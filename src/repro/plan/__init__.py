@@ -1,0 +1,41 @@
+"""Plan-compiled execution: workspace arenas, plan cache, steady state.
+
+The paper's advanced tiers win by amortizing setup — register/cache
+tiling is configured once, RNG streams are seeded once, and the hot
+loop then streams work through preallocated state (Listing 3, the
+Sec. IV-D3 interleaved RNG).  This package gives the reproduction the
+same repeated-call shape: :func:`compile_plan` turns one registered
+``(kernel, tier, workload, backend)`` combination into an
+:class:`ExecutionPlan` whose
+
+* :class:`WorkspaceArena` owns every buffer the tier touches — inputs,
+  outputs, per-slab scratch — allocated at compile time and reused on
+  every run;
+* slab partition and write plan are frozen and validated **once** (by
+  :func:`repro.parallel.safety.validate_write_plan`), not per dispatch;
+* per-slab RNG stream states are pre-seeded, so jump-ahead skips and
+  stream construction never run on the hot path.
+
+``plan.run()`` then executes with zero hot-path array allocations,
+which :mod:`.audit` verifies with tracemalloc's numpy domain.  The LRU
+:class:`PlanCache` keys plans by workload shape so repeated same-shape
+calls — the serving steady state — hit warm plans automatically.
+"""
+
+from .arena import WorkspaceArena
+from .audit import AllocationAudit, audit_allocations
+from .cache import PlanCache, default_cache, shape_key
+from .plan import ExecutionPlan, cached_plan, compile_plan, plan_key
+
+__all__ = [
+    "AllocationAudit",
+    "ExecutionPlan",
+    "PlanCache",
+    "WorkspaceArena",
+    "audit_allocations",
+    "cached_plan",
+    "compile_plan",
+    "default_cache",
+    "plan_key",
+    "shape_key",
+]

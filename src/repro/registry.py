@@ -53,6 +53,14 @@ class KernelImpl:
     result array comparable across tiers; ``executor`` is the
     :class:`~repro.parallel.slab.SlabExecutor` matching ``backend``
     (serial tiers may ignore it).
+
+    ``planner(payload, executor, arena)``, when registered, compiles the
+    tier for repeated same-shape calls: it reserves every buffer the
+    tier needs in the :class:`~repro.plan.WorkspaceArena`, freezes the
+    slab dispatch, pre-seeds RNG stream state, and returns a
+    zero-argument ``runner`` (optionally ``(runner, rebind)``) that
+    prices the bound payload with zero hot-path array allocations.
+    ``fn`` stays the cold-call compatibility wrapper.
     """
 
     kernel: str
@@ -62,6 +70,7 @@ class KernelImpl:
     fn: Callable
     checked: bool = True           # compared against the reference tier
     tolerance: float | None = None  # per-impl override of the workload tol
+    planner: Callable | None = field(default=None, compare=False)
     seq: int = field(default=0, compare=False)
 
     @property
@@ -71,6 +80,14 @@ class KernelImpl:
     @property
     def label(self) -> str:
         return f"{self.kernel}/{self.tier}[{self.backend}]"
+
+    def plan(self, payload, executor, arena):
+        """Compile this impl against ``payload``: the planner's
+        ``runner`` (or ``(runner, rebind)``), or ``None`` when the tier
+        registered no planner (callers fall back to wrapping ``fn``)."""
+        if self.planner is None:
+            return None
+        return self.planner(payload, executor, arena)
 
 
 @dataclass(frozen=True)
@@ -140,9 +157,11 @@ def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
 
 def register_impl(kernel: str, tier: str, level, fn: Callable,
                   backends=("serial",), checked: bool = True,
-                  tolerance: float | None = None):
-    """Register ``fn`` as kernel/tier on each backend; returns the
-    created :class:`KernelImpl` entries."""
+                  tolerance: float | None = None,
+                  planner: Callable | None = None):
+    """Register ``fn`` (and optionally its plan compiler ``planner``)
+    as kernel/tier on each backend; returns the created
+    :class:`KernelImpl` entries."""
     made = []
     for backend in backends:
         if backend not in BACKENDS:
@@ -156,7 +175,8 @@ def register_impl(kernel: str, tier: str, level, fn: Callable,
             )
         impl = KernelImpl(kernel=kernel, tier=tier, level=level,
                           backend=backend, fn=fn, checked=checked,
-                          tolerance=tolerance, seq=next(_SEQ))
+                          tolerance=tolerance, planner=planner,
+                          seq=next(_SEQ))
         _IMPLS[key] = impl
         made.append(impl)
     return made

@@ -170,3 +170,122 @@ class MT19937:
             g.raw(step)
             remaining -= step
         return g
+
+
+# ----------------------------------------------------------------------
+# Allocation-free block generation (the plan-compiled hot path).
+#
+# The class methods above allocate their block temporaries on every
+# call; the functions below run the *same* twist/temper/fold arithmetic
+# through a caller-owned workspace, so a warm ExecutionPlan draws
+# without touching the allocator.  Every operation is a bitwise or
+# integer op (or the identical float fold), so outputs are bit-for-bit
+# the class methods' outputs for any state and draw count.
+
+def block_workspace(n_doubles: int, reserve=None) -> dict:
+    """Workspace for :func:`uniform53_into` producing up to
+    ``n_doubles`` doubles per call.  ``reserve(name, shape, dtype)``
+    supplies each buffer (a :class:`~repro.plan.WorkspaceArena` partial
+    in planned code); the default allocates directly."""
+    if reserve is None:
+        def reserve(name, shape, dtype):
+            return np.empty(shape, dtype=dtype)
+    nm = _N - _M
+    return {
+        "old": reserve("old", _N, np.uint32),
+        "y": reserve("y", _N, np.uint32),
+        "fb": reserve("fb", nm, np.uint32),
+        "ft": reserve("ft", nm, np.uint32),
+        "tt": reserve("tt", _N, np.uint32),
+        "r32": reserve("r32", 2 * n_doubles, np.uint32),
+        "r64": reserve("r64", 2 * n_doubles, np.uint64),
+    }
+
+
+def _f_into(y: np.ndarray, out: np.ndarray, tmp: np.ndarray) -> None:
+    """``f(y) = (y >> 1) ^ (MATRIX_A if y odd else 0)`` into ``out``
+    (the multiply-by-bit form of :func:`_twist`'s ``np.where``)."""
+    np.right_shift(y, np.uint32(1), out=out)
+    np.bitwise_and(y, np.uint32(1), out=tmp)
+    np.multiply(tmp, _MATRIX_A, out=tmp)
+    np.bitwise_xor(out, tmp, out=out)
+
+
+def twist_inplace(mt: np.ndarray, ws: dict) -> None:
+    """:func:`_twist`, allocation-free: same three staged slices, same
+    scalar fix-up of the final element."""
+    old, y = ws["old"], ws["y"]
+    fb, ft = ws["fb"], ws["ft"]
+    np.copyto(old, mt)
+    # y = (old & UPPER) | (roll(old, -1) & LOWER), rolled via two slices.
+    np.bitwise_and(old, _UPPER, out=y)
+    tmp = ws["tt"]
+    np.bitwise_and(old[1:], _LOWER, out=tmp[:_N - 1])
+    tmp[_N - 1] = old[0] & _LOWER
+    np.bitwise_or(y, tmp, out=y)
+    nm = _N - _M  # 227
+    _f_into(y[:nm], fb, ft)
+    np.bitwise_xor(old[_M:], fb, out=mt[:nm])
+    _f_into(y[nm:2 * nm], fb, ft)
+    np.bitwise_xor(mt[:nm], fb, out=mt[nm:2 * nm])
+    ln = _N - 1 - 2 * nm
+    _f_into(y[2 * nm:_N - 1], fb[:ln], ft[:ln])
+    # Reads mt[227:396], writes mt[454:623] — disjoint, safe in place.
+    np.bitwise_xor(mt[nm:_N - 1 - nm], fb[:ln], out=mt[2 * nm:_N - 1])
+    y_last = (int(old[_N - 1]) & 0x80000000) | (int(mt[0]) & 0x7FFFFFFF)
+    fv = (y_last >> 1) ^ (int(_MATRIX_A) if (y_last & 1) else 0)
+    mt[_N - 1] = int(mt[_M - 1]) ^ fv
+
+
+def temper_into(src: np.ndarray, out: np.ndarray,
+                tmp: np.ndarray) -> None:
+    """:func:`_temper` into ``out`` (``tmp`` at least ``len(src)``)."""
+    t = tmp[:src.shape[0]]
+    np.right_shift(src, np.uint32(11), out=out)
+    np.bitwise_xor(src, out, out=out)
+    np.left_shift(out, np.uint32(7), out=t)
+    np.bitwise_and(t, _T_B, out=t)
+    np.bitwise_xor(out, t, out=out)
+    np.left_shift(out, np.uint32(15), out=t)
+    np.bitwise_and(t, _T_C, out=t)
+    np.bitwise_xor(out, t, out=out)
+    np.right_shift(out, np.uint32(18), out=t)
+    np.bitwise_xor(out, t, out=out)
+
+
+def raw_into(mt: np.ndarray, mti: int, out: np.ndarray,
+             ws: dict) -> int:
+    """:meth:`MT19937.raw` into ``out``; returns the advanced ``mti``
+    (state advances in ``mt`` itself)."""
+    n = out.shape[0]
+    filled = 0
+    while filled < n:
+        if mti >= _N:
+            twist_inplace(mt, ws)
+            mti = 0
+        take = min(n - filled, _N - mti)
+        temper_into(mt[mti:mti + take], out[filled:filled + take],
+                    ws["tt"])
+        mti += take
+        filled += take
+    return mti
+
+
+def uniform53_into(mt: np.ndarray, mti: int, out: np.ndarray,
+                   ws: dict) -> int:
+    """:meth:`MT19937.uniform53` into ``out`` (float64, length ``n``):
+    same two-draw fold ``(a·2^26 + b) / 2^53``, same promotion to
+    float64, so doubles are bit-identical."""
+    n = out.shape[0]
+    r32 = ws["r32"][:2 * n]
+    r64 = ws["r64"][:2 * n]
+    mti = raw_into(mt, mti, r32, ws)
+    np.copyto(r64, r32)
+    ev = r64[0::2]
+    od = r64[1::2]
+    np.right_shift(ev, np.uint64(5), out=ev)
+    np.right_shift(od, np.uint64(6), out=od)
+    np.multiply(ev, 67108864.0, out=out)
+    np.add(out, od, out=out)
+    np.multiply(out, 1.0 / 9007199254740992.0, out=out)
+    return mti

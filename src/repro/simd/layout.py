@@ -106,7 +106,8 @@ class AOSBatch(RecordBatch):
         ``start..start+width`` must read — feed to
         :meth:`VectorMachine.gather`."""
         off = self._offset(name)
-        return off + (start + np.arange(width)) * self.stride
+        lanes = np.arange(width, dtype=np.intp)   # gather indices stay int
+        return off + (start + lanes) * self.stride
 
     def lines_per_vector_access(self, width: int) -> int:
         # Consecutive records are `stride` doubles apart; a width-lane

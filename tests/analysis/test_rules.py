@@ -57,6 +57,66 @@ class TestR001Scope:
         assert "build_vectorized" in findings[0].message
 
 
+class TestR001Arena:
+    """The plan layer's arena is the sanctioned allocator in hot tiers."""
+
+    def test_arena_reserve_in_loop_allowed(self):
+        text = ("def run(arena, slabs):\n"
+                "    for i, (a, b) in enumerate(slabs):\n"
+                "        buf = arena.reserve(f'scratch{i}', b - a)\n")
+        assert run_rule("R001", text) == []
+
+    def test_named_arena_receivers_allowed(self):
+        text = ("def run(slab_arena, x):\n"
+                "    for i in range(4):\n"
+                "        slab_arena.reserve_like(f's{i}', x)\n")
+        assert run_rule("R001", text) == []
+
+    def test_allocator_nested_in_arena_args_allowed(self):
+        text = ("import numpy as np\n"
+                "def run(arena):\n"
+                "    for i in range(4):\n"
+                "        arena.reserve_like(f's{i}', np.zeros(16))\n")
+        assert run_rule("R001", text) == []
+
+    def test_non_arena_receiver_still_fires(self):
+        text = ("import numpy as np\n"
+                "def run(pool):\n"
+                "    for i in range(4):\n"
+                "        t = np.zeros(16)\n")
+        assert len(run_rule("R001", text)) == 1
+
+    def test_setup_phase_functions_exempt(self):
+        # Planners / plan compilers / workspace builders / constructors
+        # run once per plan; allocating there IS the hoisting.
+        text = ("import numpy as np\n"
+                "def compile_solve(options):\n"
+                "    for o in options:\n"
+                "        u = np.zeros(64)\n"
+                "def plan_contract(opt):\n"
+                "    for n in range(4):\n"
+                "        s = np.exp(np.arange(8.0))\n"
+                "def make_workspace(reserve, n):\n"
+                "    for p in (1, 2):\n"
+                "        y = np.empty(n)\n"
+                "class Batch:\n"
+                "    def __init__(self, fields, n):\n"
+                "        for f in fields:\n"
+                "            self.a = np.zeros(n)\n")
+        assert run_rule("R001", text) == []
+
+    def test_hot_runner_next_to_setup_still_fires(self):
+        text = ("import numpy as np\n"
+                "def compile_solve(n):\n"
+                "    buf = np.zeros(n)\n"
+                "def _sweep(u, out):\n"
+                "    for i in range(4):\n"
+                "        t = np.exp(u)\n")
+        findings = run_rule("R001", text)
+        assert len(findings) == 1
+        assert findings[0].symbol == "_sweep"
+
+
 class TestR002Scope:
     def test_consts_get_form_allowed(self):
         text = ("from repro.rng import MT19937\n"

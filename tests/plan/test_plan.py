@@ -1,0 +1,145 @@
+"""ExecutionPlan: compile, digest agreement, rebind, zero-allocation.
+
+The plan layer's correctness contract is bit-identity: a compiled
+plan's result must equal the cold registered ``fn`` exactly, for every
+kernel and backend.  Its performance contract is allocation-freedom:
+a warm ``plan.run`` performs zero numpy-domain allocations that
+survive the call (tracemalloc audit).
+"""
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.bench.serve import PEAK_NOISE_BUDGET
+from repro.config import SMOKE_SIZES
+from repro.errors import ConfigurationError
+from repro.parallel import SlabExecutor
+from repro.plan import (PlanCache, audit_allocations, cached_plan,
+                        compile_plan, plan_key)
+
+KERNELS = registry.parallel_kernels()
+BACKENDS = ("serial", "thread", "process")
+
+
+def build(kernel, sizes=SMOKE_SIZES, seed=2012):
+    return registry.workload(kernel).build(sizes, seed=seed)
+
+
+class TestDigestAgreement:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_planned_matches_unplanned(self, kernel, backend):
+        payload = build(kernel)
+        impl = registry.impl(kernel, "parallel", backend)
+        with SlabExecutor(backend) as ex:
+            cold = np.asarray(impl.fn(payload, ex))
+        with compile_plan(kernel, "parallel", payload,
+                          backend=backend) as plan:
+            assert plan.planned, f"{kernel} has no planner"
+            warm = np.asarray(plan.run())
+            assert np.array_equal(cold, warm), \
+                f"{kernel}[{backend}] planned digest diverged"
+            # Replay: the second warm run must reproduce the first.
+            assert np.array_equal(warm.copy(), np.asarray(plan.run()))
+
+
+class TestZeroAllocation:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_warm_run_holds_no_numpy_allocations(self, kernel):
+        with compile_plan(kernel, "parallel", build(kernel),
+                          backend="serial") as plan:
+            audit = audit_allocations(plan.run)
+            assert audit.clean, (
+                f"{kernel}: warm run held {audit.numpy_blocks} numpy "
+                f"blocks / {audit.numpy_bytes} B")
+            assert audit.peak_bytes <= PEAK_NOISE_BUDGET, (
+                f"{kernel}: transient peak {audit.peak_bytes} B exceeds "
+                f"the nditer-noise budget {PEAK_NOISE_BUDGET} B")
+
+
+class TestRebind:
+    def test_new_numbers_same_plan(self):
+        # Same shape, different seed: rebind streams the new arrays in.
+        p1 = build("monte_carlo", seed=2012)
+        p2 = build("monte_carlo", seed=7)
+        with SlabExecutor("serial") as ex:
+            expected = np.asarray(
+                registry.impl("monte_carlo", "parallel", "serial")
+                .fn(p2, ex))
+        with compile_plan("monte_carlo", "parallel", p1,
+                          backend="serial") as plan:
+            got = np.asarray(plan.run(p2))
+            assert np.array_equal(expected, got)
+
+    def test_shape_change_raises(self):
+        import dataclasses
+        with compile_plan("black_scholes", "parallel",
+                          build("black_scholes"),
+                          backend="serial") as plan:
+            grown = dataclasses.replace(SMOKE_SIZES,
+                                        black_scholes_nopt=128)
+            with pytest.raises(ConfigurationError):
+                plan.run(build("black_scholes", sizes=grown))
+
+    def test_out_receives_a_copy(self):
+        payload = build("rng")
+        with compile_plan("rng", "parallel", payload,
+                          backend="serial") as plan:
+            out = np.empty(payload["n"])
+            got = plan.run(out=out)
+            assert got is out
+            assert np.array_equal(out, np.asarray(plan.run()))
+
+
+class TestPlanIdentity:
+    def test_plan_key_hashes_shape_not_values(self):
+        # Array contents don't shape the key (same-width batches share
+        # a plan) …
+        k1 = plan_key("monte_carlo", "parallel", "serial", 1,
+                      build("monte_carlo"))
+        k2 = plan_key("monte_carlo", "parallel", "serial", 1,
+                      build("monte_carlo", seed=99))
+        assert k1 == k2
+        # … but plan-shaping scalars do: the rng payload carries its
+        # seed (jump-ahead states are baked in), so a new seed is a new
+        # key, as is a new worker count.
+        assert (plan_key("rng", "parallel", "serial", 1, build("rng"))
+                != plan_key("rng", "parallel", "serial", 1,
+                            build("rng", seed=99)))
+        assert (plan_key("rng", "parallel", "serial", 1, build("rng"))
+                != plan_key("rng", "parallel", "serial", 2,
+                            build("rng")))
+
+    def test_unplanned_tier_still_compiles(self):
+        # A tier without a planner wraps its cold fn: uniform plan()
+        # path, flagged planned=False.
+        payload = build("black_scholes")
+        with compile_plan("black_scholes", "advanced", payload,
+                          backend="serial") as plan:
+            assert not plan.planned
+            # [calls | puts] for the batch, like every BS tier returns.
+            assert np.asarray(plan.run()).shape == (2 * payload["soa"].n,)
+
+    def test_describe_names_the_arena(self):
+        with compile_plan("rng", "parallel", build("rng"),
+                          backend="serial") as plan:
+            text = plan.describe()
+            assert "planned" in text and "WorkspaceArena" in text
+
+
+class TestCachedPlan:
+    def test_same_shape_hits_new_shape_misses(self):
+        import dataclasses
+        cache = PlanCache(maxsize=2)
+        p1 = build("rng")
+        a = cached_plan("rng", "parallel", p1, backend="serial",
+                        n_workers=1, cache=cache)
+        b = cached_plan("rng", "parallel", build("rng"),
+                        backend="serial", n_workers=1, cache=cache)
+        assert a is b and cache.stats["hits"] == 1
+        grown = dataclasses.replace(SMOKE_SIZES, rng_numbers=1 << 13)
+        c = cached_plan("rng", "parallel", build("rng", sizes=grown),
+                        backend="serial", n_workers=1, cache=cache)
+        assert c is not a and cache.stats["misses"] == 2
+        cache.clear()

@@ -61,6 +61,17 @@ class TestCLI:
         assert "slab-parallel" in out and "monte_carlo" in out
         assert out_json.exists()
 
+    def test_serve_bench_smoke(self, capsys, tmp_path):
+        import json
+        out_json = tmp_path / "BENCH_steady_state.json"
+        assert main(["serve-bench", "--smoke", "--samples", "3",
+                     "--cold-samples", "2", "--backends", "serial",
+                     "--out", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "Steady-state serving" in out and "digest" in out
+        data = json.loads(out_json.read_text())
+        assert all(k["digest_match"] for k in data["kernels"])
+
     def test_sweep_smoke(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         assert main(["sweep", "--smoke", "--repeats", "1",
