@@ -2,12 +2,15 @@
 
 Standalone (not pytest-benchmark): the study times every registered
 parallel-tier kernel at 1/2/4/…/cpu_count workers on the serial,
-thread, and process backends — the measured counterpart of the paper's
-Fig. 6/8 thread-scaling curves — and records speedup plus parallel
-efficiency per point next to the modeled SNB-EP/KNC ladders.  Every
-point's result digest is verified against the single-worker serial
-baseline, so the run fails loudly if any backend breaks slab
-determinism.
+thread, process, and daemon backends — the measured counterpart of the
+paper's Fig. 6/8 thread-scaling curves — and records speedup plus
+parallel efficiency per point next to the modeled SNB-EP/KNC ladders.
+Every point's result digest is verified against the single-worker
+serial baseline, so the run fails loudly if any backend breaks slab
+determinism.  Each backend × worker pair also records its steady-state
+dispatch overhead (empty-body ``map_shm`` round trip, µs/call); the
+run prints the pool-vs-daemon before/after ratio — the daemon
+backend's acceptance number (>= 10x at 4+ workers).
 
 Run ``python benchmarks/bench_scaling.py`` for the real measurement
 (SMALL_SIZES, best-of-5, all host CPUs) or ``--smoke`` for the
@@ -44,8 +47,9 @@ def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="tiny workloads + 2 repeats (CI smoke run)")
-    ap.add_argument("--backends", default="serial,thread,process",
-                    help="comma-separated subset of serial,thread,process")
+    ap.add_argument("--backends", default="serial,thread,process,daemon",
+                    help="comma-separated subset of "
+                         "serial,thread,process,daemon")
     ap.add_argument("--workers", default=None,
                     help="comma-separated worker counts "
                          "(default: 1,2,4,...,cpu_count)")
@@ -75,6 +79,19 @@ def main(argv=None) -> int:
     n_points = sum(len(k["points"]) for k in data["kernels"])
     print(f"determinism: all {n_points} (kernel x backend x workers) "
           f"points match the serial baseline digest")
+
+    # Dispatch-overhead before/after: pool (process) vs daemon rings.
+    overhead = {(ov["backend"], ov["n_workers"]): ov["us"]
+                for ov in data.get("dispatch_overhead", ())}
+    pairs = sorted(w for (b, w) in overhead if b == "process"
+                   and ("daemon", w) in overhead and w > 1)
+    for w in pairs:
+        pool_us, ring_us = overhead[("process", w)], overhead[("daemon", w)]
+        ratio = pool_us / ring_us if ring_us > 0 else float("inf")
+        gate = "" if w < 4 else (" [PASS]" if ratio >= 10 else " [MISS]")
+        print(f"dispatch overhead at {w} workers: pool {pool_us:.0f} "
+              f"us/call -> daemon {ring_us:.0f} us/call "
+              f"({ratio:.1f}x lower){gate}")
     if 4 in data["worker_counts"] and not args.smoke:
         winners = [k["kernel"] for k in data["kernels"]
                    if _best_speedup_at(data, k, 4) >= 1.5]

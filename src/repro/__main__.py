@@ -12,6 +12,7 @@ price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
 serve-bench             steady-state serving: warm plan vs cold compile
+daemon start|stop|status  manage the standing slab-worker daemon
 lint                    AST conformance analysis of the tree (R001-R005)
 
 Kernel choices everywhere are derived from :mod:`repro.registry`, so a
@@ -171,6 +172,83 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_daemon(args) -> int:
+    import json
+    import subprocess
+    import time
+
+    from .errors import DaemonError, DaemonNotRunningError
+    from .parallel.daemon import (_read_state, _sock_call, default_state_path,
+                                  serve)
+
+    state_path = args.state or default_state_path()
+
+    if args.action == "serve":
+        # Foreground host (what `start` launches detached).
+        return serve(n_workers=args.workers, state_path=state_path)
+
+    if args.action == "start":
+        try:
+            state = _read_state(state_path)
+            _sock_call(state["socket"], "ping")
+            print(f"daemon already running (pid {state['pid']}, "
+                  f"{state['n_workers']} workers, state {state_path})")
+            return 0
+        except (DaemonNotRunningError, DaemonError):
+            pass
+        cmd = [sys.executable, "-m", "repro", "daemon", "serve",
+               "--state", state_path]
+        if args.workers:
+            cmd += ["--workers", str(args.workers)]
+        import os
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else src)
+        proc = subprocess.Popen(
+            cmd, stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL, start_new_session=True, env=env)
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                print(f"error: daemon host exited early "
+                      f"(code {proc.returncode})", file=sys.stderr)
+                return 1
+            try:
+                state = _read_state(state_path)
+                reply = _sock_call(state["socket"], "ping")
+                print(f"daemon started (pid {state['pid']}, "
+                      f"{len(reply['workers'])} workers, "
+                      f"abi v{reply['abi']}, state {state_path})")
+                return 0
+            except (DaemonNotRunningError, DaemonError):
+                time.sleep(0.1)
+        print(f"error: daemon did not come up within {args.timeout}s",
+              file=sys.stderr)
+        return 1
+
+    if args.action == "stop":
+        state = _read_state(state_path)
+        _sock_call(state["socket"], "stop")
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline:
+            try:
+                import os
+                os.kill(state["pid"], 0)
+                time.sleep(0.1)
+            except ProcessLookupError:
+                break
+        print(f"daemon stopped (pid {state['pid']})")
+        return 0
+
+    # status
+    state = _read_state(state_path)
+    status = _sock_call(state["socket"], "status")
+    print(json.dumps({"state_path": state_path, "pid": state["pid"],
+                      **status}, indent=2))
+    return 0
+
+
 def _cmd_price(args) -> int:
     import math
 
@@ -287,8 +365,9 @@ def main(argv=None) -> int:
                    help="SMOKE_SIZES workloads (seconds; the CI mode)")
     p.add_argument("--full", action="store_true",
                    help="use PAPER_SIZES workloads")
-    p.add_argument("--backends", default="serial,thread,process",
-                   help="comma-separated subset of serial,thread,process")
+    p.add_argument("--backends", default="serial,thread,process,daemon",
+                   help="comma-separated subset of "
+                        "serial,thread,process,daemon")
     p.add_argument("--kernels", default=None,
                    help="comma-separated kernel subset (default: all)")
     p.add_argument("--workers", type=int, default=None)
@@ -308,8 +387,9 @@ def main(argv=None) -> int:
                    help="SMOKE_SIZES workloads (seconds; the CI mode)")
     p.add_argument("--full", action="store_true",
                    help="use PAPER_SIZES workloads")
-    p.add_argument("--backends", default="serial,thread,process",
-                   help="comma-separated subset of serial,thread,process")
+    p.add_argument("--backends", default="serial,thread,process,daemon",
+                   help="comma-separated subset of "
+                        "serial,thread,process,daemon")
     p.add_argument("--kernels", default=None,
                    help="comma-separated kernel subset (default: all "
                         "parallel-tier kernels)")
@@ -324,6 +404,23 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="BENCH_scaling.json",
                    help="raw measurement JSON path ('' to skip)")
     p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser(
+        "daemon",
+        help="manage the standing slab-worker daemon (ring dispatch)")
+    p.add_argument("action",
+                   choices=["start", "stop", "status", "serve"],
+                   help="start: launch a detached daemon host; stop: "
+                        "retire it; status: query it; serve: host in "
+                        "the foreground")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count (default: cpu_count)")
+    p.add_argument("--state", default=None,
+                   help="state-file path (default: "
+                        "$REPRO_DAEMON_STATE or the per-user tempfile)")
+    p.add_argument("--timeout", type=float, default=15.0,
+                   help="seconds to wait for start/stop to take effect")
+    p.set_defaults(fn=_cmd_daemon)
 
     from .analysis.cli import add_lint_parser
     add_lint_parser(sub)

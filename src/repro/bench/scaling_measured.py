@@ -16,11 +16,21 @@ every registered parallel tier is slab-size independent, so a mismatch
 anywhere is a real bug and raises :class:`~repro.errors.ExperimentError`
 rather than silently shipping a wrong curve.
 
-Interpreting the two pooled backends: ``thread`` scales only as far as
+Interpreting the pooled backends: ``thread`` scales only as far as
 NumPy ufuncs release the GIL (large-array tiers scale, Python-bound
-tiers flatline — exactly the gap this study exists to expose), while
+tiers flatline — exactly the gap this study exists to expose);
 ``process`` sidesteps the GIL by mapping slabs out of shared-memory
-segments at the cost of one staging copy per dispatch.
+segments at the cost of one staging copy plus per-slab pickling per
+dispatch; ``daemon`` keeps the process backend's GIL-free execution
+but moves steady-state dispatch onto shared-memory descriptor rings,
+eliminating the per-call pickling and queue hops.
+
+The study therefore also *measures the dispatch overhead itself*:
+:func:`measure_dispatch_overhead` times an empty-body ``map_shm``
+round-trip (one one-item slab per worker, so the work is zero and the
+transport is everything), and every point of the scaling study records
+that per-call cost as ``dispatch_overhead_us`` — the before/after
+number behind the daemon backend's acceptance criterion.
 """
 
 from __future__ import annotations
@@ -41,6 +51,50 @@ _MODEL_ARCHES = ("SNB-EP", "KNC")
 
 def _digest(out: np.ndarray) -> str:
     return hashlib.md5(np.ascontiguousarray(out).tobytes()).hexdigest()
+
+
+def _noop_slab(arrays, consts, a, b, slab):
+    """Empty slab body: the dispatch-overhead probe.  Module-level so
+    the out-of-process backends can pickle it by reference."""
+    return None
+
+
+def measure_dispatch_overhead(backend: str, n_workers: int,
+                              slab_bytes: int | None = None,
+                              inner: int = 100,
+                              repeats: int = 5) -> float:
+    """Steady-state per-call dispatch cost of one backend, in µs.
+
+    Times ``inner`` back-to-back :meth:`~repro.parallel.SlabExecutor
+    .map_shm` calls of :func:`_noop_slab` over a plan with **one
+    one-item slab per worker** (``bytes_per_item = slab_bytes`` forces
+    the slab length to one), best of ``repeats`` rounds, after one
+    warm-up call that pays every setup cost — pool spin-up, segment
+    staging, daemon pinning.  With zero work per slab, what remains is
+    pure transport: submission, scheduling and result collection.  This
+    is the fixed per-call tax every real dispatch pays on top of its
+    compute, the quantity the daemon backend's ring fabric exists to
+    shrink.
+    """
+    import time as _time
+
+    from ..parallel import SlabExecutor
+    if inner < 1 or repeats < 1:
+        raise ExperimentError("inner and repeats must be >= 1")
+    with SlabExecutor(backend, n_workers=n_workers,
+                      slab_bytes=slab_bytes) as ex:
+        n = ex.n_workers
+        x = np.zeros(n)
+        kw = dict(sliced={"x": x}, consts={})
+        bpi = max(ex.slab_bytes, 1)
+        ex.map_shm(_noop_slab, n, bytes_per_item=bpi, **kw)   # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = _time.perf_counter()
+            for _ in range(inner):
+                ex.map_shm(_noop_slab, n, bytes_per_item=bpi, **kw)
+            best = min(best, _time.perf_counter() - t0)
+    return best / inner * 1e6
 
 
 def _modeled_curves(kernel: str) -> dict | None:
@@ -72,7 +126,8 @@ def _modeled_curves(kernel: str) -> dict | None:
 
 
 def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
-                    backends: tuple = ("serial", "thread", "process"),
+                    backends: tuple = ("serial", "thread", "process",
+                                       "daemon"),
                     worker_counts: tuple | None = None,
                     slab_bytes: int | None = None,
                     repeats: int = 3, seed: int = 2012,
@@ -83,7 +138,11 @@ def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
     cpu_count`` (the Fig. 6/8 x-axis).  Per kernel the workload is
     built once; the single-worker serial run is the baseline for every
     speedup/efficiency figure and the digest oracle for every point.
-    Returns the JSON-ready dict behind ``BENCH_scaling.json``; raises
+    Each ``backend × workers`` pair is additionally probed with
+    :func:`measure_dispatch_overhead`; the per-call cost is recorded on
+    every matching point (``dispatch_overhead_us``) and summarized
+    under the root ``dispatch_overhead`` key.  Returns the JSON-ready
+    dict behind ``BENCH_scaling.json``; raises
     :class:`~repro.errors.ExperimentError` if any point's digest
     disagrees with the serial baseline.
     """
@@ -108,6 +167,14 @@ def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
                 f"unknown parallel kernel(s) {unknown}; "
                 f"registered: {list(names)}")
         names = tuple(k for k in names if k in kernels)
+
+    # Transport cost per (backend, workers) pair: kernel-independent,
+    # so measured once and stamped onto every matching point.
+    overhead = {}
+    for backend in backends:
+        for w in worker_counts:
+            overhead[(backend, w)] = measure_dispatch_overhead(
+                backend, w, slab_bytes=slab_bytes)
 
     entries = []
     resolved_slab_bytes = None
@@ -157,6 +224,7 @@ def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
                     "rate": run.rate * spec.scale,
                     "speedup": speedup,
                     "efficiency": speedup / w,
+                    "dispatch_overhead_us": overhead[(backend, w)],
                     "digest": digest,
                     "agrees": True,
                 }
@@ -183,6 +251,10 @@ def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
         "slab_bytes": resolved_slab_bytes,
         "repeats": repeats,
         "seed": seed,
+        "dispatch_overhead": [
+            {"backend": b, "n_workers": w, "us": round(us, 2)}
+            for (b, w), us in overhead.items()
+        ],
         "kernels": entries,
     }
 
@@ -224,6 +296,10 @@ def scaling_result(data: dict):
         "efficiency = speedup / workers; every point's digest is "
         "verified against the serial baseline",
     ]
+    for ov in data.get("dispatch_overhead", ()):
+        notes.append(
+            f"dispatch overhead {ov['backend']} w={ov['n_workers']}: "
+            f"{ov['us']:.1f} us/call (empty-body map_shm round-trip)")
     for k in data["kernels"]:
         note = _modeled_note(k["kernel"], k["modeled"])
         if note:

@@ -12,8 +12,8 @@ Every tier is also checked against the reference tier on the same
 payload (within the registered tolerance) and fingerprinted with an MD5
 digest of its result vector, so the sweep doubles as a cross-backend
 determinism check: for a fixed seed, a tier registered on several
-backends (``serial``/``thread``/``process``) must produce bit-identical
-results on all of them.
+backends (``serial``/``thread``/``process``/``daemon``) must produce
+bit-identical results on all of them.
 """
 
 from __future__ import annotations
@@ -47,7 +47,8 @@ def _digest(out: np.ndarray) -> str:
 
 
 def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
-                        backends: tuple = ("serial", "thread", "process"),
+                        backends: tuple = ("serial", "thread", "process",
+                                           "daemon"),
                         n_workers: int | None = None,
                         slab_bytes: int | None = None,
                         repeats: int = 3, seed: int = 2012,

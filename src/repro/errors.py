@@ -52,5 +52,23 @@ class AnalysisError(ReproError):
     unreadable baseline, unparseable input)."""
 
 
+class DaemonError(ReproError):
+    """The standing worker daemon failed: a worker died mid-dispatch, a
+    control round-trip timed out, or the daemon is in a state that
+    cannot serve the request."""
+
+
+class DaemonNotRunningError(DaemonError):
+    """A dispatch or attach was attempted against a daemon that is not
+    running (never started, already stopped, or its state file points
+    at a dead process). Raised eagerly instead of hanging on a ring."""
+
+
+class RingABIError(DaemonError):
+    """A shared-memory ring's header does not match this client: wrong
+    magic (not a repro ring) or an incompatible ABI version (daemon and
+    client built from different ring layouts)."""
+
+
 class ExperimentError(ReproError):
     """A benchmark experiment id is unknown or its inputs are invalid."""

@@ -70,7 +70,7 @@ def compile_price_tiled(options, n_steps: int, executor: SlabExecutor,
     n1 = n_steps + 1
     bytes_per_option = 3 * n1 * 8
     out = arena.reserve("result", nopt)
-    if executor.backend == "process":
+    if executor.out_of_process:
         dispatch = executor.compile_shm(
             _tiled_slab, nopt, bytes_per_item=bytes_per_option,
             sliced={"out": out}, writes=("out",),

@@ -57,5 +57,5 @@ def _plan_parallel(payload, executor, arena):
 register_impl("binomial", "parallel", OptLevel.PARALLEL,
               lambda p, ex: price_tiled_parallel(p["options"], p["steps"],
                                                  ex),
-              backends=("serial", "thread", "process"),
+              backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)

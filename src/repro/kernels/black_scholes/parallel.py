@@ -127,7 +127,7 @@ def compile_price_parallel(batch: OptionBatch, executor: SlabExecutor,
     result = arena.reserve("result", 2 * n)
     call, put = result[:n], result[n:]
     per_slab = None
-    if executor.backend != "process":
+    if not executor.out_of_process:
         slabs = executor.plan(n, SLAB_BYTES_PER_OPTION)
         scratch = [arena.reserve(f"scratch{i}", (3, b - a))
                    for i, (a, b) in enumerate(slabs)]

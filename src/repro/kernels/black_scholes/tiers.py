@@ -95,5 +95,6 @@ register_impl("black_scholes", "intermediate", OptLevel.INTERMEDIATE,
 register_impl("black_scholes", "advanced", OptLevel.ADVANCED,
               _run_advanced)
 register_impl("black_scholes", "parallel", OptLevel.PARALLEL,
-              _run_parallel, backends=("serial", "thread", "process"),
+              _run_parallel,
+              backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)

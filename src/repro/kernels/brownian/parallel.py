@@ -80,7 +80,7 @@ def compile_build_parallel(schedule: BridgeSchedule, randoms: np.ndarray,
     out = arena.reserve("result", (n_paths, n_pts))
     flat = out.reshape(-1)
     bpp = _bytes_per_path(schedule)
-    if executor.backend == "process":
+    if executor.out_of_process:
         dispatch = executor.compile_shm(
             _build_slab, n_paths, bytes_per_item=bpp,
             sliced={"r": r, "out": out}, writes=("out",),

@@ -79,5 +79,5 @@ def _plan_parallel(payload, executor, arena):
 register_impl("brownian", "parallel", OptLevel.PARALLEL,
               lambda p, ex: build_parallel(p["schedule"], p["randoms"],
                                            ex).ravel(),
-              backends=("serial", "thread", "process"),
+              backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)

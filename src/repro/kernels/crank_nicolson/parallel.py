@@ -62,7 +62,7 @@ def compile_solve_batch(options, n_points: int, n_steps: int,
     out = arena.reserve("result", nopt)
     bytes_per_option = 8 * 8 * n_points
     planned = solver == "red_black" and not kwargs
-    if executor.backend == "process" or not planned:
+    if executor.out_of_process or not planned:
         dispatch = executor.compile_shm(
             _solve_slab, nopt, bytes_per_item=bytes_per_option,
             sliced={"out": out}, writes=("out",),

@@ -65,5 +65,5 @@ def _plan_parallel(payload, executor, arena):
 register_impl("crank_nicolson", "parallel", OptLevel.PARALLEL,
               lambda p, ex: solve_batch_parallel(
                   p["options"], p["n_points"], p["n_steps"], executor=ex),
-              backends=("serial", "thread", "process"),
+              backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)

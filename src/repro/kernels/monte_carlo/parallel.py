@@ -142,7 +142,7 @@ def compile_price_stream(S, X, T, rate: float, vol: float,
     result = arena.reserve("result", 2 * nopt)
     price, stderr = result[:nopt], result[nopt:]
     per_slab = None
-    if executor.backend != "process":
+    if not executor.out_of_process:
         slabs = executor.plan(nopt, 8 * n_paths)
         scratch = [arena.reserve(f"scratch{i}", min(block, n_paths))
                    for i in range(len(slabs))]

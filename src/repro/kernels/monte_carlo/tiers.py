@@ -71,5 +71,5 @@ register_impl("monte_carlo", "parallel", OptLevel.PARALLEL,
               lambda p, ex: _extract(price_stream_parallel(
                   p["S"], p["X"], p["T"], p["rate"], p["vol"],
                   p["randoms"], ex)),
-              backends=("serial", "thread", "process"),
+              backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)

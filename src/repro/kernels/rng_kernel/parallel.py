@@ -69,7 +69,7 @@ def compile_uniform53_parallel(n: int, seed: int,
     out = arena.reserve("result", n)
     if n == 0:
         return lambda: out
-    if executor.backend == "process":
+    if executor.out_of_process:
         dispatch = executor.compile_shm(
             _rng_slab, n, bytes_per_item=8,
             sliced={"out": out}, writes=("out",),

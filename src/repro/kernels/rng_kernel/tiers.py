@@ -47,5 +47,5 @@ def _plan_parallel(payload, executor, arena):
 
 register_impl("rng", "parallel", OptLevel.PARALLEL,
               lambda p, ex: uniform53_parallel(p["n"], p["seed"], ex),
-              backends=("serial", "thread", "process"),
+              backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)

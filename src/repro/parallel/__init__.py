@@ -1,22 +1,30 @@
 """Thread-level-parallelism substrate: domain decomposition, the
-chunked executor (the OpenMP stand-in) and the zero-copy slab engine
-behind the parallel kernel tier."""
+chunked executor (the OpenMP stand-in), the zero-copy slab engine
+behind the parallel kernel tier, and the standing worker daemon with
+its shared-memory ring-buffer dispatch fabric."""
 
+from .daemon import DaemonClient, SlabDaemon, default_state_path, serve
 from .executor import ChunkExecutor
 from .partition import (block_ranges, chunk_ranges, doubling_counts,
                         round_robin, simd_groups, slab_ranges)
+from .ring import (ABI_VERSION, Ring, guard_unlink, install_signal_guards,
+                   unguard)
 from .safety import (WritePlan, freeze_write_plan, validate_slab_plan,
                      validate_write_plan)
 from .shm import ArraySpec, ShmArena, run_slab_task
 from .slab import (BACKENDS, DEFAULT_LLC_BYTES, MEASURED_CROSSOVER_BYTES,
-                   CompiledDispatch, SlabExecutor, default_executor,
-                   host_llc_bytes)
+                   OUT_OF_PROCESS_BACKENDS, CompiledDispatch, SlabExecutor,
+                   default_executor, host_llc_bytes)
 
 __all__ = [
     "ChunkExecutor", "CompiledDispatch", "SlabExecutor",
     "default_executor", "host_llc_bytes",
     "BACKENDS", "DEFAULT_LLC_BYTES", "MEASURED_CROSSOVER_BYTES",
+    "OUT_OF_PROCESS_BACKENDS",
     "ArraySpec", "ShmArena", "run_slab_task",
+    "ABI_VERSION", "Ring", "guard_unlink", "install_signal_guards",
+    "unguard",
+    "DaemonClient", "SlabDaemon", "default_state_path", "serve",
     "block_ranges", "chunk_ranges", "doubling_counts", "round_robin",
     "simd_groups", "slab_ranges",
     "WritePlan", "freeze_write_plan",

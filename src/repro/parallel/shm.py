@@ -110,6 +110,12 @@ class ShmArena:
         self._by_name: dict = {}      # segment name -> SharedMemory
         self._gens: dict = {}         # role -> generation counter
         self._closed = False
+        # Crash hygiene: unlink every owned segment at interpreter exit
+        # (atexit-backed, and signal-backed wherever
+        # ring.install_signal_guards ran) so an aborted run does not
+        # strand /dev/shm segments.
+        from .ring import guard_unlink
+        guard_unlink(self)
 
     def _name(self, role: str, gen: int) -> str:
         return f"{self._tag}_{role}{_GEN_SEP}{gen}"
@@ -156,9 +162,28 @@ class ShmArena:
         shm = self._by_name[spec.segment]
         return np.ndarray(spec.shape, dtype=spec.dtype, buffer=shm.buf)
 
+    def release(self, role: str) -> None:
+        """Close and unlink one role's segment (idempotent).
+
+        Compiled dispatches stage into roles unique to themselves, so
+        retiring a dispatch (plan-cache eviction, daemon unpin) can
+        release its segments without touching any other dispatch."""
+        shm = self._segments.pop(role, None)
+        if shm is None:
+            return
+        self._by_name.pop(shm.name, None)
+        self._gens.pop(role, None)
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, BufferError):
+            pass
+
     def close(self) -> None:
         """Close and unlink every owned segment (idempotent)."""
         self._closed = True
+        from .ring import unguard
+        unguard(self)
         for shm in self._segments.values():
             try:
                 shm.close()

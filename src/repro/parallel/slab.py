@@ -24,6 +24,13 @@ Three backends share one slab plan:
   entirely.  Arrays are staged into shared segments once per dispatch
   and sliced by workers as views (*copy once, slice many*); per-slab
   task messages never carry array data.
+* ``daemon`` — the standing-worker refinement of ``process``
+  (:mod:`.daemon`): workers start once, attach the arena segments
+  once, pin each dispatch once (the only pickling, at setup), and
+  steady-state calls move only fixed-size slab descriptors through
+  shared-memory rings (:mod:`.ring`) — zero pickling and zero
+  executor-queue hops per call, which is what keeps dispatch overhead
+  flat as worker counts grow.
 
 Determinism contract
 --------------------
@@ -47,10 +54,20 @@ from ..errors import ConfigurationError
 from .partition import slab_ranges
 from .safety import freeze_write_plan, validate_write_plan
 
-#: Execution backends: in-caller, GIL-releasing thread pool, or
-#: shared-memory process pool.  :data:`repro.registry.BACKENDS` mirrors
-#: this tuple for implementation registration.
-BACKENDS = ("serial", "thread", "process")
+#: Execution backends: in-caller, GIL-releasing thread pool,
+#: shared-memory process pool, or the standing worker daemon with
+#: ring-buffer dispatch.  :data:`repro.registry.BACKENDS` mirrors this
+#: tuple for implementation registration.
+BACKENDS = ("serial", "thread", "process", "daemon")
+
+#: Backends whose workers live in another address space: arrays travel
+#: through shared-memory segments and slab bodies must be picklable.
+OUT_OF_PROCESS_BACKENDS = ("process", "daemon")
+
+#: Cap on distinct ``map_shm`` signatures a daemon executor keeps
+#: pinned at once; least-recently-used pins are retired (and their
+#: segments released) beyond it.
+DAEMON_MAP_PINS = 32
 
 _BACKENDS = BACKENDS  # historical alias
 
@@ -133,9 +150,12 @@ class SlabExecutor:
     backend:
         ``serial`` (in-caller execution, the timing baseline),
         ``thread`` (reusable :class:`ThreadPoolExecutor`; ufuncs release
-        the GIL so slabs overlap on real cores) or ``process``
+        the GIL so slabs overlap on real cores), ``process``
         (reusable :class:`ProcessPoolExecutor`; slabs are mapped out of
-        shared-memory segments, so GIL-bound kernel portions scale too).
+        shared-memory segments, so GIL-bound kernel portions scale too)
+        or ``daemon`` (standing workers fed slab descriptors through
+        shared-memory rings — the process backend minus its per-call
+        pickling and queue hops; see :mod:`.daemon`).
     n_workers:
         Pool width; defaults to the host CPU count.
     slab_bytes:
@@ -170,7 +190,8 @@ class SlabExecutor:
     def __init__(self, backend: str = "thread", n_workers: int | None = None,
                  slab_bytes: int | None = None, arch=None,
                  mp_context: str | None = None,
-                 min_parallel_bytes: int = 0):
+                 min_parallel_bytes: int = 0,
+                 attach: bool | str = False):
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {backend!r}; want one of {BACKENDS}"
@@ -181,6 +202,9 @@ class SlabExecutor:
             raise ConfigurationError("slab_bytes must be >= 1")
         if min_parallel_bytes < 0:
             raise ConfigurationError("min_parallel_bytes must be >= 0")
+        if attach and backend != "daemon":
+            raise ConfigurationError(
+                "attach= applies only to the daemon backend")
         self.backend = backend
         self.n_workers = n_workers or os.cpu_count() or 1
         if slab_bytes is None:
@@ -189,9 +213,29 @@ class SlabExecutor:
         self.slab_bytes = slab_bytes
         self.mp_context = mp_context or _default_mp_context()
         self.min_parallel_bytes = min_parallel_bytes
+        self.attach = attach
         self._pool = None          # ThreadPoolExecutor | ProcessPoolExecutor
-        self._arena = None         # ShmArena (process backend only)
+        self._arena = None         # ShmArena (process/daemon backends)
+        self._daemon = None        # SlabDaemon | DaemonClient
+        self._owns_daemon = False
+        self._map_pins = {}        # map_shm signature -> pinned entry
+        self._map_pin_seq = 0
+        self._live_dispatches = []  # CompiledDispatch registry (close)
         self._closed = False
+        if attach:
+            # Attach eagerly: a missing standing daemon raises
+            # DaemonNotRunningError here, at construction, not deep in
+            # the first dispatch; and the slab plan adopts the standing
+            # fleet's width.
+            self._get_daemon()
+
+    @property
+    def out_of_process(self) -> bool:
+        """True when workers live in another address space (process or
+        daemon backend): slab bodies must be picklable and arrays reach
+        workers through shared-memory segments, never as views of the
+        caller's buffers."""
+        return self.backend in OUT_OF_PROCESS_BACKENDS
 
     # -- lifecycle -----------------------------------------------------
     def _get_pool(self):
@@ -218,10 +262,49 @@ class SlabExecutor:
             self._arena = ShmArena()
         return self._arena
 
+    def _get_daemon(self):
+        """The standing worker daemon behind the ``daemon`` backend:
+        a private :class:`~.daemon.SlabDaemon` started on first use, or
+        — with ``attach`` — a :class:`~.daemon.DaemonClient` onto the
+        CLI-managed instance (``attach=True`` uses the default state
+        path, a string names one).  Raises
+        :class:`~repro.errors.DaemonNotRunningError` when attaching to
+        nothing, :class:`~repro.errors.RingABIError` on a daemon from
+        another build."""
+        if self._closed:
+            raise ConfigurationError("executor is closed")
+        if self._daemon is None:
+            from .daemon import DaemonClient, SlabDaemon
+            if self.attach:
+                path = self.attach if isinstance(self.attach, str) else None
+                self._daemon = DaemonClient(path)
+                self._owns_daemon = False
+                # The slab plan must target the standing fleet's width,
+                # not whatever n_workers the caller guessed.
+                self.n_workers = self._daemon.n_workers
+            else:
+                self._daemon = SlabDaemon(
+                    self.n_workers, self.mp_context).start()
+                self._owns_daemon = True
+        return self._daemon
+
     def close(self) -> None:
         """Shut the pool down and release any shared segments; the
-        executor cannot dispatch afterwards."""
+        executor cannot dispatch afterwards.  An owned daemon is
+        stopped; an attached one is unpinned from and detached, but
+        keeps running for other clients."""
         self._closed = True
+        for dispatch in list(self._live_dispatches):
+            dispatch.close()
+        if self._daemon is not None:
+            for entry in self._map_pins.values():
+                self._daemon.unpin(entry["plan_id"])
+            self._map_pins.clear()
+            if self._owns_daemon:
+                self._daemon.stop()
+            else:
+                self._daemon.close()   # detach rings; daemon lives on
+            self._daemon = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -236,6 +319,11 @@ class SlabExecutor:
         self.close()
 
     def __del__(self):
+        if getattr(self, "_daemon", None) is not None:
+            try:
+                self._daemon.close()
+            except Exception:
+                pass
         if getattr(self, "_pool", None) is not None:
             self._pool.shutdown(wait=False)
         if getattr(self, "_arena", None) is not None:
@@ -277,9 +365,18 @@ class SlabExecutor:
         On the ``process`` backend ``fn`` must be picklable (a
         module-level function); array-closure kernels should use
         :meth:`map_shm`, which stages arrays through shared memory.
+        The ``daemon`` backend refuses this method outright: standing
+        workers execute *pinned* dispatches, and a bare
+        ``fn(start, stop, slab)`` callable has no arrays to pin — use
+        :meth:`map_shm`/:meth:`compile_shm`, the structured shape every
+        registered kernel already speaks.
         """
         if self._closed:
             raise ConfigurationError("executor is closed")
+        if self.backend == "daemon":
+            raise ConfigurationError(
+                "map_slabs cannot run on the daemon backend (nothing to "
+                "pin); dispatch through map_shm or compile_shm")
         slabs = self.plan(n, bytes_per_item)
         if (self.backend == "serial" or len(slabs) <= 1
                 or self.inline(n, bytes_per_item)):
@@ -302,9 +399,13 @@ class SlabExecutor:
         the ``process`` backend inputs are staged once into shared
         segments, workers slice views of those segments, and arrays
         named in ``writes`` are copied back into the caller's buffers
-        after the last slab completes.  Because every backend runs the
-        same ``fn`` over the same plan with the same values, results
-        are bit-identical across backends.
+        after the last slab completes.  The ``daemon`` backend goes one
+        step further: the first call with a given structural signature
+        pins the dispatch on the standing workers, and every repeat
+        call is pure ring-descriptor traffic (see :meth:`_map_daemon`).
+        Because every backend runs the same ``fn`` over the same plan
+        with the same values, results are bit-identical across
+        backends.
 
         Parameters
         ----------
@@ -354,7 +455,7 @@ class SlabExecutor:
                             writes=writes, consts=consts)
 
         inline = self.inline(n, bytes_per_item)
-        if self.backend != "process" or len(slabs) <= 1 or inline:
+        if not self.out_of_process or len(slabs) <= 1 or inline:
             def call(a, b, i):
                 arrays = {k: v[a:b] for k, v in sliced.items()}
                 arrays.update(shared)
@@ -362,12 +463,18 @@ class SlabExecutor:
                      else {**consts, **per_slab(a, b, i)})
                 return fn(arrays, c, a, b, i)
 
-            if self.backend == "serial" or len(slabs) <= 1 or inline:
+            if self.backend != "thread" or len(slabs) <= 1 or inline:
                 return [call(a, b, i) for i, (a, b) in enumerate(slabs)]
             pool = self._get_pool()
             futures = [pool.submit(call, a, b, i)
                        for i, (a, b) in enumerate(slabs)]
             return [f.result() for f in futures]
+
+        if self.backend == "daemon":
+            return self._map_daemon(fn, slabs, sliced=sliced,
+                                    shared=shared, writes=writes,
+                                    consts=consts, per_slab=per_slab,
+                                    n=n, bytes_per_item=bytes_per_item)
 
         from .shm import run_slab_task
         arena = self._get_arena()
@@ -390,6 +497,83 @@ class SlabExecutor:
             target = sliced.get(name, shared.get(name))
             import numpy as np
             np.copyto(target, arena.view(specs[name]))
+        return results
+
+    def _map_daemon(self, fn, slabs, *, sliced, shared, writes, consts,
+                    per_slab, n, bytes_per_item):
+        """The daemon backend's ``map_shm`` body: pin-once, replay-many.
+
+        The first call with a given structural signature — function,
+        plan inputs, array names/shapes/dtypes, write set — stages the
+        arrays into roles private to that signature and **pins** the
+        dispatch on the standing workers (the only pickling).  Repeat
+        calls refresh input contents in place, push slab descriptors,
+        and copy writes back: zero pickling, zero queue hops.  Merged
+        per-slab constants are re-sent over the control pipes only when
+        they can have changed (``per_slab`` present — stream objects
+        are stateful — or the pickled constants differ).  At most
+        :data:`DAEMON_MAP_PINS` signatures stay pinned; beyond that the
+        least-recently-used pin is retired and its segments released.
+        """
+        import pickle as _pickle
+
+        import numpy as np
+
+        daemon = self._get_daemon()
+        arena = self._get_arena()
+        sig = (fn, n, bytes_per_item,
+               tuple((nm, arr.shape, arr.dtype.str)
+                     for nm, arr in sliced.items()),
+               tuple((nm, arr.shape, arr.dtype.str)
+                     for nm, arr in shared.items()),
+               tuple(writes))
+        consts_list = [
+            consts if per_slab is None else {**consts, **per_slab(a, b, i)}
+            for i, (a, b) in enumerate(slabs)
+        ]
+        digest = (None if per_slab is not None else
+                  _pickle.dumps(consts_list,
+                                protocol=_pickle.HIGHEST_PROTOCOL))
+        entry = self._map_pins.pop(sig, None)
+        if entry is None:
+            while len(self._map_pins) >= DAEMON_MAP_PINS:
+                old = self._map_pins.pop(next(iter(self._map_pins)))
+                daemon.unpin(old["plan_id"])
+                for role in old["roles"]:
+                    arena.release(role)
+            self._map_pin_seq += 1
+            prefix = f"mp{self._map_pin_seq}"
+            specs = {}
+            copy_in = []
+            copy_back = []
+            for name, arr in sliced.items():
+                spec = arena.stage(f"{prefix}.{name}", arr, copy=False)
+                spec.sliced = True
+                specs[name] = spec
+                (copy_back if name in writes else copy_in).append(
+                    (name, arena.view(spec)))
+            for name, arr in shared.items():
+                spec = arena.stage(f"{prefix}.{name}", arr, copy=False)
+                specs[name] = spec
+                (copy_back if name in writes else copy_in).append(
+                    (name, arena.view(spec)))
+            plan_id = daemon.pin(fn, specs, consts_list, slabs)
+            entry = {"plan_id": plan_id, "prefix": prefix,
+                     "roles": [f"{prefix}.{nm}" for nm in specs],
+                     "copy_in": copy_in, "copy_back": copy_back,
+                     "digest": digest}
+        elif per_slab is not None or entry["digest"] != digest:
+            # Stream objects are stateful (workers advance them while
+            # drawing), so per_slab constants are re-pinned every call —
+            # exactly what a fresh map_shm gives the other backends.
+            daemon.update_consts(entry["plan_id"], consts_list)
+            entry["digest"] = digest
+        self._map_pins[sig] = entry    # (re-)insert: LRU order
+        for name, view in entry["copy_in"]:
+            np.copyto(view, sliced.get(name, shared.get(name)))
+        results = daemon.dispatch(entry["plan_id"])
+        for name, view in entry["copy_back"]:
+            np.copyto(sliced.get(name, shared.get(name)), view)
         return results
 
     def compile_shm(self, fn, n: int, bytes_per_item: int = 8, *,
@@ -431,11 +615,16 @@ class SlabExecutor:
         _COMPILE_SEQ += 1
         # The caller's tag is a readable prefix; the sequence keeps
         # roles unique so no two compiled dispatches share segments.
-        return CompiledDispatch(
+        dispatch = CompiledDispatch(
             self, fn, plan, sliced=sliced, shared=shared, writes=writes,
             consts=consts, per_slab=per_slab,
             inline=self.inline(n, bytes_per_item),
             tag=f"{tag or 'cd'}{_COMPILE_SEQ}")
+        # Registered so executor close — and plan-cache eviction, which
+        # closes the owning ExecutionPlan — retires daemon pins and
+        # releases staged segments deterministically.
+        self._live_dispatches.append(dispatch)
+        return dispatch
 
     # -- RNG -----------------------------------------------------------
     def streams(self, n: int, bytes_per_item: int = 8,
@@ -481,11 +670,15 @@ class CompiledDispatch:
             consts if per_slab is None else {**consts, **per_slab(a, b, i)}
             for i, (a, b) in enumerate(slabs)
         ]
-        self._pooled_process = (executor.backend == "process"
-                                and len(slabs) > 1 and not inline)
+        pooled_oop = (executor.out_of_process
+                      and len(slabs) > 1 and not inline)
+        self._pooled_process = pooled_oop and executor.backend == "process"
+        self._pooled_daemon = pooled_oop and executor.backend == "daemon"
         self._pooled_thread = (executor.backend == "thread"
                                and len(slabs) > 1 and not inline)
-        if not self._pooled_process:
+        self._plan_id = None
+        self._retired = False
+        if not pooled_oop:
             # In-caller and thread paths call fn on prebuilt views into
             # the caller's arrays — zero-copy, results land in place.
             self._tasks = []
@@ -497,10 +690,11 @@ class CompiledDispatch:
             self._copy_in = ()
             self._copy_back = ()
             return
-        # Process backend: stage every array once, into roles unique to
-        # this compiled dispatch (so no other dispatch re-grows — and
-        # thereby invalidates — our segments), then remember the parent
-        # views for per-run input refresh and write copy-back.
+        # Out-of-process backends: stage every array once, into roles
+        # unique to this compiled dispatch (so no other dispatch
+        # re-grows — and thereby invalidates — our segments), then
+        # remember the parent views for per-run input refresh and write
+        # copy-back.
         arena = executor._get_arena()
         import numpy as np
         self._np = np
@@ -527,6 +721,11 @@ class CompiledDispatch:
         self._copy_back = tuple(copy_back)
         self._tasks = [(self._consts[i], a, b, i)
                        for i, (a, b) in enumerate(slabs)]
+        if self._pooled_daemon:
+            # Pin once — the only pickle this dispatch ever pays; every
+            # run() is then pure descriptor traffic.
+            self._plan_id = executor._get_daemon().pin(
+                fn, specs, self._consts, slabs)
 
     @property
     def n_slabs(self) -> int:
@@ -537,6 +736,16 @@ class CompiledDispatch:
         order (view-writing kernels return ``None`` per slab)."""
         if self.executor._closed:
             raise ConfigurationError("executor is closed")
+        if self._retired:
+            raise ConfigurationError(
+                f"compiled dispatch {self.tag} is closed")
+        if self._pooled_daemon:
+            for view, src in self._copy_in:
+                self._np.copyto(view, src)
+            results = self.executor._get_daemon().dispatch(self._plan_id)
+            for target, view in self._copy_back:
+                self._np.copyto(target, view)
+            return results
         if self._pooled_process:
             from .shm import run_slab_task
             for view, src in self._copy_in:
@@ -556,6 +765,27 @@ class CompiledDispatch:
             return [f.result() for f in futures]
         return [self.fn(arrays, c, a, b, i)
                 for arrays, c, a, b, i in self._tasks]
+
+    def close(self) -> None:
+        """Retire the dispatch (idempotent): unpin it from the standing
+        workers and release its private shared segments.  Called by
+        plan eviction (:meth:`repro.plan.plan.ExecutionPlan.close`) and
+        by executor close; in-caller/thread dispatches hold no external
+        resources, so for them this only marks the dispatch closed."""
+        if self._retired:
+            return
+        self._retired = True
+        ex = self.executor
+        if self._plan_id is not None and ex._daemon is not None:
+            ex._daemon.unpin(self._plan_id)
+        if self._specs is not None and ex._arena is not None \
+                and not ex._arena._closed:
+            for name in self._specs:
+                ex._arena.release(f"{self.tag}.{name}")
+        try:
+            ex._live_dispatches.remove(self)
+        except ValueError:
+            pass
 
 
 # ----------------------------------------------------------------------

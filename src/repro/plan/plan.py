@@ -121,7 +121,7 @@ class ExecutionPlan:
 
     def __init__(self, *, impl, payload, arena: WorkspaceArena,
                  executor, runner, rebind=None, planned: bool,
-                 owns_executor: bool, key: tuple):
+                 owns_executor: bool, key: tuple, dispatches=()):
         self.impl = impl
         self.payload = payload
         self.arena = arena
@@ -131,6 +131,7 @@ class ExecutionPlan:
         self._runner = runner
         self._rebind = rebind
         self._owns_executor = owns_executor
+        self._dispatches = list(dispatches)
         self.calls = 0
 
     # -- identity ------------------------------------------------------
@@ -174,6 +175,11 @@ class ExecutionPlan:
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
+        # Retire the compiled dispatches this plan created even when
+        # the executor is shared (cache eviction must unpin a daemon
+        # plan and release its segments, not wait for executor close).
+        for dispatch in self._dispatches:
+            dispatch.close()
         if self._owns_executor and self.executor is not None:
             self.executor.close()
 
@@ -216,7 +222,13 @@ def compile_plan(kernel: str, tier: str, payload=None, *,
             f"executor backend {executor.backend!r} does not match "
             f"requested backend {backend!r}")
     arena = WorkspaceArena(tag=impl.label)
+    # Snapshot the executor's compiled-dispatch registry around the
+    # planner so the plan knows exactly which dispatches it created —
+    # close() retires those (daemon unpin + segment release) without
+    # touching dispatches owned by other plans on a shared executor.
+    n_before = len(getattr(executor, "_live_dispatches", ()))
     compiled = impl.plan(payload, executor, arena)
+    dispatches = list(getattr(executor, "_live_dispatches", ())[n_before:])
     rebind = None
     if compiled is None:
         # No planner registered: the plan still exists (uniform plan()
@@ -234,7 +246,8 @@ def compile_plan(kernel: str, tier: str, payload=None, *,
     key = plan_key(kernel, tier, backend, executor.n_workers, payload)
     return ExecutionPlan(impl=impl, payload=payload, arena=arena,
                          executor=executor, runner=runner, rebind=rebind,
-                         planned=planned, owns_executor=owns, key=key)
+                         planned=planned, owns_executor=owns, key=key,
+                         dispatches=dispatches)
 
 
 def plan_key(kernel: str, tier: str, backend: str, n_workers: int,

@@ -38,8 +38,11 @@ from .errors import ConfigurationError
 #: persistent :class:`~repro.parallel.slab.SlabExecutor` pool;
 #: ``process`` dispatches the same slabs to a persistent process pool
 #: over shared-memory segments (:mod:`repro.parallel.shm`), sidestepping
-#: the GIL on the kernels' Python-bound portions.
-BACKENDS = ("serial", "thread", "process")
+#: the GIL on the kernels' Python-bound portions; ``daemon`` feeds the
+#: same slabs to the standing worker daemon through shared-memory rings
+#: (:mod:`repro.parallel.daemon`) — the process backend minus its
+#: per-call pickling and queue hops.
+BACKENDS = ("serial", "thread", "process", "daemon")
 
 _SEQ = itertools.count()
 
@@ -66,7 +69,7 @@ class KernelImpl:
     kernel: str
     tier: str                      # functional tier name, e.g. "tiled"
     level: "OptLevel"              # modeled-ladder rung (kernels.base)
-    backend: str                   # "serial" | "thread" | "process"
+    backend: str                   # "serial"|"thread"|"process"|"daemon"
     fn: Callable
     checked: bool = True           # compared against the reference tier
     tolerance: float | None = None  # per-impl override of the workload tol

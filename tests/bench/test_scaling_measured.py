@@ -26,15 +26,27 @@ def data():
 class TestMeasureScaling:
     def test_grid_structure(self, data):
         assert data["worker_counts"] == [1, 2]
-        assert data["backends"] == ["serial", "thread", "process"]
+        assert data["backends"] == ["serial", "thread", "process",
+                                    "daemon"]
         assert data["cpu_count"] >= 1 and data["slab_bytes"] > 0
         kernels = {k["kernel"]: k for k in data["kernels"]}
         assert set(kernels) == {"black_scholes", "rng"}
         for k in kernels.values():
             # Full grid: one point per backend x worker count.
-            assert len(k["points"]) == 3 * 2
+            assert len(k["points"]) == 4 * 2
             assert k["items"] > 0 and k["serial_s"] > 0
             assert k["tier"]
+
+    def test_dispatch_overhead_recorded(self, data):
+        # One probe per backend x worker pair, stamped on every point.
+        pairs = {(ov["backend"], ov["n_workers"]): ov["us"]
+                 for ov in data["dispatch_overhead"]}
+        assert set(pairs) == {(b, w) for b in data["backends"]
+                              for w in data["worker_counts"]}
+        assert all(us > 0 for us in pairs.values())
+        for k in data["kernels"]:
+            for p in k["points"]:
+                assert p["dispatch_overhead_us"] > 0
 
     def test_every_point_matches_serial_digest(self, data):
         for k in data["kernels"]:

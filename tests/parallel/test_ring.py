@@ -1,0 +1,180 @@
+"""Ring fabric tests: FIFO wraparound, bounded backpressure, ABI
+refusal, the consumer door word, and crash-hygiene unlink guards."""
+
+import os
+import signal
+import struct
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError, DaemonError, RingABIError
+from repro.parallel.ring import Ring
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def _name(suffix: str) -> str:
+    return f"rtest{os.getpid()}{suffix}"
+
+
+@pytest.fixture()
+def ring(request):
+    r = Ring.create(_name(request.node.name[-12:].replace("_", "")), 4)
+    yield r
+    r.close()
+
+
+class TestFifo:
+    def test_order_preserved_across_wraparound(self, ring):
+        # 11 items through a 4-slot ring: head/tail lap the buffer twice.
+        for seq in range(11):
+            assert ring.try_push(seq, 7, seq * 2, seq * 3)
+            got = ring.try_pop()
+            assert got == (seq, 7, seq * 2, seq * 3)
+        assert ring.head == ring.tail == 11
+        assert ring.try_pop() is None
+
+    def test_burst_wraparound(self, ring):
+        pushed = 0
+        popped = 0
+        for _ in range(5):                       # bursts of 3 on 4 slots
+            for _ in range(3):
+                assert ring.try_push(pushed, 1, pushed)
+                pushed += 1
+            for _ in range(3):
+                item = ring.try_pop()
+                assert item[0] == popped and item[2] == popped
+                popped += 1
+        assert len(ring) == 0
+
+    def test_len_and_free(self, ring):
+        assert len(ring) == 0 and ring.free == 4
+        ring.try_push(0, 0, 0)
+        ring.try_push(1, 0, 1)
+        assert len(ring) == 2 and ring.free == 2
+
+
+class TestBackpressure:
+    def test_full_ring_refuses_never_overwrites(self, ring):
+        for seq in range(4):
+            assert ring.try_push(seq, 9, seq)
+        # Full: the fifth push is refused, repeatedly.
+        assert not ring.try_push(99, 9, 99)
+        assert not ring.try_push(99, 9, 99)
+        # Every original descriptor survives, in order — no slot was
+        # overwritten while the ring was full.
+        for seq in range(4):
+            assert ring.try_pop() == (seq, 9, seq, 0)
+        assert ring.try_pop() is None
+        # Draining reopens the ring.
+        assert ring.try_push(4, 9, 4)
+        assert ring.try_pop() == (4, 9, 4, 0)
+
+    def test_blocking_push_times_out_on_full_ring(self, ring):
+        for seq in range(4):
+            ring.push(seq, 0, seq)
+        with pytest.raises(DaemonError, match="stayed full"):
+            ring.push(4, 0, 4, timeout=0.05)
+
+    def test_blocking_pop_times_out_on_empty_ring(self, ring):
+        with pytest.raises(DaemonError, match="produced nothing"):
+            ring.pop(timeout=0.05)
+
+
+class TestDoorWord:
+    def test_door_starts_down_and_round_trips(self, ring):
+        assert ring.door == 0
+        ring.door_set(1)
+        assert ring.door == 1
+        ring.door_set(0)
+        assert ring.door == 0
+
+    def test_door_survives_traffic(self, ring):
+        ring.door_set(1)
+        for seq in range(6):                     # wraps the 4-slot ring
+            ring.try_push(seq, 0, seq)
+            ring.try_pop()
+        assert ring.door == 1                    # head/tail never clobber
+
+
+class TestAbiGuard:
+    def test_slots_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Ring.create(_name("badslots"), 3)
+
+    def test_attach_missing_segment(self):
+        with pytest.raises(DaemonError, match="does not exist"):
+            Ring.attach(_name("nonexistent"))
+
+    def test_attach_refuses_wrong_abi(self):
+        r = Ring.create(_name("wrongabi"), 4)
+        try:
+            struct.pack_into("<I", r._shm.buf, 4, 999)   # abi word
+            with pytest.raises(RingABIError, match="ABI v999"):
+                Ring.attach(r.name)
+        finally:
+            r.close()
+
+    def test_attach_refuses_foreign_segment(self):
+        r = Ring.create(_name("badmagic"), 4)
+        try:
+            struct.pack_into("<I", r._shm.buf, 0, 0xDEAD)  # magic word
+            with pytest.raises(RingABIError, match="not a repro ring"):
+                Ring.attach(r.name)
+        finally:
+            r.close()
+
+    def test_closed_ring_raises(self):
+        r = Ring.create(_name("closed"), 4)
+        r.close()
+        with pytest.raises(DaemonError):
+            r.try_push(0, 0, 0)
+        with pytest.raises(DaemonError):
+            r.try_pop()
+        r.close()                                # idempotent
+
+
+class TestLeakGuards:
+    """Satellite: creators must not strand /dev/shm on abnormal exit."""
+
+    def _spawn(self, body: str) -> subprocess.Popen:
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        return subprocess.Popen(
+            [sys.executable, "-c", textwrap.dedent(body)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True)
+
+    def test_unclean_exit_unlinks_created_segment(self):
+        seg = _name("guardexit")
+        proc = self._spawn(f"""
+            from repro.parallel.ring import Ring
+            Ring.create({seg!r}, 8)
+            raise SystemExit(3)        # no close(): the atexit guard runs
+        """)
+        assert proc.wait(timeout=30) == 3
+        with pytest.raises(DaemonError, match="does not exist"):
+            Ring.attach(seg)
+
+    def test_sigterm_unlinks_created_segment(self):
+        seg = _name("guardterm")
+        proc = self._spawn(f"""
+            import sys, time
+            from repro.parallel.ring import Ring, install_signal_guards
+            install_signal_guards()
+            Ring.create({seg!r}, 8)
+            print("ready", flush=True)
+            time.sleep(30)
+        """)
+        try:
+            assert proc.stdout.readline().strip() == "ready"
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            assert rc == 128 + signal.SIGTERM
+            with pytest.raises(DaemonError, match="does not exist"):
+                Ring.attach(seg)
+        finally:
+            if proc.poll() is None:
+                proc.kill()

@@ -19,7 +19,7 @@ from repro.plan import (PlanCache, audit_allocations, cached_plan,
                         compile_plan, plan_key)
 
 KERNELS = registry.parallel_kernels()
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "daemon")
 
 
 def build(kernel, sizes=SMOKE_SIZES, seed=2012):
