@@ -1,0 +1,98 @@
+"""Risk-workload benchmark, exported to ``BENCH_greeks.json``.
+
+Standalone (not pytest-benchmark): times every registered Greeks tier
+— analytic fused Black-Scholes Greeks, CRN bump-and-revalue for the
+lattice/PDE/Monte-Carlo kernels, the barrier tier's CRN-by-construction
+bridge revaluation, and the RNG kernel's pathwise estimators — cold
+(registered ``fn`` per call) and warm (plan-compiled, arena-backed),
+on the requested backends.  Every point verifies the multi-output slab
+digest across backends and planned-vs-cold, and the serial warm run
+must hold zero numpy-domain allocations; the run exits non-zero if any
+check fails, so it doubles as the risk-workload acceptance gate.
+
+Run ``python benchmarks/bench_greeks.py`` for the real measurement
+(SMALL_SIZES, best-of-5) or ``--smoke`` for the seconds-long CI
+configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import greeks_result, measure_greeks, render  # noqa: E402
+from repro.config import SMALL_SIZES, SMOKE_SIZES  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_greeks.json")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny workloads + 2 repeats (CI smoke run)")
+    ap.add_argument("--backends", default="serial,thread",
+                    help="comma-separated subset of "
+                         "serial,thread,process,daemon")
+    ap.add_argument("--kernels", default=None,
+                    help="comma-separated kernel subset (default: every "
+                         "kernel with a greeks tier)")
+    ap.add_argument("--slab-bytes", type=int, default=None)
+    ap.add_argument("--repeats", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=2012)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else SMALL_SIZES
+    repeats = args.repeats or (2 if args.smoke else 5)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    kernels = (tuple(k.strip() for k in args.kernels.split(","))
+               if args.kernels else None)
+    data = measure_greeks(
+        sizes=sizes, backends=backends, repeats=repeats, seed=args.seed,
+        kernels=kernels, slab_bytes=args.slab_bytes)
+    data["smoke"] = args.smoke
+
+    print(render(greeks_result(data), "text"))
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+
+    failures = []
+    for k in data["kernels"]:
+        if not k["backends_bit_identical"]:
+            failures.append(f"{k['kernel']}: backends diverge")
+        for p in k["points"]:
+            if not p["planned_digest_match"]:
+                failures.append(f"{k['kernel']}[{p['backend']}]: "
+                                f"planned digest diverges from cold")
+            if not p.get("audit_clean", True):
+                failures.append(f"{k['kernel']}[{p['backend']}]: warm "
+                                f"run allocates in the numpy domain")
+    n_kernels = len(data["kernels"])
+    n_points = sum(len(k["points"]) for k in data["kernels"])
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"greeks acceptance: {n_kernels} kernels x "
+          f"{len(backends)} backend(s) = {n_points} points; all digests "
+          f"bit-identical, planned == cold, warm serial runs "
+          f"allocation-clean [PASS]")
+    speedups = {k["kernel"]:
+                max((p["cold_s"] / p["warm_s"] for p in k["points"]
+                     if p["warm_s"] > 0), default=0.0)
+                for k in data["kernels"]}
+    txt = ", ".join(f"{k}={v:.1f}x" for k, v in speedups.items())
+    print(f"plan-compiled speedup over cold dispatch: {txt}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

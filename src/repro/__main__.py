@@ -8,6 +8,7 @@ profile <kernel>        VTune-style cycle profile on one platform
 ninja                   the modeled Ninja-gap table
 sweep                   measure the Ninja gap: time every registered tier
 scaling                 measured core-scaling curves (workers x backends)
+greeks                  risk workloads: Greeks tiers, cold vs plan-compiled
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
@@ -147,6 +148,38 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_greeks(args) -> int:
+    import json
+
+    from .bench import greeks_result, measure_greeks, render
+    from .config import PAPER_SIZES, SMALL_SIZES, SMOKE_SIZES
+
+    sizes = (SMOKE_SIZES if args.smoke
+             else PAPER_SIZES if args.full else SMALL_SIZES)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    kernels = (tuple(k.strip() for k in args.kernels.split(","))
+               if args.kernels else None)
+    data = measure_greeks(
+        sizes=sizes, backends=backends, repeats=args.repeats,
+        seed=args.seed, kernels=kernels, n_workers=args.workers,
+        slab_bytes=args.slab_bytes)
+    print(render(greeks_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
+    bad = [f"{k['kernel']}[{p['backend']}]"
+           for k in data["kernels"] for p in k["points"]
+           if not (k["backends_bit_identical"]
+                   and p["planned_digest_match"]
+                   and p.get("audit_clean", True))]
+    if bad:
+        print(f"GREEKS CHECK FAILED for {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_scaling(args) -> int:
     import json
 
@@ -250,8 +283,6 @@ def _cmd_daemon(args) -> int:
 
 
 def _cmd_price(args) -> int:
-    import math
-
     import numpy as np
 
     from .kernels.binomial import price_basic
@@ -273,16 +304,14 @@ def _cmd_price(args) -> int:
         print(f"  closed form:    "
               f"{float(cf(args.spot, args.strike, args.expiry, args.rate, args.vol)):.6f}")
         z = NormalGenerator(MT19937(args.seed)).normals(args.paths)
+        # Puts are priced natively on the same paths: put-call parity
+        # would reproduce the price but report the call's stderr (and
+        # borrow the call's theta/rho for any Greek derived from it).
         mc = price_stream(np.array([args.spot]), np.array([args.strike]),
-                          np.array([args.expiry]), args.rate, args.vol, z)
-        if kind is OptionKind.CALL:
-            est = mc.price[0]
-        else:
-            # The stream kernel prices the call; put-call parity turns
-            # the same paths into the put estimate with the same stderr.
-            est = (mc.price[0] - args.spot
-                   + args.strike * math.exp(-args.rate * args.expiry))
-        print(f"  Monte-Carlo:    {est:.6f} ± {1.96 * mc.stderr[0]:.6f}")
+                          np.array([args.expiry]), args.rate, args.vol, z,
+                          kind=args.kind)
+        print(f"  Monte-Carlo:    {mc.price[0]:.6f} "
+              f"± {1.96 * mc.stderr[0]:.6f}")
     print(f"  binomial tree:  {price_basic(opt, args.steps):.6f}")
     cn = solve(opt, n_points=args.grid, n_steps=max(100, args.steps // 8))
     print(f"  Crank-Nicolson: {cn.price:.6f}")
@@ -379,6 +408,30 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="BENCH_ninja_measured.json",
                    help="raw measurement JSON path ('' to skip)")
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "greeks",
+        help="risk workloads: time every Greeks tier, cold vs "
+             "plan-compiled, with digest and allocation checks")
+    p.add_argument("--smoke", action="store_true",
+                   help="SMOKE_SIZES workloads (seconds; the CI mode)")
+    p.add_argument("--full", action="store_true",
+                   help="use PAPER_SIZES workloads")
+    p.add_argument("--backends", default="serial,thread",
+                   help="comma-separated subset of "
+                        "serial,thread,process,daemon")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated kernel subset (default: every "
+                        "kernel with a greeks tier)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--slab-bytes", type=int, default=None)
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default="BENCH_greeks.json",
+                   help="raw measurement JSON path ('' to skip)")
+    p.set_defaults(fn=_cmd_greeks)
 
     p = sub.add_parser(
         "scaling",

@@ -8,6 +8,14 @@ nastiest class of backend divergence.  Conversely, writing a
 ``shared=`` array races across slabs, and a name in both ``writes=``
 and ``consts=`` diverges between staged array and pickled constant.
 
+Multi-output sites add a second contract: a literal ``outputs=``
+schema maps each logical result (price, delta, vega, …) to the write
+arrays that carry it.  The schema and ``writes=`` must agree exactly —
+an output backed by an array outside ``writes=`` is never filled
+(declared-but-unwritten), and a ``writes=`` array no output references
+is computed and then dropped from the named result slab
+(written-but-undeclared).
+
 The static analysis resolves each ``map_shm`` site's slab body in the
 same module and traces which dispatched arrays it mutates (direct
 subscript stores, in-place augmented assignment, ``out=`` targets, and
@@ -83,6 +91,30 @@ class WriteDeclarations(Rule):
                             sf, site.call,
                             f"writes= names {name!r} which is neither "
                             f"sliced= nor shared= at this site")
+            # Multi-output schema vs writes= — the static mirror of
+            # repro.parallel.safety.validate_outputs_schema.  An empty
+            # schema is a single-output legacy site; a None schema is
+            # dynamic and the runtime validator owns it.
+            if site.outputs and writes is not None:
+                referenced = [a for names in site.outputs.values()
+                              for a in names]
+                backing = {a: logical
+                           for logical, names in site.outputs.items()
+                           for a in names}
+                for name in sorted(set(referenced) - set(writes)):
+                    yield self.finding(
+                        sf, site.call,
+                        f"outputs= backs {backing[name]!r} with array "
+                        f"{name!r} which is not declared in writes=; "
+                        f"the slab body never fills it "
+                        f"(declared-but-unwritten output)")
+                for name in sorted(set(writes) - set(referenced)):
+                    yield self.finding(
+                        sf, site.call,
+                        f"writes= declares {name!r} but no outputs= "
+                        f"entry references it; its results are written "
+                        f"and then dropped from the named result slab "
+                        f"(written-but-undeclared output)")
             if fndef is None or writes is None:
                 continue            # dynamic site: runtime checker owns it
             written = written_arrays(fndef, defs)

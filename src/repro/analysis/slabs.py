@@ -3,7 +3,8 @@
 Shared by the RNG-discipline (R002), picklability (R003) and
 write-safety (R005) rules: finds every structured slab dispatch in a
 module, recovers the literal ``sliced=``/``shared=``/``writes=``/
-``consts=`` declarations, resolves the slab-body function, and performs
+``consts=``/``outputs=`` declarations, resolves the slab-body function,
+and performs
 the small dataflow analysis that determines which dispatched arrays a
 slab body actually mutates.
 
@@ -37,6 +38,10 @@ class SlabSite:
     writes: tuple | None              # literal names | None if dynamic
     consts: tuple | None              # literal const keys | None
     has_per_slab: bool = False
+    #: Literal multi-output schema {logical: (write array, ...)} — empty
+    #: when the site declares no outputs= (single-output legacy site),
+    #: None when the schema is present but not a literal (dynamic).
+    outputs: dict | None = None
 
 
 def _literal_dict(node) -> dict | None:
@@ -47,6 +52,30 @@ def _literal_dict(node) -> dict | None:
         if not (isinstance(k, ast.Constant) and isinstance(k.value, str)):
             return None
         out[k.value] = v
+    return out
+
+
+def _literal_schema(node) -> dict | None:
+    """``outputs=`` as a literal ``{logical: (array, ...)}`` schema.
+
+    A logical output may be backed by one array (a bare string value)
+    or several (a tuple/list of strings); any non-literal key or value
+    makes the whole schema dynamic (``None``) and the static checks
+    stand down in favour of the runtime validator.
+    """
+    if not isinstance(node, ast.Dict):
+        return None
+    out = {}
+    for k, v in zip(node.keys, node.values):
+        if not (isinstance(k, ast.Constant) and isinstance(k.value, str)):
+            return None
+        if isinstance(v, ast.Constant) and isinstance(v.value, str):
+            names: tuple | None = (v.value,)
+        else:
+            names = _literal_names(v)
+        if names is None:
+            return None
+        out[k.value] = names
     return out
 
 
@@ -89,6 +118,8 @@ def slab_sites(tree) -> list:
                     else ()),
             consts=tuple(consts) if consts is not None else None,
             has_per_slab="per_slab" in kw,
+            outputs=(_literal_schema(kw["outputs"]) if "outputs" in kw
+                     else {}),
         ))
     return sites
 

@@ -62,7 +62,9 @@ def _noop_slab(arrays, consts, a, b, slab):
 def measure_dispatch_overhead(backend: str, n_workers: int,
                               slab_bytes: int | None = None,
                               inner: int = 100,
-                              repeats: int = 5) -> float:
+                              repeats: int = 5,
+                              n_outputs: int = 1,
+                              compiled: bool = False) -> float:
     """Steady-state per-call dispatch cost of one backend, in µs.
 
     Times ``inner`` back-to-back :meth:`~repro.parallel.SlabExecutor
@@ -75,26 +77,115 @@ def measure_dispatch_overhead(backend: str, n_workers: int,
     is the fixed per-call tax every real dispatch pays on top of its
     compute, the quantity the daemon backend's ring fabric exists to
     shrink.
+
+    ``n_outputs > 1`` probes the **multi-output** contract instead: the
+    noop dispatch declares ``n_outputs`` named write arrays through the
+    outputs schema, so the probe pays the full result-slab bookkeeping
+    — schema validation, per-output write declarations, and the
+    output-set id carried in the ring descriptor's arg word — and the
+    single- vs multi-output delta is the contract's transport cost.
+
+    ``compiled=True`` times a pre-compiled dispatch's ``run()`` instead
+    of per-call ``map_shm``: schema validation and write-plan freezing
+    happen once at compile time (exactly as the Greeks planners do it),
+    so what's measured is the pure steady-state descriptor transport —
+    the number the <5% multi-output gate is judged on.
     """
     import time as _time
 
     from ..parallel import SlabExecutor
     if inner < 1 or repeats < 1:
         raise ExperimentError("inner and repeats must be >= 1")
+    if n_outputs < 1:
+        raise ExperimentError("n_outputs must be >= 1")
     with SlabExecutor(backend, n_workers=n_workers,
                       slab_bytes=slab_bytes) as ex:
         n = ex.n_workers
-        x = np.zeros(n)
-        kw = dict(sliced={"x": x}, consts={})
+        if n_outputs == 1:
+            kw = dict(sliced={"x": np.zeros(n)}, consts={})
+        else:
+            names = tuple(f"o{i}" for i in range(n_outputs))
+            kw = dict(sliced={name: np.zeros(n) for name in names},
+                      writes=names,
+                      outputs={name: (name,) for name in names},
+                      consts={})
         bpi = max(ex.slab_bytes, 1)
-        ex.map_shm(_noop_slab, n, bytes_per_item=bpi, **kw)   # warm-up
+        if compiled:
+            dispatch = ex.compile_shm(_noop_slab, n, bytes_per_item=bpi,
+                                      tag="noop", **kw)
+            call = dispatch.run
+        else:
+            def call():
+                ex.map_shm(_noop_slab, n, bytes_per_item=bpi, **kw)
+        call()                                                # warm-up
         best = float("inf")
         for _ in range(repeats):
             t0 = _time.perf_counter()
             for _ in range(inner):
-                ex.map_shm(_noop_slab, n, bytes_per_item=bpi, **kw)
+                call()
             best = min(best, _time.perf_counter() - t0)
     return best / inner * 1e6
+
+
+def measure_multi_output_overhead(backend: str, n_workers: int,
+                                  slab_bytes: int | None = None,
+                                  inner: int = 50, rounds: int = 8,
+                                  n_outputs: int = 6) -> dict:
+    """Paired single- vs multi-output compiled-dispatch probe, in µs.
+
+    Both noop dispatches — one sliced write array versus ``n_outputs``
+    schema-declared ones — are compiled once on the **same** executor
+    and timed in alternating rounds; each reports the *minimum* round
+    (the classic noise-robust wall-clock estimator, essential on busy
+    hosts where a single pooled round trip can jitter by hundreds of
+    µs).  Schema validation and write-plan freezing are compile-time
+    costs here, exactly as in the Greeks planners, so the delta is the
+    pure steady-state descriptor transport the <5% multi-output gate is
+    judged on: the output-set id rides the existing descriptor arg
+    word, so the ring traffic must not widen.
+    """
+    import time as _time
+
+    from ..parallel import SlabExecutor
+    if inner < 1 or rounds < 1 or n_outputs < 2:
+        raise ExperimentError(
+            "inner and rounds must be >= 1, n_outputs >= 2")
+    with SlabExecutor(backend, n_workers=n_workers,
+                      slab_bytes=slab_bytes) as ex:
+        n = ex.n_workers
+        bpi = max(ex.slab_bytes, 1)
+        single = ex.compile_shm(_noop_slab, n, bytes_per_item=bpi,
+                                sliced={"x": np.zeros(n)}, consts={},
+                                tag="noop1")
+        names = tuple(f"o{i}" for i in range(n_outputs))
+        multi = ex.compile_shm(_noop_slab, n, bytes_per_item=bpi,
+                               sliced={nm: np.zeros(n) for nm in names},
+                               writes=names,
+                               outputs={nm: (nm,) for nm in names},
+                               consts={}, tag="noop6")
+        single.run()                                          # warm-up
+        multi.run()
+        best1 = bestn = float("inf")
+        for _ in range(rounds):
+            t0 = _time.perf_counter()
+            for _ in range(inner):
+                single.run()
+            best1 = min(best1, _time.perf_counter() - t0)
+            t0 = _time.perf_counter()
+            for _ in range(inner):
+                multi.run()
+            bestn = min(bestn, _time.perf_counter() - t0)
+    single_us = best1 / inner * 1e6
+    multi_us = bestn / inner * 1e6
+    return {
+        "backend": backend,
+        "n_workers": n_workers,
+        "n_outputs": n_outputs,
+        "us": round(multi_us, 2),
+        "single_us": round(single_us, 2),
+        "vs_single": (round(multi_us / single_us, 4)
+                      if single_us > 0 else None),
+    }
 
 
 def _modeled_curves(kernel: str) -> dict | None:
@@ -169,12 +260,18 @@ def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
         names = tuple(k for k in names if k in kernels)
 
     # Transport cost per (backend, workers) pair: kernel-independent,
-    # so measured once and stamped onto every matching point.
+    # so measured once and stamped onto every matching point.  Each
+    # pair also runs the paired compiled-dispatch probe — one output
+    # versus six (the Greeks slab shape) — so the multi-output
+    # contract's descriptor cost is measured, not assumed.
     overhead = {}
+    overhead_multi = []
     for backend in backends:
         for w in worker_counts:
             overhead[(backend, w)] = measure_dispatch_overhead(
                 backend, w, slab_bytes=slab_bytes)
+            overhead_multi.append(measure_multi_output_overhead(
+                backend, w, slab_bytes=slab_bytes))
 
     entries = []
     resolved_slab_bytes = None
@@ -255,6 +352,7 @@ def measure_scaling(sizes: WorkloadSizes = SMALL_SIZES,
             {"backend": b, "n_workers": w, "us": round(us, 2)}
             for (b, w), us in overhead.items()
         ],
+        "dispatch_overhead_multi": overhead_multi,
         "kernels": entries,
     }
 
@@ -296,10 +394,17 @@ def scaling_result(data: dict):
         "efficiency = speedup / workers; every point's digest is "
         "verified against the serial baseline",
     ]
+    multi = {(ov["backend"], ov["n_workers"]): ov
+             for ov in data.get("dispatch_overhead_multi", ())}
     for ov in data.get("dispatch_overhead", ()):
+        m = multi.get((ov["backend"], ov["n_workers"]))
+        extra = (f"; compiled {m['single_us']:.1f} us -> "
+                 f"{m['n_outputs']}-output {m['us']:.1f} us "
+                 f"({m['vs_single']:.2f}x)" if m else "")
         notes.append(
             f"dispatch overhead {ov['backend']} w={ov['n_workers']}: "
-            f"{ov['us']:.1f} us/call (empty-body map_shm round-trip)")
+            f"{ov['us']:.1f} us/call (empty-body map_shm round-trip)"
+            + extra)
     for k in data["kernels"]:
         note = _modeled_note(k["kernel"], k["modeled"])
         if note:

@@ -8,23 +8,26 @@ functional tier × backend) on the kernel's shared workload and reporting
 ``best-tier rate / reference-tier rate`` per kernel, side by side with
 the modeled figures.
 
-Every tier is also checked against the reference tier on the same
-payload (within the registered tolerance) and fingerprinted with an MD5
-digest of its result vector, so the sweep doubles as a cross-backend
-determinism check: for a fixed seed, a tier registered on several
-backends (``serial``/``thread``/``process``/``daemon``) must produce
-bit-identical results on all of them.
+Every checked tier is also compared against the reference tier on the
+same payload (within the registered tolerance) and fingerprinted with
+an MD5 digest of its result slab, so the sweep doubles as a
+cross-backend determinism check: for a fixed seed, a tier registered on
+several backends (``serial``/``thread``/``process``/``daemon``) must
+produce bit-identical results on all of them.  Multi-output tiers
+(Greeks, implied vol, scenario grids) are compared on the outputs they
+share with the reference — for every checked risk tier that is the
+``price`` vector — and digested over their full stacked slab.
 """
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import SMALL_SIZES, WorkloadSizes
 from ..errors import ExperimentError
+from ..results import as_result_slab
 from .harness import time_run
 from .record import timing_fields
 
@@ -42,8 +45,16 @@ class MeasuredNinjaGap:
     modeled: dict | None           # {platform: gap} or None (rng)
 
 
-def _digest(out: np.ndarray) -> str:
-    return hashlib.md5(np.ascontiguousarray(out).tobytes()).hexdigest()
+def _common_diff(out, ref) -> float | None:
+    """Max abs difference over the outputs ``out`` shares (name and
+    shape) with the reference slab; ``None`` when nothing is shared."""
+    common = [name for name in out.outputs
+              if name in ref.outputs
+              and out[name].shape == ref[name].shape]
+    if not common:
+        return None
+    return max(float(np.max(np.abs(out[name] - ref[name])))
+               for name in common)
 
 
 def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
@@ -92,17 +103,18 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
             payload = spec.build(sizes, seed=seed)
             items = spec.items(payload)
             ref = registry.reference_impl(kernel)
-            ref_out = np.asarray(ref.fn(payload, executors["serial"]))
+            ref_out = as_result_slab(ref.fn(payload, executors["serial"]),
+                                     ref.outputs)
 
             tiers = []
             for impl in registry.impls(kernel=kernel):
                 if impl.backend not in backends:
                     continue
                 ex = executors[impl.backend]
-                out = np.asarray(impl.fn(payload, ex))
+                out = as_result_slab(impl.fn(payload, ex), impl.outputs)
                 tol = (impl.tolerance if impl.tolerance is not None
                        else spec.tolerance)
-                diff = float(np.max(np.abs(out - ref_out)))
+                diff = _common_diff(out, ref_out)
                 run = time_run(impl.label,
                                lambda fn=impl.fn, ex=ex: fn(payload, ex),
                                items, repeats)
@@ -116,9 +128,11 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
                     "rate": run.rate * spec.scale,
                     "checked": impl.checked,
                     "tolerance": tol,
+                    "outputs": list(impl.outputs),
                     "max_abs_diff": diff,
-                    "agrees": (not impl.checked) or diff <= tol,
-                    "digest": _digest(out),
+                    "agrees": (not impl.checked)
+                    or (diff is not None and diff <= tol),
+                    "digest": out.digest(),
                 }
                 entry.update(timing_fields("time", run))
                 tiers.append(entry)

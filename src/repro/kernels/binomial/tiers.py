@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...pricing.bump import BUMP_OUTPUTS
 from ...pricing.options import Option
 from ...registry import WorkloadSpec, register_impl, register_workload
 from ..base import OptLevel
 from .basic import price_basic_batch
+from .bump import compile_greeks_tiled, greeks_tiled_parallel
 from .parallel import compile_price_tiled, price_tiled_parallel
 from .reference import price_reference_batch
 from .simd_across import price_simd_across
@@ -38,6 +40,7 @@ register_workload(WorkloadSpec(
     scale=1e-3,
     tolerance=1e-10,
     baseline_tier="tiled",
+    greeks_tier="greeks",
 ))
 register_impl("binomial", "reference", OptLevel.REFERENCE,
               lambda p, ex: price_reference_batch(p["options"], p["steps"]))
@@ -59,3 +62,19 @@ register_impl("binomial", "parallel", OptLevel.PARALLEL,
                                                  ex),
               backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)
+
+
+def _plan_greeks(payload, executor, arena):
+    return compile_greeks_tiled(payload["options"], payload["steps"],
+                                executor, arena)
+
+
+# Risk tier: bump-and-revalue Greeks over the 5x-expanded scenario
+# group.  The base scenario is the unchanged tiled ladder, so the
+# "price" output stays checked against the reference ladder.
+register_impl("binomial", "greeks", OptLevel.PARALLEL,
+              lambda p, ex: greeks_tiled_parallel(p["options"],
+                                                  p["steps"], ex),
+              backends=("serial", "thread", "process", "daemon"),
+              outputs=BUMP_OUTPUTS,
+              planner=_plan_greeks)

@@ -14,13 +14,18 @@ import numpy as np
 from ...pricing.options import OptionBatch
 from ...pricing.portfolio import random_batch
 from ...registry import WorkloadSpec, register_impl, register_workload
+from ...results import GREEK_OUTPUTS
 from ..base import OptLevel
 from .advanced import price_advanced
 from .basic import price_basic
+from .greeks import (GREEKS_BYTES_PER_OPTION, compile_greeks_parallel,
+                     greeks_parallel)
+from .implied import compile_implied_parallel, implied_parallel
 from .intermediate import price_intermediate
 from .parallel import (SLAB_BYTES_PER_OPTION, compile_price_parallel,
                        price_parallel)
 from .reference import price_reference
+from .scenario import compile_scenario_parallel, scenario_parallel
 
 
 def make_payload(S, X, T, rate: float, vol: float) -> dict:
@@ -77,6 +82,30 @@ def _plan_parallel(payload, executor, arena):
     return compile_price_parallel(payload["soa"], executor, arena)
 
 
+def _run_greeks(payload, executor):
+    return greeks_parallel(payload["soa"], executor)
+
+
+def _plan_greeks(payload, executor, arena):
+    return compile_greeks_parallel(payload["soa"], executor, arena)
+
+
+def _run_implied(payload, executor):
+    return implied_parallel(payload["soa"], executor)
+
+
+def _plan_implied(payload, executor, arena):
+    return compile_implied_parallel(payload["soa"], executor, arena)
+
+
+def _run_scenario(payload, executor):
+    return scenario_parallel(payload["soa"], executor)
+
+
+def _plan_scenario(payload, executor, arena):
+    return compile_scenario_parallel(payload["soa"], executor, arena)
+
+
 register_workload(WorkloadSpec(
     kernel="black_scholes",
     build=build_workload,
@@ -86,6 +115,7 @@ register_workload(WorkloadSpec(
     tolerance=1e-10,
     bytes_per_item=SLAB_BYTES_PER_OPTION,
     baseline_tier="intermediate",
+    greeks_tier="greeks",
 ))
 register_impl("black_scholes", "reference", OptLevel.REFERENCE,
               _run_reference)
@@ -98,3 +128,27 @@ register_impl("black_scholes", "parallel", OptLevel.PARALLEL,
               _run_parallel,
               backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)
+# Risk tiers: the fused analytic Greeks slab (price + full Greeks,
+# puts native), the vectorized-Newton implied-vol inverse, and the
+# spot×vol stress grid.  The Greeks tier's "price" output is the same
+# [calls | puts] vector the ladder compares, so it stays checked
+# against the reference tier; the inverse/scenario workloads have no
+# reference-ladder counterpart and are digest-audited across backends
+# instead.
+register_impl("black_scholes", "greeks", OptLevel.PARALLEL,
+              _run_greeks,
+              backends=("serial", "thread", "process", "daemon"),
+              outputs=GREEK_OUTPUTS,
+              planner=_plan_greeks)
+register_impl("black_scholes", "implied", OptLevel.PARALLEL,
+              _run_implied,
+              backends=("serial", "thread", "process", "daemon"),
+              checked=False,
+              outputs=("implied_vol",),
+              planner=_plan_implied)
+register_impl("black_scholes", "scenario", OptLevel.PARALLEL,
+              _run_scenario,
+              backends=("serial", "thread", "process", "daemon"),
+              checked=False,
+              outputs=("grid",),
+              planner=_plan_scenario)

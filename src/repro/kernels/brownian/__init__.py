@@ -13,11 +13,13 @@ from .model import (TIERS, basic_trace, build, cache_to_cache_trace,
                     interleaved_trace, intermediate_trace)
 from .parallel import build_interleaved_parallel, build_parallel
 from .reference import build_reference
+from .risk import barrier_risk_parallel
 from .vectorized import build_vectorized, randoms_to_path_major
 
 __all__ = [
     "BridgeSchedule", "make_schedule", "bridge_covariance",
     "build_reference", "build_vectorized", "randoms_to_path_major",
+    "barrier_risk_parallel",
     "build_interleaved", "build_cache_to_cache", "default_block_paths",
     "build_parallel", "build_interleaved_parallel",
     "build", "TIERS", "basic_trace", "intermediate_trace",

@@ -18,6 +18,8 @@ from .bridge import make_schedule
 from .interleaved import build_interleaved, default_block_paths
 from .parallel import build_parallel, compile_build_parallel
 from .reference import build_reference
+from .risk import (RISK_OUTPUTS, barrier_risk_parallel,
+                   compile_barrier_risk)
 from .vectorized import build_vectorized
 
 
@@ -60,6 +62,7 @@ register_workload(WorkloadSpec(
     scale=1e-6,
     tolerance=1e-10,
     baseline_tier="vectorized",
+    greeks_tier="greeks",
 ))
 register_impl("brownian", "reference", OptLevel.REFERENCE,
               lambda p, ex: build_reference(p["schedule"],
@@ -81,3 +84,21 @@ register_impl("brownian", "parallel", OptLevel.PARALLEL,
                                            ex).ravel(),
               backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)
+
+
+def _plan_greeks(payload, executor, arena):
+    return compile_barrier_risk(payload["schedule"], payload["randoms"],
+                                executor, arena)
+
+
+# Risk tier: down-and-out barrier delta/vega on the bridged paths —
+# the bridge is vol-independent, so every bumped scenario replays the
+# same paths (CRN by construction).  Per-path contributions have no
+# reference-ladder counterpart; digests are audited across backends.
+register_impl("brownian", "greeks", OptLevel.PARALLEL,
+              lambda p, ex: barrier_risk_parallel(p["schedule"],
+                                                  p["randoms"], ex),
+              backends=("serial", "thread", "process", "daemon"),
+              checked=False,
+              outputs=RISK_OUTPUTS,
+              planner=_plan_greeks)

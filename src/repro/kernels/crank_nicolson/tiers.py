@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...pricing.bump import BUMP_OUTPUTS
 from ...pricing.options import ExerciseStyle, Option, OptionKind
 from ...registry import WorkloadSpec, register_impl, register_workload
 from ..base import OptLevel
+from .bump import compile_greeks_batch, greeks_batch_parallel
 from .parallel import compile_solve_batch, solve_batch_parallel
 from .solver import solve_batch
 
@@ -45,6 +47,7 @@ register_workload(WorkloadSpec(
     scale=1e-3,
     tolerance=1e-3,
     baseline_tier="red_black",
+    greeks_tier="greeks",
 ))
 register_impl("crank_nicolson", "gsor", OptLevel.REFERENCE,
               _solver_fn("gsor"))
@@ -67,3 +70,20 @@ register_impl("crank_nicolson", "parallel", OptLevel.PARALLEL,
                   p["options"], p["n_points"], p["n_steps"], executor=ex),
               backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)
+
+
+def _plan_greeks(payload, executor, arena):
+    return compile_greeks_batch(payload["options"], payload["n_points"],
+                                payload["n_steps"], executor, arena)
+
+
+# Risk tier: American bump-and-revalue Greeks over the 5x-expanded
+# scenario group.  The base scenario is the unchanged red-black march,
+# so the "price" output stays checked against the reference solver at
+# the workload tolerance.
+register_impl("crank_nicolson", "greeks", OptLevel.PARALLEL,
+              lambda p, ex: greeks_batch_parallel(
+                  p["options"], p["n_points"], p["n_steps"], executor=ex),
+              backends=("serial", "thread", "process", "daemon"),
+              outputs=BUMP_OUTPUTS,
+              planner=_plan_greeks)

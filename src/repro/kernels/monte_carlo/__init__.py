@@ -2,6 +2,7 @@
 Table II rows 1–2)."""
 
 from .asian import (price_asian_call, price_geometric_asian_mc)
+from .bump import BUMP_REL, greeks_stream_parallel
 from .greeks import (digital_delta_exact, digital_delta_lr,
                      likelihood_ratio_delta, pathwise_delta,
                      pathwise_vega)
@@ -25,7 +26,7 @@ __all__ = [
     "MCResult", "price_reference", "price_stream", "price_computed",
     "price_antithetic",
     "price_stream_parallel", "price_computed_parallel",
-    "price_asian_parallel",
+    "price_asian_parallel", "greeks_stream_parallel", "BUMP_REL",
     "build", "TIERS", "PATH_LENGTH", "stream_trace", "computed_trace",
     "price_american_lsmc", "simulate_gbm_paths",
     "terminal_assets", "cholesky_correlation", "price_basket_call",

@@ -15,6 +15,8 @@ import numpy as np
 from ...registry import WorkloadSpec, register_impl, register_workload
 from ...rng import MT19937, NormalGenerator
 from ..base import OptLevel
+from .bump import (BUMP_OUTPUTS, compile_greeks_stream,
+                   greeks_stream_parallel)
 from .parallel import compile_price_stream, price_stream_parallel
 from .reference import price_reference
 from .vectorized import price_stream
@@ -50,6 +52,7 @@ register_workload(WorkloadSpec(
     scale=1e-3,
     tolerance=1e-10,
     baseline_tier="vectorized",
+    greeks_tier="greeks",
 ))
 register_impl("monte_carlo", "reference", OptLevel.REFERENCE,
               lambda p, ex: _extract(price_reference(
@@ -73,3 +76,26 @@ register_impl("monte_carlo", "parallel", OptLevel.PARALLEL,
                   p["randoms"], ex)),
               backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)
+
+
+def _run_greeks(payload, executor):
+    return greeks_stream_parallel(
+        payload["S"], payload["X"], payload["T"], payload["rate"],
+        payload["vol"], payload["randoms"], executor)
+
+
+def _plan_greeks(payload, executor, arena):
+    return compile_greeks_stream(
+        payload["S"], payload["X"], payload["T"], payload["rate"],
+        payload["vol"], payload["randoms"], executor, arena)
+
+
+# Risk tier: bump-and-revalue Greeks with common random numbers.  Its
+# "price" output is the base scenario — the same fused chain as the
+# parallel tier — so it stays checked against the reference ladder on
+# the shared ``price`` output.
+register_impl("monte_carlo", "greeks", OptLevel.PARALLEL,
+              _run_greeks,
+              backends=("serial", "thread", "process", "daemon"),
+              outputs=BUMP_OUTPUTS,
+              planner=_plan_greeks)

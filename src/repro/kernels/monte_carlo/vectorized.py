@@ -23,8 +23,13 @@ from .reference import MCResult, _check
 
 
 def price_stream(S, X, T, rate: float, vol: float, randoms: np.ndarray,
-                 block: int = 65536) -> MCResult:
-    """STREAM mode: vectorized pricing against a shared random array."""
+                 block: int = 65536, kind: str = "call") -> MCResult:
+    """STREAM mode: vectorized pricing against a shared random array.
+
+    ``kind`` selects the payoff: puts are priced **natively** on the
+    same paths rather than derived through put-call parity, so their
+    sampling error (and any Greek taken from them) is the put's own.
+    """
     S = np.asarray(S, dtype=DTYPE)
     X = np.asarray(X, dtype=DTYPE)
     T = np.asarray(T, dtype=DTYPE)
@@ -32,8 +37,10 @@ def price_stream(S, X, T, rate: float, vol: float, randoms: np.ndarray,
     randoms = np.asarray(randoms, dtype=DTYPE)
     if randoms.ndim != 1 or randoms.size == 0:
         raise ConfigurationError("randoms must be a non-empty 1-D stream")
+    if kind not in ("call", "put"):
+        raise ConfigurationError("kind must be 'call' or 'put'")
     return _price(S, X, T, rate, vol, randoms.size,
-                  lambda n, lo: randoms[lo:lo + n], block)
+                  lambda n, lo: randoms[lo:lo + n], block, kind)
 
 
 def price_computed(S, X, T, rate: float, vol: float, n_paths: int,
@@ -51,8 +58,10 @@ def price_computed(S, X, T, rate: float, vol: float, n_paths: int,
                   lambda n, lo: normal_gen.normals(n), block)
 
 
-def _price(S, X, T, rate, vol, n_paths, draw, block) -> MCResult:
+def _price(S, X, T, rate, vol, n_paths, draw, block,
+           kind: str = "call") -> MCResult:
     nopt = S.shape[0]
+    put = kind == "put"
     price = np.empty(nopt, dtype=DTYPE)
     stderr = np.empty(nopt, dtype=DTYPE)
     for o in range(nopt):
@@ -64,7 +73,9 @@ def _price(S, X, T, rate, vol, n_paths, draw, block) -> MCResult:
         while done < n_paths:
             take = min(block, n_paths - done)
             z = draw(take, done)
-            res = np.maximum(0.0, S[o] * np.exp(v_rt_t * z + mu_t) - X[o])
+            terminal = S[o] * np.exp(v_rt_t * z + mu_t)
+            res = (np.maximum(0.0, X[o] - terminal) if put
+                   else np.maximum(0.0, terminal - X[o]))
             v0 += float(res.sum())
             v1 += float((res * res).sum())
             done += take

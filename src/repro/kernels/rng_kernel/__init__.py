@@ -1,6 +1,7 @@
 """Random-number generation kernel (paper Sec. IV-D3, Table II rows 3–4)."""
 
 from .functional import ScalarMT19937, rng_tier_rates
+from .greeks import pathwise_parallel
 from .model import TIERS, build, modeled_rate
 from .parallel import uniform53_parallel
 
@@ -9,4 +10,4 @@ from .parallel import uniform53_parallel
 from . import tiers  # noqa: E402,F401
 
 __all__ = ["build", "TIERS", "modeled_rate", "ScalarMT19937",
-           "rng_tier_rates", "uniform53_parallel"]
+           "rng_tier_rates", "uniform53_parallel", "pathwise_parallel"]

@@ -15,6 +15,8 @@ from ...registry import WorkloadSpec, register_impl, register_workload
 from ...rng.mt19937 import MT19937
 from ..base import OptLevel
 from .functional import ScalarMT19937
+from .greeks import (PATHWISE_OUTPUTS, compile_pathwise_parallel,
+                     pathwise_parallel)
 from .parallel import compile_uniform53_parallel, uniform53_parallel
 
 
@@ -32,6 +34,7 @@ register_workload(WorkloadSpec(
     tolerance=0.0,
     modeled_gap=False,
     baseline_tier="vectorized",
+    greeks_tier="greeks",
 ))
 register_impl("rng", "reference", OptLevel.REFERENCE,
               lambda p, ex: ScalarMT19937(p["seed"]).uniform53(p["n"]))
@@ -49,3 +52,20 @@ register_impl("rng", "parallel", OptLevel.PARALLEL,
               lambda p, ex: uniform53_parallel(p["n"], p["seed"], ex),
               backends=("serial", "thread", "process", "daemon"),
               planner=_plan_parallel)
+
+
+def _plan_greeks(payload, executor, arena):
+    return compile_pathwise_parallel(payload["n"], payload["seed"],
+                                     executor, arena)
+
+
+# Risk tier: each item is a GBM path whose two uniforms feed Box-Muller
+# and pathwise delta/vega estimators — generation fused straight into
+# sensitivities.  Per-path contributions have no uniform-stream
+# counterpart; digests are audited across backends instead.
+register_impl("rng", "greeks", OptLevel.PARALLEL,
+              lambda p, ex: pathwise_parallel(p["n"], p["seed"], ex),
+              backends=("serial", "thread", "process", "daemon"),
+              checked=False,
+              outputs=PATHWISE_OUTPUTS,
+              planner=_plan_greeks)

@@ -70,6 +70,7 @@ import time
 
 from ..errors import (ConfigurationError, DaemonError,
                       DaemonNotRunningError, RingABIError)
+from ..results import output_set_id
 from .ring import (ABI_VERSION, Ring, _backoff, guard_unlink,
                    install_signal_guards, unguard)
 
@@ -150,13 +151,14 @@ def _worker_main(worker_id: int, submit_name: str, ack_name: str,
     submit = Ring.attach(submit_name)
     ack = Ring.attach(ack_name)
     plans: dict = {}                 # plan_id -> [(fn, arrays, consts), ...]
+    plan_outs: dict = {}             # plan_id -> pinned output-set id
 
     def handle_ctl() -> bool:
         """One control message; returns False on stop."""
         msg = ctl.recv()
         op = msg[0]
         if op == "pin":
-            _, plan_id, fn, specs, tasks = msg
+            _, plan_id, out_id, fn, specs, tasks = msg
             views = {}
             for name, spec in specs.items():
                 shm = _attach(spec.segment)
@@ -169,6 +171,7 @@ def _worker_main(worker_id: int, submit_name: str, ack_name: str,
                           for name, spec in specs.items()}
                 pinned.append([fn, arrays, consts, a, b, slab])
             plans[plan_id] = pinned
+            plan_outs[plan_id] = out_id
             ctl.send(("ok", plan_id))
         elif op == "consts":
             _, plan_id, consts_list = msg
@@ -177,6 +180,7 @@ def _worker_main(worker_id: int, submit_name: str, ack_name: str,
             ctl.send(("ok", plan_id))
         elif op == "unpin":
             plans.pop(msg[1], None)
+            plan_outs.pop(msg[1], None)
             ctl.send(("ok", msg[1]))
         elif op == "ping":
             ctl.send(("pong", worker_id, len(plans)))
@@ -194,12 +198,29 @@ def _worker_main(worker_id: int, submit_name: str, ack_name: str,
     def execute(item) -> None:
         """One descriptor: run the pinned slab body, publish the ack,
         ring the ack doorbell."""
-        call_seq, plan_id, slab, _ = item
+        call_seq, plan_id, slab, out_id = item
         tasks = plans.get(plan_id)
         if tasks is None:
             ctl.send(("taskerror", call_seq, slab,
                       f"worker {worker_id}: plan {plan_id} is not "
                       f"pinned"))
+            ack.push(call_seq, plan_id, slab, _ACK_ERROR)
+            if ack.door:
+                ack_kick.send_bytes(b"k")
+            return
+        if out_id != plan_outs.get(plan_id, 0):
+            # Output-schema cross-check: the descriptor says the
+            # dispatcher believes plan_id produces one output set, the
+            # pin said another.  Refusing here turns a dispatcher/
+            # worker disagreement (e.g. mismatched builds sharing a
+            # daemon) into a clean error instead of silently
+            # misattributed result buffers.
+            ctl.send(("taskerror", call_seq, slab,
+                      f"worker {worker_id}: plan {plan_id} was pinned "
+                      f"with output-set id {plan_outs.get(plan_id, 0)} "
+                      f"but the descriptor carries {out_id}; the "
+                      f"dispatcher and worker disagree on the plan's "
+                      f"multi-output schema"))
             ack.push(call_seq, plan_id, slab, _ACK_ERROR)
             if ack.door:
                 ack_kick.send_bytes(b"k")
@@ -313,6 +334,7 @@ class _RingDispatcher:
         self._call_seq = 0
         self._plan_seq = 0
         self._plans: dict = {}        # plan_id -> n_slabs
+        self._plan_outs: dict = {}    # plan_id -> output-set id
 
     @property
     def n_workers(self) -> int:
@@ -347,26 +369,35 @@ class _RingDispatcher:
         _backoff(spins)
 
     # -- pin lifecycle -------------------------------------------------
-    def pin(self, fn, specs: dict, consts_list, slabs) -> int:
+    def pin(self, fn, specs: dict, consts_list, slabs,
+            outputs=()) -> int:
         """Pin one dispatch on the standing workers (the setup-time
         pickle); returns the plan id used in steady-state descriptors.
 
         ``consts_list[i]`` are the merged constants of slab ``i``;
         ``slabs`` the ``(start, stop)`` plan.  Worker ``w`` receives
-        only the tasks it will execute.
+        only the tasks it will execute.  ``outputs`` is the dispatch's
+        logical output-name tuple (empty for classic single-output
+        plans); its :func:`~repro.results.output_set_id` is pinned on
+        the workers and rides every descriptor's ``arg`` word, so a
+        worker refuses a descriptor whose schema disagrees with the
+        pin.
         """
         self._check_alive()
         self._plan_seq += 1
         plan_id = self._plan_seq
+        out_id = output_set_id(outputs)
         for w in range(self.n_workers):
             tasks = [(consts_list[i], int(a), int(b), i)
                      for i, (a, b) in enumerate(slabs)
                      if self._worker_of(i) == w]
-            reply = self._control(w, ("pin", plan_id, fn, specs, tasks))
+            reply = self._control(w, ("pin", plan_id, out_id, fn, specs,
+                                      tasks))
             if reply[0] != "ok":
                 raise DaemonError(
                     f"worker {w} rejected pin of plan {plan_id}: {reply}")
         self._plans[plan_id] = len(slabs)
+        self._plan_outs[plan_id] = out_id
         return plan_id
 
     def update_consts(self, plan_id: int, consts_list) -> None:
@@ -388,6 +419,7 @@ class _RingDispatcher:
         already stopped — eviction must never raise)."""
         if self._plans.pop(plan_id, None) is None:
             return
+        self._plan_outs.pop(plan_id, None)
         for w in range(self.n_workers):
             try:
                 self._control(w, ("unpin", plan_id))
@@ -414,13 +446,15 @@ class _RingDispatcher:
         # are drained inside :meth:`_await_acks` before parking.
         self._call_seq += 1
         call_seq = self._call_seq
+        out_id = self._plan_outs.get(plan_id, 0)
         results = [None] * n_slabs
         pending = n_slabs
         expected = [0] * self.n_workers
         for i in range(n_slabs):
             w = self._worker_of(i)
             expected[w] += 1
-            while not self._submit[w].try_push(call_seq, plan_id, i):
+            while not self._submit[w].try_push(call_seq, plan_id, i,
+                                               out_id):
                 pending -= self._drain(call_seq, plan_id, results,
                                        expected)
                 self._check_alive()
@@ -576,6 +610,7 @@ class SlabDaemon(_RingDispatcher):
             except OSError:
                 pass
         self._plans.clear()
+        self._plan_outs.clear()
 
     close = stop                      # guard_unlink protocol
 
@@ -877,8 +912,9 @@ def _serve_one(daemon: SlabDaemon, conn) -> bool:
                      "ack": [r.name for r in daemon._ack],
                      "pid": os.getpid()}
         elif op == "pin":
-            fn, specs, consts_list, slabs = payload
-            reply = daemon.pin(fn, specs, consts_list, slabs)
+            fn, specs, consts_list, slabs, outputs = payload
+            reply = daemon.pin(fn, specs, consts_list, slabs,
+                               outputs=outputs)
         elif op == "consts":
             plan_id, consts_list = payload
             daemon.update_consts(plan_id, consts_list)
@@ -973,11 +1009,14 @@ class DaemonClient(_RingDispatcher):
                 _sock_call(self._sock_path, "kick")
                 return
 
-    def pin(self, fn, specs: dict, consts_list, slabs) -> int:
+    def pin(self, fn, specs: dict, consts_list, slabs,
+            outputs=()) -> int:
         plan_id = _sock_call(self._sock_path, "pin",
                              (fn, specs, list(consts_list),
-                              [(int(a), int(b)) for a, b in slabs]))
+                              [(int(a), int(b)) for a, b in slabs],
+                              tuple(outputs)))
         self._plans[plan_id] = len(slabs)
+        self._plan_outs[plan_id] = output_set_id(outputs)
         return plan_id
 
     def update_consts(self, plan_id: int, consts_list) -> None:
@@ -986,6 +1025,7 @@ class DaemonClient(_RingDispatcher):
     def unpin(self, plan_id: int) -> None:
         if self._plans.pop(plan_id, None) is None:
             return
+        self._plan_outs.pop(plan_id, None)
         try:
             _sock_call(self._sock_path, "unpin", plan_id)
         except DaemonError:

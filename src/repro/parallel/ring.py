@@ -54,9 +54,13 @@ from multiprocessing import shared_memory
 from ..errors import ConfigurationError, DaemonError, RingABIError
 
 #: Ring layout version.  Bump on any change to the header or slot
-#: structs; :meth:`Ring.attach` refuses a mismatched segment with
-#: :class:`~repro.errors.RingABIError` instead of misreading it.
-ABI_VERSION = 1
+#: structs *or their semantics*; :meth:`Ring.attach` refuses a
+#: mismatched segment with :class:`~repro.errors.RingABIError` instead
+#: of misreading it.  v2: the descriptor ``arg`` word carries the
+#: pinned plan's output-set id (:func:`repro.results.output_set_id`;
+#: 0 for legacy single-output plans) so workers verify the dispatch's
+#: multi-output schema before executing.
+ABI_VERSION = 2
 
 #: ``"RPRG"`` little-endian — identifies a segment as a repro ring.
 MAGIC = 0x47525052
@@ -71,6 +75,8 @@ _DOOR_OFF = 32
 _WORD = struct.Struct("<Q")
 
 #: Descriptor payload: ``(call_seq, plan_id, slab_index, arg)``.
+#: ``arg`` is the plan's output-set id on the submit rings (schema
+#: check) and 0 on the completion rings.
 _PAYLOAD = struct.Struct("<QIIQ")
 _SLOT_BYTES = 8 + _PAYLOAD.size          # per-slot seq word + payload
 

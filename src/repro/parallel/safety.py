@@ -18,11 +18,18 @@ an assertion executed **before any worker runs**:
 * a ``writes`` name must not simultaneously appear in ``consts`` —
   the kernel would mutate the staged array while every slab reads the
   pickled constant of the same name, a silent divergence between
-  backends.
+  backends;
+* when the dispatch declares a multi-output schema (``outputs=``,
+  mapping each logical output name to the write arrays that carry it),
+  the mapping must be exact: every referenced array is declared in
+  ``writes``, no array backs two logical outputs, and no declared
+  write is left outside the schema — a written-but-undeclared array
+  would silently vanish from the named result.
 
 The static counterpart is rule R005 of ``python -m repro lint``, which
 cross-checks at the source level that every array a slab body mutates
-is declared in ``writes=``.
+is declared in ``writes=`` (and, for multi-output sites, that the
+``outputs=`` schema and ``writes=`` agree).
 """
 
 from __future__ import annotations
@@ -55,8 +62,50 @@ def validate_slab_plan(slabs, n: int) -> None:
             )
 
 
+def validate_outputs_schema(outputs, writes) -> tuple:
+    """Check a multi-output declaration against the ``writes`` set.
+
+    ``outputs`` maps each logical output name to the tuple of write
+    arrays that carry it (one logical output may span several arrays —
+    e.g. ``"price"`` backed by call and put vectors).  Returns the
+    schema normalised to ``((logical, (array, ...)), ...)`` in
+    declaration order; raises :class:`ConfigurationError` on any
+    mismatch with ``writes``.
+    """
+    writes = tuple(writes)
+    if not outputs:
+        raise ConfigurationError(
+            "outputs= schema must declare at least one logical output")
+    norm = []
+    referenced: list = []
+    for logical, names in outputs.items():
+        names = (names,) if isinstance(names, str) else tuple(names)
+        if not names:
+            raise ConfigurationError(
+                f"output {logical!r} references no write arrays")
+        norm.append((logical, names))
+        referenced.extend(names)
+    if len(set(referenced)) != len(referenced):
+        dupes = sorted({x for x in referenced if referenced.count(x) > 1})
+        raise ConfigurationError(
+            f"write arrays {dupes} back more than one declared output")
+    missing = sorted(set(referenced) - set(writes))
+    if missing:
+        raise ConfigurationError(
+            f"outputs= references arrays {missing} that are not "
+            f"declared in writes=; the slab body never fills them "
+            f"(declared-but-unwritten output)")
+    orphans = sorted(set(writes) - set(referenced))
+    if orphans:
+        raise ConfigurationError(
+            f"writes= declares arrays {orphans} that no outputs= entry "
+            f"references; their results would be written but dropped "
+            f"from the named result (written-but-undeclared output)")
+    return tuple(norm)
+
+
 def validate_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
-                        writes, consts: dict) -> None:
+                        writes, consts: dict, outputs=None) -> None:
     """Full pre-dispatch write-safety check for one ``map_shm`` call.
 
     Called by :meth:`~repro.parallel.slab.SlabExecutor.map_shm` on every
@@ -65,6 +114,8 @@ def validate_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
     execution — before any slab task starts.
     """
     writes = tuple(writes)
+    if outputs is not None:
+        validate_outputs_schema(outputs, writes)
     clashing = sorted(set(writes) & set(consts))
     if clashing:
         raise ConfigurationError(
@@ -115,17 +166,25 @@ class WritePlan:
     shared_names: tuple
     writes: tuple
     const_names: tuple
+    outputs: tuple = ()            # ((logical, (array, ...)), ...)
 
     @property
     def n_slabs(self) -> int:
         return len(self.slabs)
 
+    @property
+    def output_names(self) -> tuple:
+        """Logical output names in declaration order."""
+        return tuple(logical for logical, _ in self.outputs)
+
 
 def freeze_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
-                      writes, consts: dict) -> WritePlan:
+                      writes, consts: dict, outputs=None) -> WritePlan:
     """Validate one dispatch and freeze it into a :class:`WritePlan`."""
     validate_write_plan(slabs, n, sliced=sliced, shared=shared,
-                        writes=writes, consts=consts)
+                        writes=writes, consts=consts, outputs=outputs)
+    frozen_outputs = (validate_outputs_schema(outputs, writes)
+                      if outputs is not None else ())
     return WritePlan(
         n=n,
         slabs=tuple((int(a), int(b)) for a, b in slabs),
@@ -133,4 +192,5 @@ def freeze_write_plan(slabs, n: int, *, sliced: dict, shared: dict,
         shared_names=tuple(sorted(shared)),
         writes=tuple(writes),
         const_names=tuple(sorted(consts)),
+        outputs=frozen_outputs,
     )

@@ -388,7 +388,8 @@ class SlabExecutor:
 
     def map_shm(self, fn, n: int, bytes_per_item: int = 8, *,
                 sliced: dict | None = None, shared: dict | None = None,
-                writes=(), consts: dict | None = None, per_slab=None):
+                writes=(), consts: dict | None = None, per_slab=None,
+                outputs: dict | None = None):
         """Structured slab dispatch: the backend-portable kernel shape.
 
         ``fn(arrays, consts, start, stop, slab_index)`` receives a dict
@@ -430,6 +431,16 @@ class SlabExecutor:
             merged over ``consts`` for that slab — per-slab RNG
             streams, pre-sliced object lists.  Computed in the caller,
             so it is plan-deterministic, never worker-dependent.
+        outputs:
+            Optional multi-output schema ``{logical_name: (write
+            array names, ...)}`` declaring how the ``writes`` arrays
+            compose into named results (one logical output may span
+            several arrays, e.g. a ``"price"`` backed by call and put
+            vectors).  Validated against ``writes`` before dispatch
+            (:func:`.safety.validate_outputs_schema`); on the daemon
+            backend the schema's output-set id rides every slab
+            descriptor so standing workers cross-check the pinned
+            plan's contract.
 
         ``fn`` must be a module-level (picklable) function for the
         process backend; the other backends accept any callable.
@@ -452,7 +463,7 @@ class SlabExecutor:
         # Write-race detector: a bad plan or declaration fails here, on
         # every backend, before any slab task is submitted.
         validate_write_plan(slabs, n, sliced=sliced, shared=shared,
-                            writes=writes, consts=consts)
+                            writes=writes, consts=consts, outputs=outputs)
 
         inline = self.inline(n, bytes_per_item)
         if not self.out_of_process or len(slabs) <= 1 or inline:
@@ -474,7 +485,8 @@ class SlabExecutor:
             return self._map_daemon(fn, slabs, sliced=sliced,
                                     shared=shared, writes=writes,
                                     consts=consts, per_slab=per_slab,
-                                    n=n, bytes_per_item=bytes_per_item)
+                                    n=n, bytes_per_item=bytes_per_item,
+                                    outputs=outputs)
 
         from .shm import run_slab_task
         arena = self._get_arena()
@@ -500,7 +512,7 @@ class SlabExecutor:
         return results
 
     def _map_daemon(self, fn, slabs, *, sliced, shared, writes, consts,
-                    per_slab, n, bytes_per_item):
+                    per_slab, n, bytes_per_item, outputs=None):
         """The daemon backend's ``map_shm`` body: pin-once, replay-many.
 
         The first call with a given structural signature — function,
@@ -521,12 +533,13 @@ class SlabExecutor:
 
         daemon = self._get_daemon()
         arena = self._get_arena()
+        output_names = tuple(outputs) if outputs else ()
         sig = (fn, n, bytes_per_item,
                tuple((nm, arr.shape, arr.dtype.str)
                      for nm, arr in sliced.items()),
                tuple((nm, arr.shape, arr.dtype.str)
                      for nm, arr in shared.items()),
-               tuple(writes))
+               tuple(writes), output_names)
         consts_list = [
             consts if per_slab is None else {**consts, **per_slab(a, b, i)}
             for i, (a, b) in enumerate(slabs)
@@ -557,7 +570,8 @@ class SlabExecutor:
                 specs[name] = spec
                 (copy_back if name in writes else copy_in).append(
                     (name, arena.view(spec)))
-            plan_id = daemon.pin(fn, specs, consts_list, slabs)
+            plan_id = daemon.pin(fn, specs, consts_list, slabs,
+                                 outputs=output_names)
             entry = {"plan_id": plan_id, "prefix": prefix,
                      "roles": [f"{prefix}.{nm}" for nm in specs],
                      "copy_in": copy_in, "copy_back": copy_back,
@@ -579,6 +593,7 @@ class SlabExecutor:
     def compile_shm(self, fn, n: int, bytes_per_item: int = 8, *,
                     sliced: dict | None = None, shared: dict | None = None,
                     writes=(), consts: dict | None = None, per_slab=None,
+                    outputs: dict | None = None,
                     tag: str | None = None) -> "CompiledDispatch":
         """Compile one :meth:`map_shm` call for zero-setup replay.
 
@@ -611,7 +626,8 @@ class SlabExecutor:
                 f"writes names {unknown} not among the dispatched arrays")
         slabs = self.plan(n, bytes_per_item)
         plan = freeze_write_plan(slabs, n, sliced=sliced, shared=shared,
-                                 writes=writes, consts=consts)
+                                 writes=writes, consts=consts,
+                                 outputs=outputs)
         _COMPILE_SEQ += 1
         # The caller's tag is a readable prefix; the sequence keeps
         # roles unique so no two compiled dispatches share segments.
@@ -725,7 +741,8 @@ class CompiledDispatch:
             # Pin once — the only pickle this dispatch ever pays; every
             # run() is then pure descriptor traffic.
             self._plan_id = executor._get_daemon().pin(
-                fn, specs, self._consts, slabs)
+                fn, specs, self._consts, slabs,
+                outputs=plan.output_names)
 
     @property
     def n_slabs(self) -> int:

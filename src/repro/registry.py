@@ -52,10 +52,15 @@ class KernelImpl:
     """One registered functional implementation.
 
     ``fn(payload, executor)`` prices the registry workload ``payload``
-    (built by the kernel's :class:`WorkloadSpec`) and returns a 1-D
-    result array comparable across tiers; ``executor`` is the
+    (built by the kernel's :class:`WorkloadSpec`) and returns either a
+    1-D result array or, for tiers that declare more than one output,
+    a :class:`~repro.results.ResultSlab` whose names match
+    ``outputs``; ``executor`` is the
     :class:`~repro.parallel.slab.SlabExecutor` matching ``backend``
-    (serial tiers may ignore it).
+    (serial tiers may ignore it).  ``outputs`` is the tier's declared
+    output schema — consumers coerce either return shape with
+    :func:`repro.results.as_result_slab` and compare/digest outputs by
+    name.
 
     ``planner(payload, executor, arena)``, when registered, compiles the
     tier for repeated same-shape calls: it reserves every buffer the
@@ -73,6 +78,7 @@ class KernelImpl:
     fn: Callable
     checked: bool = True           # compared against the reference tier
     tolerance: float | None = None  # per-impl override of the workload tol
+    outputs: tuple = ("price",)    # named outputs fn fills, in order
     planner: Callable | None = field(default=None, compare=False)
     seq: int = field(default=0, compare=False)
 
@@ -121,6 +127,10 @@ class WorkloadSpec:
     baseline_tier:
         The serial tier the serial-vs-slab parallel bench uses as its
         baseline (``None`` when the kernel has no pooled backend).
+    greeks_tier:
+        The kernel's Greeks-capable multi-output tier — the one the
+        ``greeks`` CLI/bench measures (``None`` until the kernel
+        registers a risk workload).
     """
 
     kernel: str
@@ -132,6 +142,7 @@ class WorkloadSpec:
     bytes_per_item: int = 8
     modeled_gap: bool = True
     baseline_tier: str | None = None
+    greeks_tier: str | None = None
 
 
 _WORKLOADS: dict = {}              # kernel -> WorkloadSpec
@@ -161,10 +172,22 @@ def register_workload(spec: WorkloadSpec) -> WorkloadSpec:
 def register_impl(kernel: str, tier: str, level, fn: Callable,
                   backends=("serial",), checked: bool = True,
                   tolerance: float | None = None,
+                  outputs=("price",),
                   planner: Callable | None = None):
     """Register ``fn`` (and optionally its plan compiler ``planner``)
     as kernel/tier on each backend; returns the created
-    :class:`KernelImpl` entries."""
+    :class:`KernelImpl` entries.  ``outputs`` declares the named
+    outputs ``fn`` fills — ``("price",)`` for classic single-vector
+    tiers, a longer tuple for Greeks/risk tiers returning a
+    :class:`~repro.results.ResultSlab`."""
+    outputs = tuple(outputs)
+    if not outputs:
+        raise ConfigurationError(
+            f"{kernel}/{tier}: outputs schema must name at least one "
+            f"output")
+    if len(set(outputs)) != len(outputs):
+        raise ConfigurationError(
+            f"{kernel}/{tier}: duplicate names in outputs {outputs}")
     made = []
     for backend in backends:
         if backend not in BACKENDS:
@@ -178,8 +201,8 @@ def register_impl(kernel: str, tier: str, level, fn: Callable,
             )
         impl = KernelImpl(kernel=kernel, tier=tier, level=level,
                           backend=backend, fn=fn, checked=checked,
-                          tolerance=tolerance, planner=planner,
-                          seq=next(_SEQ))
+                          tolerance=tolerance, outputs=outputs,
+                          planner=planner, seq=next(_SEQ))
         _IMPLS[key] = impl
         made.append(impl)
     return made
@@ -263,3 +286,14 @@ def parallel_tier(kernel: str) -> str | None:
 def parallel_kernels() -> tuple:
     """Kernels that registered a thread backend, registration-ordered."""
     return tuple(k for k in kernels() if parallel_tier(k) is not None)
+
+
+def greeks_tier(kernel: str) -> str | None:
+    """Name of the kernel's Greeks-capable multi-output tier, or
+    ``None`` when the kernel registered no risk workload."""
+    return workload(kernel).greeks_tier
+
+
+def greeks_kernels() -> tuple:
+    """Kernels with a Greeks-capable tier, registration-ordered."""
+    return tuple(k for k in kernels() if greeks_tier(k) is not None)

@@ -1,0 +1,151 @@
+"""Named multi-output result slabs.
+
+The execution contract used to be "a tier returns one price vector".
+Risk workloads break that: a Greeks tier fills *several* named outputs
+(price plus any of delta/gamma/vega/theta/rho) in one dispatch.
+:class:`ResultSlab` is the container every layer agrees on — a small
+read-only mapping of output name → 1-D float64 vector, optionally
+backed by one contiguous buffer so planned runs stay allocation-free.
+
+Compatibility is deliberate: ``__array__`` returns the stacked vector,
+so every existing consumer that does ``np.asarray(result)`` (the sweep
+harness, ``compile_plan``'s cold wrapper, the scaling digest audit)
+keeps working unchanged whether a tier returns a bare ndarray or a
+multi-output slab.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from collections.abc import Mapping
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: Canonical output-name order for Greeks-capable tiers.  A tier may
+#: declare any subset (always including "price" first when it prices),
+#: but names outside this set are allowed for scenario/IV workloads.
+GREEK_OUTPUTS = ("price", "delta", "gamma", "vega", "theta", "rho")
+
+
+def output_set_id(outputs) -> int:
+    """Deterministic non-zero id for a named output set.
+
+    The daemon's 24-byte ring descriptor carries this id in its
+    ``arg`` word so a worker can verify the pinned plan it executes
+    was built for the same output contract the dispatcher thinks it
+    pinned — a cheap cross-process schema check that costs nothing on
+    the descriptor path.  Computed with :func:`zlib.crc32` (not
+    ``hash``) so dispatcher and worker agree across processes
+    regardless of ``PYTHONHASHSEED``.  Empty/no outputs → 0, the
+    legacy single-output wire value.
+    """
+    names = tuple(outputs or ())
+    if not names:
+        return 0
+    return zlib.crc32(",".join(names).encode("utf-8")) or 1
+
+
+class ResultSlab(Mapping):
+    """Read-only mapping of output name → 1-D float64 vector.
+
+    Parameters
+    ----------
+    arrays:
+        ``{name: vector}`` in declaration order.  Vectors may have
+        different lengths (a scenario grid output is ``grid_cells * n``
+        long while its companion price is ``n`` long).
+    backing:
+        Optional contiguous vector that the named outputs are views
+        into, in declaration order.  When given, :meth:`stacked` (and
+        therefore ``__array__``/:meth:`digest`) returns it without
+        concatenating — the zero-allocation path planned runs rely on.
+    """
+
+    __slots__ = ("_arrays", "_backing")
+
+    def __init__(self, arrays, backing=None):
+        if not arrays:
+            raise ConfigurationError("ResultSlab needs at least one output")
+        self._arrays = dict(arrays)
+        for name, vec in self._arrays.items():
+            arr = np.asarray(vec)
+            if arr.ndim != 1:
+                raise ConfigurationError(
+                    f"ResultSlab output {name!r} must be 1-D, "
+                    f"got shape {arr.shape}")
+            self._arrays[name] = arr
+        if backing is not None:
+            backing = np.asarray(backing)
+            total = sum(a.size for a in self._arrays.values())
+            if backing.ndim != 1 or backing.size != total:
+                raise ConfigurationError(
+                    f"ResultSlab backing has {backing.size} elements; "
+                    f"outputs total {total}")
+        self._backing = backing
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, name):
+        return self._arrays[name]
+
+    def __iter__(self):
+        return iter(self._arrays)
+
+    def __len__(self):
+        return len(self._arrays)
+
+    def __repr__(self):
+        parts = ", ".join(f"{k}[{v.size}]" for k, v in self._arrays.items())
+        return f"ResultSlab({parts})"
+
+    # -- contract --------------------------------------------------------
+    @property
+    def outputs(self) -> tuple:
+        """Output names in declaration order."""
+        return tuple(self._arrays)
+
+    def stacked(self) -> np.ndarray:
+        """All outputs as one contiguous vector (declaration order).
+
+        Returns the backing buffer when one was provided — no copy, no
+        allocation — otherwise concatenates.
+        """
+        if self._backing is not None:
+            return self._backing
+        return np.concatenate([np.ascontiguousarray(a)
+                               for a in self._arrays.values()])
+
+    def __array__(self, dtype=None, copy=None):
+        out = self.stacked()
+        if dtype is not None and out.dtype != dtype:
+            return out.astype(dtype)
+        if copy:
+            return out.copy()
+        return out
+
+    def digest(self) -> str:
+        """md5 of the stacked bytes — the cross-backend audit token."""
+        return hashlib.md5(
+            np.ascontiguousarray(self.stacked()).tobytes()).hexdigest()
+
+
+def as_result_slab(value, outputs=("price",)) -> ResultSlab:
+    """Coerce a tier's return value to a :class:`ResultSlab`.
+
+    Tiers registered before the multi-output contract return a bare
+    ndarray; their declared schema is the single output ``("price",)``.
+    A multi-output declaration on a tier that still returns a bare
+    array is a registration bug and is rejected rather than guessed
+    at (the flat vector gives no way to recover the per-output split).
+    """
+    if isinstance(value, ResultSlab):
+        return value
+    arr = np.asarray(value)
+    names = tuple(outputs)
+    if len(names) != 1:
+        raise ConfigurationError(
+            f"tier declared outputs {names} but returned a bare array; "
+            f"multi-output tiers must return a ResultSlab")
+    return ResultSlab({names[0]: arr.reshape(-1)})

@@ -40,7 +40,10 @@ def check_golden_tiers(atol: float = 1e-7) -> dict:
     and put legs; raises :class:`~repro.errors.ExperimentError` if any
     tier misses a golden value by more than ``atol``.  This anchors the
     whole registry ladder — not just the tier the tests happened to
-    enumerate — to the independently computed closed form.
+    enumerate — to the independently computed closed form.  Tiers are
+    compared on their ``price`` output (the Greeks slab's price leg is
+    the same ``[calls | puts]`` vector); risk tiers without a
+    comparable price vector (implied vol, scenario grids) are skipped.
     """
     import numpy as np
 
@@ -48,6 +51,7 @@ def check_golden_tiers(atol: float = 1e-7) -> dict:
     from ..errors import ExperimentError
     from ..kernels.black_scholes.tiers import make_payload
     from ..parallel import SlabExecutor
+    from ..results import as_result_slab
 
     points = list(BS_GOLDEN)
     S = np.array([p[0] for p in points])
@@ -63,8 +67,11 @@ def check_golden_tiers(atol: float = 1e-7) -> dict:
                 np.array([BS_GOLDEN[p][1] for p in group]),
             ])
             for impl in registry.impls("black_scholes", backend="serial"):
-                got = np.asarray(impl.fn(payload, ex))
-                err = float(np.max(np.abs(got - want)))
+                got = as_result_slab(impl.fn(payload, ex), impl.outputs)
+                if ("price" not in got.outputs
+                        or got["price"].shape != want.shape):
+                    continue
+                err = float(np.max(np.abs(got["price"] - want)))
                 errors[impl.tier] = max(errors.get(impl.tier, 0.0), err)
     bad = {t: e for t, e in errors.items() if e > atol}
     if bad:

@@ -215,3 +215,66 @@ class TestR005Scope:
                 "def run(ex, arrs, names, n):\n"
                 "    ex.map_shm(_slab, n, sliced=arrs, writes=names)\n")
         assert run_rule("R005", text) == []
+
+
+class TestR005Outputs:
+    """Multi-output schema checks: outputs= must agree with writes=."""
+
+    def test_declared_but_unwritten_output(self):
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['price'][:] = 1.0\n"
+                "def run(ex, price, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'price': price},\n"
+                "               writes=('price',),\n"
+                "               outputs={'price': ('price',),\n"
+                "                        'delta': ('delta',)})\n")
+        findings = run_rule("R005", text)
+        assert any("declared-but-unwritten" in f.message
+                   and "'delta'" in f.message for f in findings), \
+            [f.message for f in findings]
+
+    def test_written_but_undeclared_output(self):
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['price'][:] = 1.0\n"
+                "    arrays['vega'][:] = 2.0\n"
+                "def run(ex, price, vega, n):\n"
+                "    ex.map_shm(_slab, n,\n"
+                "               sliced={'price': price, 'vega': vega},\n"
+                "               writes=('price', 'vega'),\n"
+                "               outputs={'price': ('price',)})\n")
+        findings = run_rule("R005", text)
+        assert any("written-but-undeclared" in f.message
+                   and "'vega'" in f.message for f in findings), \
+            [f.message for f in findings]
+
+    def test_consistent_multi_output_site_clean(self):
+        # One logical output may span several arrays (price = [calls|puts])
+        # and a bare string value means a single backing array.
+        text = ("def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['call'][:] = 1.0\n"
+                "    arrays['put'][:] = 2.0\n"
+                "    arrays['delta'][:] = 3.0\n"
+                "def run(ex, call, put, delta, n):\n"
+                "    ex.map_shm(_slab, n,\n"
+                "               sliced={'call': call, 'put': put,\n"
+                "                       'delta': delta},\n"
+                "               writes=('call', 'put', 'delta'),\n"
+                "               outputs={'price': ('call', 'put'),\n"
+                "                        'delta': 'delta'})\n")
+        assert run_rule("R005", text) == []
+
+    def test_dynamic_schema_skipped(self):
+        # A named schema constant is dynamic at this site; the runtime
+        # validator (validate_outputs_schema) owns it.
+        text = ("SCHEMA = {'price': ('price',)}\n"
+                "def _slab(arrays, consts, a, b, slab):\n"
+                "    arrays['price'][:] = 1.0\n"
+                "def run(ex, price, n):\n"
+                "    ex.map_shm(_slab, n, sliced={'price': price},\n"
+                "               writes=('price',), outputs=SCHEMA)\n")
+        assert run_rule("R005", text) == []
+
+    def test_single_output_legacy_site_clean(self):
+        # No outputs= at all: the single-price contract, not a finding.
+        findings = run_rule("R005", FIXTURES["R005"]["good"])
+        assert findings == []

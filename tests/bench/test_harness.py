@@ -123,7 +123,10 @@ class TestMeasureParallelSpeedup:
             # run actually used.
             assert k["n_workers"]["serial"] == 1
             assert k["n_workers"]["fused_serial"] == 1
-            assert k["n_workers"]["slab"] == data["n_workers"]
+            # Tiny workloads may stay under the measured crossover, in
+            # which case the slab run is in-caller and single-worker.
+            assert k["n_workers"]["slab"] == (
+                1 if k["inline"] else data["n_workers"])
 
         result = parallel_speedup_result(data)
         assert result.exp_id == "parallel"

@@ -15,6 +15,7 @@ import pytest
 from repro import registry
 from repro.config import WorkloadSizes
 from repro.parallel import SlabExecutor
+from repro.results import as_result_slab
 
 #: Seconds-scale sizes; small enough that even the scalar reference
 #: tiers (pure-Python loops) price in milliseconds.
@@ -43,7 +44,9 @@ def payloads():
 @pytest.fixture(scope="module")
 def references(payloads):
     with SlabExecutor("serial", slab_bytes=16 * 1024) as ex:
-        return {k: np.asarray(registry.reference_impl(k).fn(payloads[k], ex))
+        return {k: as_result_slab(
+                    registry.reference_impl(k).fn(payloads[k], ex),
+                    registry.reference_impl(k).outputs)
                 for k in registry.kernels()}
 
 
@@ -54,13 +57,22 @@ def _checked_impls():
 
 @pytest.mark.parametrize("impl", _checked_impls())
 def test_agrees_with_reference(impl, payloads, references, executors):
+    # Multi-output tiers (Greeks slabs) agree on the outputs they share
+    # with the reference — for every checked risk tier that includes the
+    # price vector, so the single-output tiers compare whole-array as
+    # before.
     spec = registry.workload(impl.kernel)
-    out = np.asarray(impl.fn(payloads[impl.kernel],
-                             executors[impl.backend]))
+    out = as_result_slab(impl.fn(payloads[impl.kernel],
+                                 executors[impl.backend]),
+                         impl.outputs)
     ref = references[impl.kernel]
-    assert out.shape == ref.shape
+    common = [name for name in out.outputs if name in ref.outputs]
+    assert common, f"{impl.label}: no output shared with the reference"
     tol = impl.tolerance if impl.tolerance is not None else spec.tolerance
-    np.testing.assert_allclose(out, ref, rtol=0, atol=tol)
+    for name in common:
+        assert out[name].shape == ref[name].shape
+        np.testing.assert_allclose(out[name], ref[name], rtol=0, atol=tol,
+                                   err_msg=f"{impl.label}:{name}")
 
 
 @pytest.mark.parametrize(

@@ -62,7 +62,8 @@ class TestLookups:
         assert all(i.backend == "serial" for i in serial)
         assert [i.tier for i in serial] == ["reference", "basic",
                                             "intermediate", "advanced",
-                                            "parallel"]
+                                            "parallel", "greeks",
+                                            "implied", "scenario"]
 
     def test_unknown_kernel_raises(self):
         with pytest.raises(ConfigurationError, match="no workload"):

@@ -1,0 +1,120 @@
+"""Unit tests for the multi-output result-slab contract
+(:mod:`repro.results`): mapping protocol, stacked/backing behaviour,
+digests, coercion, and the wire-level output-set id."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.results import (GREEK_OUTPUTS, ResultSlab, as_result_slab,
+                           output_set_id)
+
+
+class TestResultSlab:
+    def test_mapping_protocol(self):
+        slab = ResultSlab({"price": np.arange(4.0),
+                           "delta": np.ones(4)})
+        assert slab.outputs == ("price", "delta")
+        assert len(slab) == 2
+        assert list(slab) == ["price", "delta"]
+        assert "price" in slab and "vega" not in slab
+        assert np.array_equal(slab["delta"], np.ones(4))
+
+    def test_declaration_order_preserved(self):
+        slab = ResultSlab({"vega": np.ones(2), "price": np.zeros(2),
+                           "delta": np.ones(2)})
+        assert slab.outputs == ("vega", "price", "delta")
+
+    def test_ragged_lengths_allowed(self):
+        # A scenario grid output is grid_cells*n long next to an n-long
+        # price; the slab only requires 1-D vectors, not equal lengths.
+        slab = ResultSlab({"price": np.zeros(4), "grid": np.zeros(100)})
+        assert slab["grid"].size == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            ResultSlab({})
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be 1-D"):
+            ResultSlab({"price": np.zeros((2, 3))})
+
+    def test_backing_size_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="backing"):
+            ResultSlab({"price": np.zeros(4)}, backing=np.zeros(5))
+
+    def test_stacked_concatenates_in_order(self):
+        slab = ResultSlab({"price": np.array([1.0, 2.0]),
+                           "delta": np.array([3.0])})
+        assert np.array_equal(slab.stacked(), [1.0, 2.0, 3.0])
+
+    def test_stacked_returns_backing_without_copy(self):
+        backing = np.arange(6.0)
+        slab = ResultSlab({"price": backing[:4], "delta": backing[4:]},
+                          backing=backing)
+        assert slab.stacked() is backing
+
+    def test_asarray_compat(self):
+        # np.asarray(slab) is how pre-refactor consumers (sweep digest,
+        # scaling audit) see a multi-output result.
+        slab = ResultSlab({"price": np.array([1.0, 2.0]),
+                           "delta": np.array([3.0])})
+        assert np.array_equal(np.asarray(slab), [1.0, 2.0, 3.0])
+        assert np.asarray(slab, dtype=np.float32).dtype == np.float32
+
+    def test_digest_backed_equals_unbacked(self):
+        backing = np.arange(6.0)
+        backed = ResultSlab({"a": backing[:3], "b": backing[3:]},
+                            backing=backing)
+        plain = ResultSlab({"a": np.arange(3.0),
+                            "b": np.arange(3.0, 6.0)})
+        assert backed.digest() == plain.digest()
+
+    def test_digest_sensitive_to_values(self):
+        a = ResultSlab({"price": np.zeros(4)})
+        b = ResultSlab({"price": np.full(4, 1e-300)})
+        assert a.digest() != b.digest()
+
+
+class TestAsResultSlab:
+    def test_passthrough(self):
+        slab = ResultSlab({"price": np.zeros(3)})
+        assert as_result_slab(slab) is slab
+
+    def test_bare_array_wraps_single_output(self):
+        slab = as_result_slab(np.arange(4.0))
+        assert slab.outputs == ("price",)
+        assert np.array_equal(slab["price"], np.arange(4.0))
+
+    def test_custom_single_output_name(self):
+        slab = as_result_slab(np.zeros(3), outputs=("implied_vol",))
+        assert slab.outputs == ("implied_vol",)
+
+    def test_2d_array_flattened(self):
+        slab = as_result_slab(np.zeros((2, 3)))
+        assert slab["price"].shape == (6,)
+
+    def test_bare_array_with_multi_output_declaration_rejected(self):
+        with pytest.raises(ConfigurationError, match="ResultSlab"):
+            as_result_slab(np.zeros(6), outputs=("price", "delta"))
+
+
+class TestOutputSetId:
+    def test_empty_is_legacy_zero(self):
+        assert output_set_id(()) == 0
+        assert output_set_id(None) == 0
+
+    def test_nonzero_and_deterministic(self):
+        a = output_set_id(("price", "delta"))
+        assert a != 0
+        assert output_set_id(("price", "delta")) == a
+
+    def test_distinguishes_sets_and_order(self):
+        assert (output_set_id(("price",))
+                != output_set_id(("price", "delta")))
+        assert (output_set_id(("price", "delta"))
+                != output_set_id(("delta", "price")))
+
+    def test_canonical_greek_outputs(self):
+        assert GREEK_OUTPUTS == ("price", "delta", "gamma", "vega",
+                                 "theta", "rho")
