@@ -1,0 +1,111 @@
+"""Serving loadtest benchmark, exported to ``BENCH_serving.json``.
+
+Standalone (not pytest-benchmark): drives the async pricing gateway
+with open-loop Poisson load in two phases — a saturation capacity
+comparison of dynamic micro-batching against per-request dispatch
+(the >= 5x acceptance gate) and a (arrival rate x latency budget)
+grid recording sustained req/s, p50/p99/p999 latency, batch-size
+distributions and sheds.  Every scattered result is digest-compared
+against pricing that request alone on the serial backend; the run
+exits non-zero on any mismatch, and (outside ``--smoke``) when the
+capacity speedup misses the 5x gate or a grid point blows its budget.
+
+Run ``python benchmarks/bench_serving.py`` for the real measurement or
+``--smoke`` for the seconds-long CI configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import measure_serving, render, serving_result  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_serving.json")
+
+
+def _floats(text: str) -> tuple:
+    return tuple(float(x) for x in text.split(",") if x.strip())
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small request counts + tiny grid (CI smoke)")
+    ap.add_argument("--backend", default="serial",
+                    help="gateway backend: serial,thread,process,"
+                         "daemon,auto (daemon attaches to a running "
+                         "'python -m repro daemon start')")
+    ap.add_argument("--tier", default="black_scholes:parallel",
+                    help="kernel:tier to serve (batchable tiers only)")
+    ap.add_argument("--clients", type=int, default=64,
+                    help="concurrent open-loop clients")
+    ap.add_argument("--requests", type=int, default=None,
+                    help="capacity-phase request count")
+    ap.add_argument("--rates", default=None,
+                    help="comma-separated arrival rates (req/s)")
+    ap.add_argument("--budgets-ms", default=None,
+                    help="comma-separated max_wait budgets (ms)")
+    ap.add_argument("--n-workers", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=2012)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    kernel, _, tier = args.tier.partition(":")
+    data = measure_serving(
+        backend=args.backend,
+        n_workers=args.n_workers,
+        kernel=kernel,
+        tier=tier or "parallel",
+        n_clients=args.clients,
+        capacity_requests=args.requests or (192 if args.smoke else 768),
+        latency_requests=96 if args.smoke else 400,
+        rates=_floats(args.rates) if args.rates
+        else ((200.0,) if args.smoke else (100.0, 200.0, 400.0)),
+        budgets_ms=_floats(args.budgets_ms) if args.budgets_ms
+        else ((2.0,) if args.smoke else (1.0, 2.0, 5.0)),
+        seed=args.seed)
+    data["smoke"] = args.smoke
+
+    print(render(serving_result(data), "text"))
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+
+    failures = []
+    if not data["digests_ok"]:
+        for m in data["digest_mismatches"][:5]:
+            failures.append(f"digest mismatch: {m}")
+    if not args.smoke:
+        if not data["capacity"]["gate_5x"]:
+            failures.append(
+                f"capacity speedup {data['capacity']['speedup']}x "
+                f"< 5x gate")
+        for row in data["latency"]:
+            if not row["budget_ok"]:
+                failures.append(
+                    f"rate={row['rate_rps']} budget={row['budget_ms']}ms:"
+                    f" p99 {row['latency_ms'].get('p99_ms', 0):.2f}ms > "
+                    f"budget + {row['allowance_ms']}ms allowance")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    cap = data["capacity"]
+    print(f"serving acceptance: {data['digests_checked']} scattered "
+          f"results digest-identical to the serial reference; "
+          f"micro-batching sustains {cap['speedup']}x per-request "
+          f"dispatch at {data['n_clients']} clients "
+          f"[{'PASS' if cap['gate_5x'] else 'smoke — gate not judged'}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

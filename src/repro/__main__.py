@@ -282,6 +282,50 @@ def _cmd_daemon(args) -> int:
     return 0
 
 
+def _cmd_gateway(args) -> int:
+    from .serve.server import run_server
+
+    return run_server(
+        host=args.host, port=args.port, backend=args.backend,
+        n_workers=args.workers, max_wait_s=args.max_wait_ms / 1e3,
+        max_batch=args.max_batch, max_pending=args.max_pending,
+        min_bucket=args.min_bucket)
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+
+    from .bench import measure_serving, render, serving_result
+
+    kernel, _, tier = args.tier.partition(":")
+    data = measure_serving(
+        backend=args.backend,
+        n_workers=args.workers,
+        kernel=kernel,
+        tier=tier or "parallel",
+        n_clients=args.clients,
+        capacity_requests=args.requests or (192 if args.smoke else 768),
+        latency_requests=96 if args.smoke else 400,
+        rates=tuple(float(r) for r in args.rates.split(","))
+        if args.rates else ((200.0,) if args.smoke
+                            else (100.0, 200.0, 400.0)),
+        budgets_ms=tuple(float(b) for b in args.budgets_ms.split(","))
+        if args.budgets_ms else ((2.0,) if args.smoke
+                                 else (1.0, 2.0, 5.0)),
+        seed=args.seed)
+    data["smoke"] = args.smoke
+    print(render(serving_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
+    if not data["digests_ok"]:
+        for m in data["digest_mismatches"][:5]:
+            print(f"FAIL: digest mismatch: {m}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_price(args) -> int:
     import numpy as np
 
@@ -474,6 +518,51 @@ def main(argv=None) -> int:
     p.add_argument("--timeout", type=float, default=15.0,
                    help="seconds to wait for start/stop to take effect")
     p.set_defaults(fn=_cmd_daemon)
+
+    p = sub.add_parser(
+        "gateway",
+        help="serve the async micro-batching pricing gateway over TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7101)
+    p.add_argument("--backend", default="auto",
+                   help="serial,thread,process,daemon,auto (auto "
+                        "attaches to a running daemon, else serial)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="micro-batching latency budget per flush")
+    p.add_argument("--max-batch", type=int, default=4096,
+                   help="max coalesced options per dispatch")
+    p.add_argument("--max-pending", type=int, default=1024,
+                   help="queued-request cap before shedding")
+    p.add_argument("--min-bucket", type=int, default=64,
+                   help="smallest canonical batch width")
+    p.set_defaults(fn=_cmd_gateway)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="open-loop Poisson loadtest of the pricing gateway "
+             "(capacity + latency grid -> BENCH_serving.json)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small request counts + tiny grid (CI mode)")
+    p.add_argument("--backend", default="serial",
+                   help="serial,thread,process,daemon,auto")
+    p.add_argument("--tier", default="black_scholes:parallel",
+                   help="kernel:tier to drive (batchable tiers only)")
+    p.add_argument("--clients", type=int, default=64,
+                   help="concurrent open-loop clients")
+    p.add_argument("--requests", type=int, default=None,
+                   help="capacity-phase request count")
+    p.add_argument("--rates", default=None,
+                   help="comma-separated arrival rates (req/s)")
+    p.add_argument("--budgets-ms", default=None,
+                   help="comma-separated max_wait budgets (ms)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default="BENCH_serving.json",
+                   help="raw measurement JSON path ('' to skip)")
+    p.set_defaults(fn=_cmd_loadtest)
 
     from .analysis.cli import add_lint_parser
     add_lint_parser(sub)

@@ -15,6 +15,9 @@ from .record import kernel_record, ratio_of, timing_fields
 from .scaling_measured import measure_scaling, scaling_result
 from .serve import (PEAK_NOISE_BUDGET, measure_steady_state,
                     steady_state_result)
+from .serving import measure_serving, serving_result
+from .stats import (best_inner_us, int_histogram, latency_summary,
+                    percentile, sorted_latencies, summarize_times)
 from .sweep import (MeasuredNinjaGap, measure_ninja_sweep, measured_gaps,
                     sweep_detail_result, sweep_gap_result)
 from .profile import (ProfileLine, format_profile, hotspot, profile_trace)
@@ -36,6 +39,9 @@ __all__ = [
     "measure_scaling", "scaling_result",
     "measure_greeks", "greeks_result",
     "PEAK_NOISE_BUDGET", "measure_steady_state", "steady_state_result",
+    "measure_serving", "serving_result",
+    "percentile", "sorted_latencies", "summarize_times",
+    "latency_summary", "best_inner_us", "int_histogram",
     "profile_trace", "hotspot", "format_profile", "ProfileLine",
     "SCENARIOS", "ScenarioResult", "run_scenario",
     "render", "to_json", "to_csv", "from_json", "FORMATS",

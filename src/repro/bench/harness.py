@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from ..config import BENCH_WARMUP, SMALL_SIZES, WorkloadSizes
 from ..errors import ExperimentError
+from .stats import summarize_times
 
 
 @dataclass
@@ -60,12 +61,9 @@ def time_run(label: str, fn, items: int, repeats: int = 3,
         t0 = time.perf_counter()
         fn()
         times.append(time.perf_counter() - t0)
-    times.sort()
-    mid = len(times) // 2
-    median = (times[mid] if len(times) % 2
-              else 0.5 * (times[mid - 1] + times[mid]))
-    return TimedRun(label=label, seconds=times[0], items=items,
-                    median=median, spread=times[-1] - times[0])
+    best, median, spread = summarize_times(times)
+    return TimedRun(label=label, seconds=best, items=items,
+                    median=median, spread=spread)
 
 
 # ----------------------------------------------------------------------

@@ -91,9 +91,8 @@ def measure_dispatch_overhead(backend: str, n_workers: int,
     so what's measured is the pure steady-state descriptor transport —
     the number the <5% multi-output gate is judged on.
     """
-    import time as _time
-
     from ..parallel import SlabExecutor
+    from .stats import best_inner_us
     if inner < 1 or repeats < 1:
         raise ExperimentError("inner and repeats must be >= 1")
     if n_outputs < 1:
@@ -117,14 +116,8 @@ def measure_dispatch_overhead(backend: str, n_workers: int,
         else:
             def call():
                 ex.map_shm(_noop_slab, n, bytes_per_item=bpi, **kw)
-        call()                                                # warm-up
-        best = float("inf")
-        for _ in range(repeats):
-            t0 = _time.perf_counter()
-            for _ in range(inner):
-                call()
-            best = min(best, _time.perf_counter() - t0)
-    return best / inner * 1e6
+        us = best_inner_us(call, inner, repeats)
+    return us
 
 
 def measure_multi_output_overhead(backend: str, n_workers: int,
@@ -147,6 +140,7 @@ def measure_multi_output_overhead(backend: str, n_workers: int,
     import time as _time
 
     from ..parallel import SlabExecutor
+    from .stats import summarize_times
     if inner < 1 or rounds < 1 or n_outputs < 2:
         raise ExperimentError(
             "inner and rounds must be >= 1, n_outputs >= 2")
@@ -165,18 +159,18 @@ def measure_multi_output_overhead(backend: str, n_workers: int,
                                consts={}, tag="noop6")
         single.run()                                          # warm-up
         multi.run()
-        best1 = bestn = float("inf")
+        t_single, t_multi = [], []
         for _ in range(rounds):
             t0 = _time.perf_counter()
             for _ in range(inner):
                 single.run()
-            best1 = min(best1, _time.perf_counter() - t0)
+            t_single.append(_time.perf_counter() - t0)
             t0 = _time.perf_counter()
             for _ in range(inner):
                 multi.run()
-            bestn = min(bestn, _time.perf_counter() - t0)
-    single_us = best1 / inner * 1e6
-    multi_us = bestn / inner * 1e6
+            t_multi.append(_time.perf_counter() - t0)
+    single_us = summarize_times(t_single)[0] / inner * 1e6
+    multi_us = summarize_times(t_multi)[0] / inner * 1e6
     return {
         "backend": backend,
         "n_workers": n_workers,

@@ -32,32 +32,13 @@ import numpy as np
 
 from ..config import SMALL_SIZES, SMOKE_SIZES, WorkloadSizes
 from ..errors import ExperimentError
+from .stats import percentile as _percentile
+from .stats import sorted_latencies as _latencies
 
 #: Transient-peak noise budget for a warm run (bytes): a little above
 #: numpy's fixed ~64 KiB nditer working buffer (two may coexist), far
 #: below any real per-call workload array.
 PEAK_NOISE_BUDGET = 256 * 1024
-
-
-def _percentile(sorted_s, q: float) -> float:
-    """Nearest-rank percentile of an ascending list."""
-    if not sorted_s:
-        return 0.0
-    rank = min(len(sorted_s) - 1, max(0, int(round(q * (len(sorted_s) - 1)))))
-    return sorted_s[rank]
-
-
-def _latencies(fn, samples: int, warmup: int = 2) -> list:
-    import time
-    for _ in range(warmup):
-        fn()
-    out = []
-    for _ in range(samples):
-        t0 = time.perf_counter()
-        fn()
-        out.append(time.perf_counter() - t0)
-    out.sort()
-    return out
 
 
 def measure_steady_state(sizes: WorkloadSizes = SMALL_SIZES,

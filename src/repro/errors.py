@@ -72,3 +72,20 @@ class RingABIError(DaemonError):
 
 class ExperimentError(ReproError):
     """A benchmark experiment id is unknown or its inputs are invalid."""
+
+
+class GatewayError(ReproError):
+    """The async pricing gateway failed: an unsupported kernel/tier was
+    requested, a request was malformed, or the batcher is in a state
+    that cannot serve it."""
+
+
+class GatewayOverloadError(GatewayError):
+    """The gateway shed a request: queued work exceeded the configured
+    backlog cap.  Open-loop callers should treat this as backpressure
+    and retry later (the gateway stays healthy)."""
+
+
+class GatewayClosedError(GatewayError):
+    """A request arrived after the gateway began (or finished) its
+    graceful drain; nothing was queued."""

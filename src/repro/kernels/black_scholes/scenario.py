@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...config import DTYPE
+from ...errors import ConfigurationError
 from ...parallel.slab import SlabExecutor, default_executor
 from ...pricing.options import OptionBatch
 from ...results import ResultSlab
@@ -96,7 +97,15 @@ def compile_scenario_parallel(batch: OptionBatch, executor: SlabExecutor,
                               arena, lib: VectorMathLib | str = "numpy"):
     """Plan-compile the scenario grid: the expanded inputs live in
     arena buffers, built once at compile time; warm runs are pure
-    pricing sweeps with zero hot-path allocations."""
+    pricing sweeps with zero hot-path allocations.
+
+    Returns ``(run, rebind)``: unlike the price/Greeks planners, whose
+    dispatches read the batch arrays directly every run, this tier
+    prices a *derived* expansion of the batch, so new numbers must be
+    re-tiled into the arena inputs — ``rebind`` copies the new batch in
+    and re-expands in place (no allocation).  Without it, a cached plan
+    re-run with fresh numbers would silently price the stale grid.
+    """
     if isinstance(lib, str):
         lib = get_lib(lib)
     n = len(batch)
@@ -124,4 +133,15 @@ def compile_scenario_parallel(batch: OptionBatch, executor: SlabExecutor,
         dispatch.run()
         return slab
 
-    return run
+    def rebind(new: OptionBatch) -> None:
+        if (new.n != batch.n or new.rate != batch.rate
+                or new.vol != batch.vol):
+            raise ConfigurationError(
+                "scenario batch width/rate/vol are compiled into the "
+                "plan; compile a new plan")
+        if new is not batch:
+            for name in ("S", "X", "T"):
+                np.copyto(batch.batch.get(name), new.batch.get(name))
+        _expand(batch, out=inputs)
+
+    return run, rebind

@@ -742,6 +742,14 @@ class SlabDaemon(_RingDispatcher):
             "workers_alive": sum(alive),
             "worker_pids": [p.pid for p in self._procs],
             "plans_pinned": len(self._plans),
+            # Per-pin detail an operator running the gateway needs: which
+            # dispatch ids are resident, how many slabs each fans out to,
+            # and the output-set CRC their descriptors will carry.
+            "pinned": [
+                {"plan_id": pid, "n_slabs": n,
+                 "output_set_id": self._plan_outs.get(pid, 0)}
+                for pid, n in sorted(self._plans.items())
+            ],
             "ring_slots": self._ring_slots,
             "submit_rings": [r.name for r in self._submit],
             "ack_rings": [r.name for r in self._ack],

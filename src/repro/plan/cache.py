@@ -44,8 +44,14 @@ def shape_key(payload) -> tuple:
     if hasattr(payload, "n_points"):            # BridgeSchedule and kin
         return (type(payload).__name__, int(payload.n_points))
     if hasattr(payload, "batch"):               # OptionBatch
+        # rate/vol are *plan parameters*, not per-option data: planners
+        # bake them into dispatch consts, and ExecutionPlan refuses to
+        # rebind across a change.  The gateway coalesces many request
+        # signatures at one width, so they must key distinct plans.
         return (type(payload).__name__, len(payload),
-                getattr(payload, "layout", None))
+                getattr(payload, "layout", None),
+                getattr(payload, "rate", None),
+                getattr(payload, "vol", None))
     return (type(payload).__name__,)
 
 
@@ -86,6 +92,16 @@ class PlanCache:
             self.evictions += 1
             if evicted is not plan:
                 evicted.close()
+
+    def pop(self, key) -> bool:
+        """Drop (and close) the plan cached under ``key``; ``True`` if
+        one was live.  The gateway uses this when it retires a staging
+        shape so the plan's daemon pins release with it."""
+        plan = self._plans.pop(key, None)
+        if plan is None:
+            return False
+        plan.close()
+        return True
 
     def get_or_compile(self, key, compile_fn):
         """Cached plan for ``key``, compiling (and caching) on a miss."""

@@ -1,0 +1,375 @@
+"""The asyncio pricing gateway: accept, coalesce, dispatch, scatter.
+
+Control flow (all on one event loop, plus exactly one dispatch thread):
+
+* :meth:`PricingGateway.submit` validates a request, appends it to its
+  signature's queue, and awaits a future.  The *first* request of a
+  quiet signature arms a ``max_wait`` deadline timer; a queue reaching
+  ``max_batch`` options (or ``max_batch_requests`` requests) flushes
+  immediately instead — the classic inference-server latency/width
+  trade.
+* Flush jobs land on one **deadline-ordered** priority queue drained by
+  a single dispatcher task, so under backlog the oldest latency budget
+  is honoured first, and requests arriving while an earlier batch is
+  in flight keep coalescing until the moment theirs is packed.
+* The dispatcher packs the batch into its canonical-width
+  :class:`~.batcher.Staging` (whose arrays are plan-bound — see
+  :mod:`~.batcher`), then runs the compiled plan on a **single
+  dedicated dispatch thread** via ``run_in_executor``: the event loop
+  keeps accepting while the batch prices, and the one-thread pool keeps
+  the daemon backend's SPSC rings single-producer.  Ring backpressure
+  (a full submit ring blocks the push) therefore stalls only the
+  dispatch thread, never the accept path; gateway-level backpressure is
+  the ``max_pending`` cap, beyond which new requests are shed with
+  :class:`~repro.errors.GatewayOverloadError`.
+* Plans come from a gateway-owned :class:`~repro.plan.PlanCache`: one
+  compile (and one daemon pin) per ``(signature, width)``, LRU-retired
+  under signature churn — eviction closes the plan, which unpins its
+  daemon dispatch and releases its segments.
+* :meth:`PricingGateway.close` drains gracefully: intake stops
+  (:class:`~repro.errors.GatewayClosedError`), every queued request is
+  flushed regardless of deadline, the dispatcher finishes its backlog,
+  and only then do plans, stagings, the dispatch thread and the
+  executor shut down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import (ConfigurationError, DaemonError, GatewayClosedError,
+                      GatewayError, GatewayOverloadError)
+from ..plan import PlanCache, compile_plan, plan_key
+from .batcher import Staging, bucket_width
+from .request import PricingRequest
+from .workloads import adapter_for
+
+#: Retain at most this many per-batch service-time samples for stats.
+_SERVICE_SAMPLES = 20_000
+
+
+class _SigQueue:
+    """Pending requests of one signature."""
+
+    __slots__ = ("items", "n_options", "timer", "enqueued")
+
+    def __init__(self):
+        self.items = deque()     # (request, future)
+        self.n_options = 0
+        self.timer = None        # armed max_wait TimerHandle
+        self.enqueued = False    # a flush job is already queued
+
+
+class PricingGateway:
+    """Dynamic micro-batching front end over the plan/daemon stack.
+
+    Use as an async context manager (or ``await start()`` /
+    ``await close()``).  ``backend="auto"`` attaches to the standing
+    CLI daemon when one is running and falls back to ``serial``.
+    """
+
+    def __init__(self, *, backend: str = "auto",
+                 n_workers: int | None = None,
+                 slab_bytes: int | None = None,
+                 max_wait_s: float = 0.002,
+                 max_batch: int = 4096,
+                 max_batch_requests: int | None = None,
+                 min_bucket: int = 64,
+                 max_pending: int = 1024,
+                 plan_cache_size: int = 32,
+                 max_stagings: int = 32,
+                 executor=None):
+        if max_wait_s < 0:
+            raise ConfigurationError("max_wait_s must be >= 0")
+        if max_batch < 1 or min_bucket < 1 or min_bucket > max_batch:
+            raise ConfigurationError(
+                "need 1 <= min_bucket <= max_batch")
+        if max_batch_requests is not None and max_batch_requests < 1:
+            raise ConfigurationError("max_batch_requests must be >= 1")
+        if max_pending < 1:
+            raise ConfigurationError("max_pending must be >= 1")
+        self.backend = backend
+        self.n_workers = n_workers
+        self.slab_bytes = slab_bytes
+        self.max_wait_s = float(max_wait_s)
+        self.max_batch = int(max_batch)
+        self.max_batch_requests = max_batch_requests
+        self.min_bucket = int(min_bucket)
+        self.max_pending = int(max_pending)
+        self.max_stagings = int(max_stagings)
+        self._cache = PlanCache(maxsize=plan_cache_size)
+        self._stagings: OrderedDict = OrderedDict()
+        self._queues: dict = {}
+        self._queued_requests = 0
+        self._seq = 0
+        self._executor = executor
+        self._owns_executor = executor is None
+        if executor is not None:
+            self.backend = executor.backend
+        self._pool = None
+        self._loop = None
+        self._flush_q = None
+        self._dispatcher = None
+        self._closed = False
+        self._started = False
+        self._stat = {"requests": 0, "completed": 0, "shed": 0,
+                      "failed": 0, "batches": 0}
+        self._batch_requests_hist: dict = {}
+        self._batch_options_hist: dict = {}
+        self._service_s: list = []
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "PricingGateway":
+        if self._started:
+            raise ConfigurationError("gateway already started")
+        from ..parallel.slab import SlabExecutor
+        if self._executor is None:
+            backend = self.backend
+            if backend == "auto":
+                try:
+                    self._executor = SlabExecutor(
+                        "daemon", attach=True, slab_bytes=self.slab_bytes)
+                    backend = "daemon"
+                except DaemonError:
+                    self._executor = SlabExecutor(
+                        "serial", n_workers=self.n_workers,
+                        slab_bytes=self.slab_bytes)
+                    backend = "serial"
+                self.backend = backend
+            else:
+                self._executor = SlabExecutor(
+                    backend, n_workers=self.n_workers,
+                    slab_bytes=self.slab_bytes,
+                    attach=(backend == "daemon"))
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(max_workers=1,
+                                        thread_name_prefix="repro-gateway")
+        self._flush_q = asyncio.PriorityQueue()
+        self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Graceful drain: refuse new work, price everything queued,
+        then release plans (daemon unpins), stagings, thread, pool."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        for sig, st in self._queues.items():
+            if st.items:
+                self._enqueue_flush(sig, self._loop.time())
+            elif st.timer is not None:
+                st.timer.cancel()
+                st.timer = None
+        # The stop sentinel sorts after every real deadline.
+        self._seq += 1
+        self._flush_q.put_nowait((float("inf"), self._seq, None))
+        await self._dispatcher
+        self._cache.clear()
+        self._stagings.clear()
+        self._pool.shutdown(wait=True)
+        if self._owns_executor:
+            self._executor.close()
+
+    async def __aenter__(self) -> "PricingGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # -- intake --------------------------------------------------------
+    async def submit(self, request: PricingRequest):
+        """Queue one request and await its scattered result."""
+        if self._closed or not self._started:
+            raise GatewayClosedError(
+                "gateway is draining or not started")
+        adapter_for(request.kernel, request.tier)  # reject early
+        if request.n > self.max_batch:
+            raise GatewayError(
+                f"request of {request.n} options exceeds "
+                f"max_batch={self.max_batch}; split it client-side")
+        if self._queued_requests >= self.max_pending:
+            self._stat["shed"] += 1
+            raise GatewayOverloadError(
+                f"{self._queued_requests} requests queued "
+                f"(max_pending={self.max_pending}); retry later")
+        self._stat["requests"] += 1
+        sig = request.signature
+        st = self._queues.get(sig)
+        if st is None:
+            st = self._queues[sig] = _SigQueue()
+        fut = self._loop.create_future()
+        st.items.append((request, fut))
+        st.n_options += request.n
+        self._queued_requests += 1
+        full = (st.n_options >= self.max_batch
+                or (self.max_batch_requests is not None
+                    and len(st.items) >= self.max_batch_requests))
+        if full:
+            self._enqueue_flush(sig, self._loop.time())
+        elif st.timer is None and not st.enqueued:
+            st.timer = self._loop.call_later(
+                self.max_wait_s, self._deadline_fired, sig,
+                self._loop.time() + self.max_wait_s)
+        return await fut
+
+    def _deadline_fired(self, sig, deadline: float) -> None:
+        st = self._queues.get(sig)
+        if st is None:
+            return
+        st.timer = None
+        if st.items and not st.enqueued:
+            self._enqueue_flush(sig, deadline)
+
+    def _enqueue_flush(self, sig, deadline: float) -> None:
+        st = self._queues[sig]
+        if st.timer is not None:
+            st.timer.cancel()
+            st.timer = None
+        if st.enqueued:
+            return
+        st.enqueued = True
+        self._seq += 1
+        self._flush_q.put_nowait((deadline, self._seq, sig))
+
+    # -- dispatch ------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            _deadline, _seq, sig = await self._flush_q.get()
+            if sig is None:
+                return
+            st = self._queues.get(sig)
+            if st is None:
+                continue
+            while True:
+                batch = self._take_batch(st)
+                if not batch:
+                    # Atomic with the emptiness check (no await since),
+                    # so a submit landing after this sees a quiet queue
+                    # and arms a fresh timer: no lost wake-ups.
+                    st.enqueued = False
+                    break
+                await self._price_batch(sig, batch)
+
+    def _take_batch(self, st: _SigQueue) -> list:
+        """Slice the longest prefix fitting the batch caps (>= 1)."""
+        batch = []
+        n_opts = 0
+        max_reqs = self.max_batch_requests or len(st.items)
+        while st.items and len(batch) < max_reqs:
+            req, fut = st.items[0]
+            if batch and n_opts + req.n > self.max_batch:
+                break
+            st.items.popleft()
+            st.n_options -= req.n
+            self._queued_requests -= 1
+            batch.append((req, fut))
+            n_opts += req.n
+        return batch
+
+    async def _price_batch(self, sig, batch) -> None:
+        requests = [req for req, _ in batch]
+        total = sum(r.n for r in requests)
+        try:
+            width = bucket_width(total, self.min_bucket, self.max_batch)
+            staging = self._get_staging(sig, width)
+            offsets = staging.pack(requests)
+            t0 = time.perf_counter()
+            value = await self._loop.run_in_executor(
+                self._pool, self._run_plan, staging)
+            service = time.perf_counter() - t0
+            results = staging.scatter(value, offsets)
+        except Exception as exc:                  # deliver, don't die
+            self._stat["failed"] += len(batch)
+            for _, fut in batch:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        self._stat["batches"] += 1
+        self._stat["completed"] += len(batch)
+        b = len(batch)
+        self._batch_requests_hist[b] = \
+            self._batch_requests_hist.get(b, 0) + 1
+        self._batch_options_hist[total] = \
+            self._batch_options_hist.get(total, 0) + 1
+        if len(self._service_s) < _SERVICE_SAMPLES:
+            self._service_s.append(service)
+        for (_, fut), res in zip(batch, results):
+            if not fut.done():
+                fut.set_result(res)
+
+    def _get_staging(self, sig, width: int) -> Staging:
+        key = (sig, width)
+        staging = self._stagings.get(key)
+        if staging is not None:
+            self._stagings.move_to_end(key)
+            return staging
+        kernel, tier, _, _ = sig
+        staging = Staging(adapter_for(kernel, tier), sig, width)
+        self._stagings[key] = staging
+        while len(self._stagings) > self.max_stagings:
+            _, old = self._stagings.popitem(last=False)
+            # Retire the evicted shape's plan with it: close() unpins
+            # its daemon dispatch and releases its shm segments.
+            self._cache.pop(self._plan_key(old))
+        return staging
+
+    def _plan_key(self, staging: Staging) -> tuple:
+        kernel, tier, _, _ = staging.signature
+        return plan_key(kernel, tier, self.backend,
+                        self._executor.n_workers, staging.payload)
+
+    def _run_plan(self, staging: Staging):
+        """Dispatch-thread body: warm plan lookup + fused batch run."""
+        kernel, tier, _, _ = staging.signature
+        key = self._plan_key(staging)
+        plan = self._cache.get(key)
+        if plan is None:
+            plan = compile_plan(kernel, tier, staging.payload,
+                                backend=self.backend,
+                                executor=self._executor)
+            self._cache.put(key, plan)
+        if staging.adapter.needs_rebind \
+                or plan.payload is not staging.payload:
+            # Scenario-style tiers re-expand their derived inputs; a
+            # cached plan that outlived its staging (LRU interleaving)
+            # rebinds onto the new arrays.  Both go through run(payload).
+            return plan.run(staging.payload)
+        return plan.run()
+
+    # -- observability -------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the counters and histograms (plans and stagings stay
+        warm).  Benchmarks call this after warmup dispatches so the
+        one-time first-kernel-run cost never skews service percentiles."""
+        for key in self._stat:
+            self._stat[key] = 0
+        self._batch_requests_hist.clear()
+        self._batch_options_hist.clear()
+        self._service_s.clear()
+
+    @property
+    def stats(self) -> dict:
+        from ..bench.stats import latency_summary
+        queued = {str(k): st.n_options
+                  for k, st in self._queues.items() if st.items}
+        return {
+            **self._stat,
+            "queued_requests": self._queued_requests,
+            "queued_options_by_signature": queued,
+            "batch_requests_hist": {
+                str(k): self._batch_requests_hist[k]
+                for k in sorted(self._batch_requests_hist)},
+            "batch_options_hist": {
+                str(k): self._batch_options_hist[k]
+                for k in sorted(self._batch_options_hist)},
+            "service": latency_summary(self._service_s, scale=1e3,
+                                       suffix="_ms"),
+            "plan_cache": self._cache.stats,
+            "stagings": len(self._stagings),
+            "backend": self.backend,
+        }

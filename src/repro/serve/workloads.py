@@ -1,0 +1,130 @@
+"""Which registered tiers the gateway may coalesce, and why.
+
+Dynamic batching is only *correct* for tiers whose per-option results
+are *elementwise* — a pure function of that option's ``(S, X, T)`` and
+the signature's ``(rate, vol)``, independent of batch width, slab
+partition and neighbours.  The Black-Scholes price, fused-Greeks and
+scenario-grid tiers qualify: every value they emit is computed by
+length-invariant ufunc sweeps, so coalescing ``B`` requests into one
+slab yields bit-identical numbers to pricing each alone (the loadtest's
+digest gate).
+
+Tiers that do **not** qualify are refused loudly rather than silently
+mis-priced:
+
+* RNG-driven kernels (Monte Carlo, Brownian bridge, the RNG tier
+  itself): per-slab jump-ahead streams mean a path's randoms depend on
+  the batch geometry, so a coalesced result differs bit-for-bit from a
+  solo run.
+* ``black_scholes/implied``: its synthetic inverse problem derives the
+  target-vol surface from the *whole batch width*
+  (``linspace(0.6, 1.4, n)``), so it is not a per-request workload.
+* Lattice/PDE kernels (binomial, Crank-Nicolson): per-*option* work
+  units with per-option step grids — batchable in principle, but their
+  payloads are option lists, not the contiguous S/X/T slabs this
+  batcher packs.  Future adapters can add them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import registry
+from ..errors import GatewayError
+from ..pricing.options import OptionBatch
+from ..results import as_result_slab
+from .request import GatewayResult, PricingRequest
+
+
+@dataclass(frozen=True)
+class TierAdapter:
+    """How the gateway drives one batchable ``(kernel, tier)``.
+
+    ``outputs`` is the tier's declared schema (scatter order);
+    ``needs_rebind`` marks planners that price a *derived* expansion of
+    the batch (the scenario grid) and therefore need the plan-level
+    rebind run after packing — the price/Greeks dispatches read the
+    staged batch arrays directly every run, so packing in place is
+    enough for them.
+    """
+
+    kernel: str
+    tier: str
+    outputs: tuple
+    needs_rebind: bool = False
+
+
+_ADAPTERS = {
+    ("black_scholes", "parallel"): TierAdapter(
+        "black_scholes", "parallel", outputs=("price",)),
+    ("black_scholes", "greeks"): TierAdapter(
+        "black_scholes", "greeks",
+        outputs=("price", "delta", "gamma", "vega", "theta", "rho")),
+    ("black_scholes", "scenario"): TierAdapter(
+        "black_scholes", "scenario", outputs=("grid",),
+        needs_rebind=True),
+}
+
+
+def batchable_tiers() -> tuple:
+    """Every ``(kernel, tier)`` the gateway accepts."""
+    return tuple(sorted(_ADAPTERS))
+
+
+def adapter_for(kernel: str, tier: str) -> TierAdapter:
+    try:
+        return _ADAPTERS[(kernel, tier)]
+    except KeyError:
+        raise GatewayError(
+            f"{kernel}/{tier} is not batchable: the gateway only "
+            f"coalesces elementwise tiers whose per-option results are "
+            f"independent of batch geometry (have: "
+            f"{', '.join('/'.join(k) for k in batchable_tiers())})"
+        ) from None
+
+
+def make_staging_payload(signature: tuple, width: int) -> dict:
+    """A registry payload whose SOA arrays are the packing target.
+
+    Initialized to ones (every field must satisfy the positive-domain
+    checks before real segments land); the risk tiers only ever read
+    ``payload["soa"]``, so the AOS half is omitted.
+    """
+    kernel, tier, rate, vol = signature
+    ones = np.ones(width)
+    return {"soa": OptionBatch(ones, ones.copy(), ones.copy(),
+                               rate=rate, vol=vol, layout="soa")}
+
+
+def reference_result(request: PricingRequest, executor) -> GatewayResult:
+    """The request priced *alone* through the registered cold ``fn`` —
+    the serial reference every scattered result must digest-match.
+
+    Runs at the request's own width (no canonical bucketing), so a
+    match proves the whole gateway pipeline — packing, canonical
+    padding, fused dispatch, scatter — preserved per-option values
+    exactly.
+    """
+    adapter = adapter_for(request.kernel, request.tier)
+    impl = registry.impl(request.kernel, request.tier, executor.backend)
+    payload = {"soa": OptionBatch(request.S.copy(), request.X.copy(),
+                                  request.T.copy(), rate=request.rate,
+                                  vol=request.vol, layout="soa")}
+    slab = as_result_slab(impl.fn(payload, executor), impl.outputs)
+    n = request.n
+    outputs = {}
+    for name in adapter.outputs:
+        vec = np.asarray(slab[name])
+        k = vec.shape[0] // n
+        outputs[name] = vec.reshape(k, n) if k > 1 else vec
+    return GatewayResult(outputs, n)
+
+
+def serial_reference(request: PricingRequest) -> GatewayResult:
+    """:func:`reference_result` on a private serial executor (the
+    loadtest's digest oracle)."""
+    from ..parallel.slab import SlabExecutor
+    with SlabExecutor("serial") as ex:
+        return reference_result(request, ex)

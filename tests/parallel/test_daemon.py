@@ -121,6 +121,35 @@ class TestClearErrors:
                 ex._get_daemon().dispatch(12345)
 
 
+class TestStatus:
+    def test_status_reports_abi_workers_and_pins(self):
+        x = np.arange(64, dtype=np.float64)
+        out = np.zeros_like(x)
+        with SlabExecutor("daemon", n_workers=2, slab_bytes=256) as ex:
+            ex.map_shm(_scale, x.shape[0], bytes_per_item=16,
+                       sliced={"x": x, "out": out},
+                       writes=("out",), consts={"k": 2.0})
+            status = ex._daemon.status()
+            from repro.parallel.ring import ABI_VERSION
+            assert status["abi"] == ABI_VERSION
+            assert status["n_workers"] == 2
+            assert status["workers_alive"] == 2
+            assert status["plans_pinned"] == 1
+            # Operator-facing pin detail: id, fan-out, output-set CRC.
+            (pin,) = status["pinned"]
+            assert pin["plan_id"] in ex._daemon._plans
+            assert pin["n_slabs"] == ex._daemon._plans[pin["plan_id"]]
+            assert pin["output_set_id"] == \
+                ex._daemon._plan_outs[pin["plan_id"]]
+
+    def test_status_pins_empty_when_nothing_pinned(self):
+        with SlabExecutor("daemon", n_workers=1, slab_bytes=256) as ex:
+            ex._get_daemon()           # spin up without pinning
+            status = ex._daemon.status()
+            assert status["plans_pinned"] == 0
+            assert status["pinned"] == []
+
+
 class TestPinLifecycle:
     def test_repeat_calls_reuse_one_pin(self):
         x = np.arange(64, dtype=np.float64)

@@ -68,6 +68,16 @@ class TestLRU:
         with pytest.raises(ConfigurationError):
             PlanCache(maxsize=0)
 
+    def test_pop_closes_and_drops(self):
+        cache = PlanCache(maxsize=4)
+        a = FakePlan()
+        cache.put("a", a)
+        assert cache.pop("a") is True
+        assert a.closed
+        assert "a" not in cache and len(cache) == 0
+        # Popping an absent key is a no-op, not an error.
+        assert cache.pop("a") is False
+
 
 class TestShapeKey:
     def test_same_shape_different_numbers_share_a_key(self):
@@ -90,3 +100,17 @@ class TestShapeKey:
     def test_key_is_hashable(self):
         payload = {"x": np.zeros(4), "opts": [1, 2, 3], "name": "bs"}
         hash(shape_key(payload))
+
+    def test_option_batch_rate_and_vol_shape_the_key(self):
+        # rate/vol are baked into compiled dispatch consts, so two
+        # batches differing only there must not share a plan.
+        from repro.pricing import OptionBatch
+
+        def batch(rate, vol):
+            return OptionBatch(np.full(8, 100.0), np.full(8, 95.0),
+                               np.full(8, 1.0), rate, vol)
+
+        base = shape_key({"soa": batch(0.05, 0.2)})
+        assert base == shape_key({"soa": batch(0.05, 0.2)})
+        assert base != shape_key({"soa": batch(0.06, 0.2)})
+        assert base != shape_key({"soa": batch(0.05, 0.3)})

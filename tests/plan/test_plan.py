@@ -143,3 +143,50 @@ class TestCachedPlan:
                         backend="serial", n_workers=1, cache=cache)
         assert c is not a and cache.stats["misses"] == 2
         cache.clear()
+
+    def test_scenario_rebind_reexpands_the_grid(self):
+        # Regression: the scenario planner expands the batch into its
+        # bump grid at compile time; a cached plan re-run with new
+        # numbers must re-tile, not price the stale grid.
+        from repro.pricing import OptionBatch
+
+        def payload(lo, hi):
+            return {"soa": OptionBatch(np.linspace(lo, hi, 8),
+                                       np.full(8, 100.0),
+                                       np.full(8, 1.0), 0.05, 0.2)}
+
+        cache = PlanCache(maxsize=2)
+        p1, p2 = payload(80.0, 120.0), payload(60.0, 90.0)
+        a = cached_plan("black_scholes", "scenario", p1,
+                        backend="serial", n_workers=1, cache=cache)
+        stale = np.asarray(a.run()).copy()
+        b = cached_plan("black_scholes", "scenario", p2,
+                        backend="serial", n_workers=1, cache=cache)
+        assert b is a and cache.stats["hits"] == 1
+        got = np.asarray(b.run()).copy()
+        impl = registry.impl("black_scholes", "scenario", "serial")
+        with SlabExecutor("serial") as ex:
+            cold = np.asarray(impl.fn(payload(60.0, 90.0), ex))
+        assert np.array_equal(got, cold), \
+            "cached scenario plan priced a stale grid after rebind"
+        assert not np.array_equal(got, stale)
+        cache.clear()
+
+    def test_scenario_rebind_rejects_changed_constants(self):
+        from repro.pricing import OptionBatch
+
+        def payload(vol):
+            return {"soa": OptionBatch(np.full(8, 100.0),
+                                       np.full(8, 95.0),
+                                       np.full(8, 1.0), 0.05, vol)}
+
+        cache = PlanCache(maxsize=2)
+        cached_plan("black_scholes", "scenario", payload(0.2),
+                    backend="serial", n_workers=1, cache=cache)
+        # rate/vol are part of the shape key, so a different vol is a
+        # cache miss (a new plan), never a bad rebind.
+        other = cached_plan("black_scholes", "scenario", payload(0.3),
+                            backend="serial", n_workers=1, cache=cache)
+        assert cache.stats["misses"] == 2
+        assert np.asarray(other.run()).shape[0] == 25 * 8
+        cache.clear()

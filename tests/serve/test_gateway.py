@@ -1,0 +1,241 @@
+"""PricingGateway: coalescing, flush triggers, shedding, drain.
+
+No pytest-asyncio in the container; each test drives its own event
+loop with ``asyncio.run``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import (ConfigurationError, GatewayClosedError,
+                          GatewayError, GatewayOverloadError)
+from repro.parallel import SlabExecutor
+from repro.serve import PricingGateway, PricingRequest, serial_reference
+
+
+def _req(m=8, lo=50.0, hi=150.0, tier="parallel", rate=0.05, vol=0.2):
+    return PricingRequest(S=np.linspace(lo, hi, m),
+                          X=np.linspace(hi, lo, m),
+                          T=np.linspace(0.1, 2.0, m),
+                          rate=rate, vol=vol, tier=tier)
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PricingGateway(max_wait_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            PricingGateway(min_bucket=128, max_batch=64)
+        with pytest.raises(ConfigurationError):
+            PricingGateway(max_batch_requests=0)
+
+    def test_unsupported_tier_rejected_at_submit(self):
+        async def main():
+            async with PricingGateway(backend="serial") as gw:
+                bad = _req(4)
+                bad.tier = "implied"     # not batchable: batch-derived targets
+                with pytest.raises(GatewayError, match="implied"):
+                    await gw.submit(bad)
+        asyncio.run(main())
+
+    def test_oversized_request_rejected(self):
+        async def main():
+            async with PricingGateway(backend="serial",
+                                      max_batch=64) as gw:
+                with pytest.raises(GatewayError, match="max_batch"):
+                    await gw.submit(_req(65))
+        asyncio.run(main())
+
+    def test_submit_after_close_raises(self):
+        async def main():
+            gw = PricingGateway(backend="serial")
+            await gw.start()
+            await gw.close()
+            with pytest.raises(GatewayClosedError):
+                await gw.submit(_req())
+        asyncio.run(main())
+
+
+class TestCoalescing:
+    def test_concurrent_same_signature_requests_fuse(self):
+        async def main():
+            async with PricingGateway(backend="serial",
+                                      max_wait_s=0.01) as gw:
+                reqs = [_req(4 + i) for i in range(6)]
+                results = await asyncio.gather(
+                    *(gw.submit(r) for r in reqs))
+                # All six requests ride one fused dispatch.
+                assert {r.batch_requests for r in results} == {6}
+                assert gw.stats["batches"] == 1
+                return reqs, results
+        reqs, results = asyncio.run(main())
+        for req, res in zip(reqs, results):
+            assert res.digest() == serial_reference(req).digest()
+
+    def test_distinct_signatures_never_fuse(self):
+        async def main():
+            async with PricingGateway(backend="serial",
+                                      max_wait_s=0.01) as gw:
+                a = gw.submit(_req(4, vol=0.2))
+                b = gw.submit(_req(4, vol=0.4))
+                ra, rb = await asyncio.gather(a, b)
+                assert ra.batch_requests == 1
+                assert rb.batch_requests == 1
+                assert gw.stats["batches"] == 2
+        asyncio.run(main())
+
+    def test_mixed_tiers_route_to_their_own_batches(self):
+        async def main():
+            async with PricingGateway(backend="serial",
+                                      max_wait_s=0.005) as gw:
+                reqs = [_req(6, tier=t)
+                        for t in ("parallel", "greeks", "scenario")]
+                results = await asyncio.gather(
+                    *(gw.submit(r) for r in reqs))
+                return reqs, results
+        reqs, results = asyncio.run(main())
+        for req, res in zip(reqs, results):
+            assert res.digest() == serial_reference(req).digest()
+        assert results[0].outputs == ("price",)
+        assert len(results[1].outputs) == 6          # the Greeks
+        assert results[2].outputs == ("grid",)
+        assert np.asarray(results[2]["grid"]).shape == (25, 6)
+
+    def test_size_flush_does_not_wait_for_deadline(self):
+        async def main():
+            # max_wait is far beyond the test budget: only the
+            # options-cap flush can complete these requests quickly.
+            async with PricingGateway(backend="serial", max_wait_s=5.0,
+                                      max_batch=64,
+                                      min_bucket=64) as gw:
+                reqs = [_req(32), _req(32)]
+                results = await asyncio.wait_for(
+                    asyncio.gather(*(gw.submit(r) for r in reqs)),
+                    timeout=2.0)
+                assert results[0].batch_options == 64
+        asyncio.run(main())
+
+    def test_request_cap_flush(self):
+        async def main():
+            async with PricingGateway(backend="serial", max_wait_s=5.0,
+                                      max_batch_requests=3) as gw:
+                results = await asyncio.wait_for(
+                    asyncio.gather(*(gw.submit(_req(4))
+                                     for _ in range(3))),
+                    timeout=2.0)
+                assert {r.batch_requests for r in results} == {3}
+        asyncio.run(main())
+
+    def test_per_request_mode_prices_each_alone(self):
+        async def main():
+            async with PricingGateway(backend="serial", max_wait_s=0.0,
+                                      max_batch_requests=1) as gw:
+                results = await asyncio.gather(
+                    *(gw.submit(_req(4)) for _ in range(5)))
+                assert {r.batch_requests for r in results} == {1}
+                assert gw.stats["batches"] == 5
+        asyncio.run(main())
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_gateway_overload_error(self):
+        async def main():
+            async with PricingGateway(backend="serial", max_wait_s=0.05,
+                                      max_pending=4) as gw:
+                outcomes = await asyncio.gather(
+                    *(gw.submit(_req(4)) for _ in range(12)),
+                    return_exceptions=True)
+                shed = [o for o in outcomes
+                        if isinstance(o, GatewayOverloadError)]
+                ok = [o for o in outcomes if not isinstance(o, Exception)]
+                assert shed, "max_pending=4 never shed at 12 in flight"
+                assert ok, "every request shed; gateway made no progress"
+                assert gw.stats["shed"] == len(shed)
+        asyncio.run(main())
+
+
+class TestDrain:
+    def test_close_completes_queued_work(self):
+        async def main():
+            gw = PricingGateway(backend="serial", max_wait_s=10.0)
+            await gw.start()
+            # Deadline is far away; close() must flush regardless.
+            pending = [asyncio.ensure_future(gw.submit(_req(4)))
+                       for _ in range(4)]
+            await asyncio.sleep(0)       # let submits enqueue
+            await asyncio.wait_for(gw.close(), timeout=5.0)
+            results = await asyncio.gather(*pending)
+            assert all(r.n == 4 for r in results)
+        asyncio.run(main())
+
+    def test_stats_shape(self):
+        async def main():
+            async with PricingGateway(backend="serial",
+                                      max_wait_s=0.005) as gw:
+                await gw.submit(_req(4))
+                s = gw.stats
+                assert s["requests"] == s["completed"] == 1
+                assert s["batches"] == 1
+                assert s["backend"] == "serial"
+                assert s["batch_requests_hist"] == {"1": 1}
+                assert s["service"]["n"] == 1
+                gw.reset_stats()
+                s2 = gw.stats
+                assert s2["requests"] == 0 and s2["batches"] == 0
+                assert s2["service"] == {"n": 0}
+        asyncio.run(main())
+
+
+class TestSharedExecutor:
+    def test_external_executor_is_borrowed_not_closed(self):
+        with SlabExecutor("serial") as ex:
+            async def main():
+                async with PricingGateway(executor=ex) as gw:
+                    assert gw.backend == "serial"
+                    res = await gw.submit(_req(4))
+                    assert res.n == 4
+            asyncio.run(main())
+
+            # Still usable after the gateway closed: a second gateway
+            # can borrow it and price.
+            async def again():
+                async with PricingGateway(executor=ex) as gw:
+                    return (await gw.submit(_req(4))).n
+            assert asyncio.run(again()) == 4
+
+
+class TestDaemonChurn:
+    """Satellite: signature churn through a small PlanCache must keep
+    the daemon's pinned-dispatch set bounded (eviction unpins)."""
+
+    def test_plan_eviction_unpins_daemon_dispatches(self):
+        with SlabExecutor("daemon", n_workers=2, slab_bytes=1 << 16) as ex:
+            async def main():
+                # Stagings outlive the plan cache on purpose: the
+                # 3-slot PlanCache is what must evict (and unpin).
+                async with PricingGateway(executor=ex, max_wait_s=0.0,
+                                          plan_cache_size=3,
+                                          max_stagings=16) as gw:
+                    # 8 distinct (rate, vol) signatures -> 8 plans
+                    # through a 3-slot cache.
+                    reqs = [_req(8, vol=0.15 + 0.05 * i)
+                            for i in range(8)]
+                    for req in reqs:
+                        res = await gw.submit(req)
+                        assert res.digest() == \
+                            serial_reference(req).digest()
+                    stats = gw.stats
+                    assert stats["plan_cache"]["evictions"] >= 5
+                    assert stats["plan_cache"]["size"] <= 3
+                    # The daemon holds pins only for live plans.
+                    assert len(ex._daemon._plans) <= 3
+                    # Churned signatures re-price correctly (recompile
+                    # + re-pin transparently).
+                    res = await gw.submit(reqs[0])
+                    assert res.digest() == \
+                        serial_reference(reqs[0]).digest()
+            asyncio.run(main())
+            # Gateway close released every gateway pin.
+            assert len(ex._daemon._plans) == 0

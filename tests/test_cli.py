@@ -72,6 +72,18 @@ class TestCLI:
         data = json.loads(out_json.read_text())
         assert all(k["digest_match"] for k in data["kernels"])
 
+    def test_loadtest_smoke(self, capsys, tmp_path):
+        import json
+        out_json = tmp_path / "BENCH_serving.json"
+        assert main(["loadtest", "--smoke", "--clients", "4",
+                     "--requests", "24", "--rates", "400",
+                     "--budgets-ms", "2", "--out", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "Serving loadtest" in out and "digests" in out
+        data = json.loads(out_json.read_text())
+        assert data["digests_ok"]
+        assert data["capacity"]["batched"]["n_ok"] == 24
+
     def test_sweep_smoke(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)
         assert main(["sweep", "--smoke", "--repeats", "1",
