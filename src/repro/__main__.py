@@ -14,7 +14,7 @@ platforms               the simulated machines (+ optional host calibration)
 parallel                serial-vs-slab speedup of the parallel-tier kernels
 serve-bench             steady-state serving: warm plan vs cold compile
 daemon start|stop|status  manage the standing slab-worker daemon
-lint                    AST conformance analysis of the tree (R001-R005)
+lint                    AST conformance analysis of the tree (R001-R010)
 
 Kernel choices everywhere are derived from :mod:`repro.registry`, so a
 newly registered kernel shows up in ``figure``/``profile``/``sweep``

@@ -9,13 +9,21 @@ R002  RNG discipline: seeded streams, randomness from the slab plan
 R003  ``map_shm`` slab bodies must be module-level (picklable)
 R004  dtype discipline: explicit dtype=, no float32 mixing
 R005  slab-body writes declared in ``writes=`` and race-free
+R006  no blocking calls in event-loop context
+R007  single-producer discipline on seqlock rings
+R008  acquire/release lifecycle pairing (pin/attach/create/start)
+R009  cross-thread mutation needs a lock, queue, or ring
+R010  ring layout literals must match the ABI version manifest
 ====  ==========================================================
 
 Hot tiers are discovered by importing :mod:`repro.registry` (advanced/
 parallel ``OptLevel`` implementations plus their one-hop callees), not
-by filename convention.  Findings can be suppressed in place with
+by filename convention; thread/async contexts are classified per
+module by :mod:`repro.analysis.context` from spawn sites and direct
+call edges.  Findings can be suppressed in place with
 ``# repro-lint: disable=R00x`` or grandfathered via a JSON baseline.
-R005 has a runtime twin in :func:`repro.parallel.safety.validate_write_plan`.
+R005 has a runtime twin in :func:`repro.parallel.safety.validate_write_plan`,
+R010 in the attach-time ABI check of :class:`repro.parallel.ring.Ring`.
 """
 
 from .baseline import load_baseline, split_baselined, write_baseline

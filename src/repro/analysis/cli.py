@@ -14,7 +14,7 @@ from ..errors import AnalysisError
 from .baseline import (DEFAULT_BASELINE, load_baseline, split_baselined,
                        write_baseline)
 from .engine import Linter
-from .report import dumps, render_json, render_text
+from .report import dumps, render_github, render_json, render_text
 from .rule import all_rules, rule_for
 
 
@@ -22,6 +22,46 @@ def default_lint_paths() -> list:
     """The package source tree of the running ``repro`` checkout."""
     import repro
     return [Path(repro.__file__).parent]
+
+
+def _git_lines(root, *argv) -> list:
+    import subprocess
+    try:
+        proc = subprocess.run(["git", "-C", str(root), *argv],
+                              capture_output=True, text=True)
+    except OSError as exc:
+        raise AnalysisError(f"cannot run git: {exc}") from None
+    if proc.returncode != 0:
+        raise AnalysisError(
+            f"git {' '.join(argv)} failed: "
+            f"{proc.stderr.strip() or proc.returncode}")
+    return [ln for ln in proc.stdout.splitlines() if ln.strip()]
+
+
+def changed_python_files(ref: str, paths) -> list:
+    """Changed ``*.py`` files (vs ``ref``) that live under ``paths``.
+
+    ``HEAD`` compares the working tree + index (the local fast path);
+    any other ref diffs from ``merge-base(ref, HEAD)`` through the
+    working tree (the PR fast path).  Untracked files count — a lint
+    rule a brand-new file violates must not hide from ``--changed``.
+    """
+    cwd = Path.cwd()
+    top = Path(_git_lines(cwd, "rev-parse", "--show-toplevel")[0])
+    diff_arg = "HEAD" if ref == "HEAD" else f"{ref}..."
+    names = set(_git_lines(cwd, "diff", "--name-only", diff_arg))
+    names |= set(_git_lines(cwd, "ls-files", "--others",
+                            "--exclude-standard"))
+    roots = [Path(p).resolve() for p in paths]
+    out = []
+    for name in sorted(names):
+        f = top / name
+        if f.suffix != ".py" or not f.is_file():
+            continue
+        rf = f.resolve()
+        if any(rf == r or r in rf.parents for r in roots):
+            out.append(f)
+    return out
 
 
 def _pick_root(paths) -> Path:
@@ -38,7 +78,7 @@ def _pick_root(paths) -> Path:
 def add_lint_parser(sub):
     p = sub.add_parser(
         "lint",
-        help="AST conformance analysis of the kernel tree (R001-R005)")
+        help="AST conformance analysis of the kernel tree (R001-R010)")
     p.add_argument("paths", nargs="*", default=None,
                    help="files/directories to lint "
                         "(default: the repro package source)")
@@ -56,6 +96,14 @@ def add_lint_parser(sub):
                    help="print a rule's rationale and example fix, then exit")
     p.add_argument("--rules", default=None,
                    help="comma-separated subset of rule codes to run")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="REF",
+                   help="lint only files changed vs REF (default HEAD: "
+                        "working tree + index + untracked); pass a base "
+                        "ref like origin/main on PRs")
+    p.add_argument("--github", action="store_true",
+                   help="also emit GitHub Actions ::error annotations "
+                        "for new findings")
     p.set_defaults(fn=run_lint)
     return p
 
@@ -82,6 +130,14 @@ def _run(args) -> int:
 
     paths = ([Path(p) for p in args.paths] if args.paths
              else default_lint_paths())
+    if args.changed:
+        scope = paths
+        paths = changed_python_files(args.changed, scope)
+        if not paths:
+            print(f"lint --changed: no Python files changed vs "
+                  f"{args.changed} under "
+                  f"{', '.join(str(p) for p in scope)}")
+            return 0
     linter = Linter(paths, root=_pick_root(paths), rules=rules)
     result = linter.run()
 
@@ -108,4 +164,6 @@ def _run(args) -> int:
         print(render_text(result, new, baselined))
         if args.out:
             print(f"wrote {args.out}")
+    if args.github and new:
+        print(render_github(new))
     return 1 if new else 0

@@ -44,3 +44,28 @@ def render_json(result, new, baselined) -> dict:
 
 def dumps(payload: dict) -> str:
     return json.dumps(payload, indent=2)
+
+
+def _escape_annotation(text: str) -> str:
+    """GitHub workflow-command escaping for message data."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def _escape_property(text: str) -> str:
+    """Property values additionally escape the delimiters."""
+    return (_escape_annotation(text)
+            .replace(":", "%3A").replace(",", "%2C"))
+
+
+def render_github(new) -> str:
+    """``::error`` workflow commands, one per new finding — printed by
+    the CI lint job so findings annotate the PR diff inline."""
+    lines = []
+    for f in new:
+        title = f"{f.code} {f.symbol}" if f.symbol else f.code
+        lines.append(
+            f"::error file={_escape_property(f.path)},line={f.line},"
+            f"col={f.column + 1},title={_escape_property(title)}::"
+            f"{f.code} {_escape_annotation(f.message)}")
+    return "\n".join(lines)

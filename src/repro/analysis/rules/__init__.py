@@ -1,3 +1,4 @@
 """Rule implementations; importing this package registers them all."""
 
-from . import allocation, dtype, pickling, rng, writes  # noqa: F401
+from . import (abi, allocation, concurrency, dtype,  # noqa: F401
+               lifecycle, pickling, rng, writes)

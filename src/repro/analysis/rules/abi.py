@@ -1,0 +1,201 @@
+"""R010 — ring ABI consistency: layout literals vs the version manifest.
+
+``repro.parallel.ring`` defines the wire layout two processes built
+from *different checkouts* must agree on: the header struct (magic,
+abi, slots, payload size, head, tail), the reserved head/tail/door
+offsets, and the descriptor payload whose ``arg`` word carries the
+output-set id since v2.  ``Ring.attach`` rejects a mismatched
+``ABI_VERSION`` at runtime — but only if the bump actually happened.
+This rule makes the bump unforgettable: any module that declares
+``ABI_VERSION`` and a struct payload must also carry an
+``_ABI_MANIFEST`` literal (one entry per revision), the manifest's
+newest entry must equal ``ABI_VERSION``, and that entry must match the
+live struct/offset literals field for field.  Editing a layout
+constant without appending a bumped entry — or appending one without
+bumping — fails lint before it can ship a segment two builds parse
+differently.
+"""
+
+from __future__ import annotations
+
+import ast
+import struct
+
+from ..rule import Rule, register
+
+#: manifest field -> module constant it mirrors.
+_FIELDS = {
+    "header": "_HEADER",
+    "header_bytes": "_HEADER_BYTES",
+    "head_off": "_HEAD_OFF",
+    "tail_off": "_TAIL_OFF",
+    "door_off": "_DOOR_OFF",
+    "payload": "_PAYLOAD",
+}
+
+
+def _module_constants(tree) -> dict:
+    """Top-level ``NAME = <literal>`` bindings: ints, strings, dict
+    literals, and ``struct.Struct("fmt")`` calls (as their fmt)."""
+    out = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        t = node.targets[0]
+        if not isinstance(t, ast.Name):
+            continue
+        out[t.id] = node
+    return out
+
+
+def _literal(node):
+    """The assigned literal value, or None when it is computed."""
+    v = node.value
+    if isinstance(v, ast.Constant):
+        return v.value
+    if (isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Attribute)
+            and v.func.attr == "Struct" and v.args
+            and isinstance(v.args[0], ast.Constant)):
+        return v.args[0].value            # struct.Struct("<fmt>") -> fmt
+    if isinstance(v, ast.Dict):
+        try:
+            return ast.literal_eval(v)
+        except ValueError:
+            return None
+    return None
+
+
+@register
+class RingAbiManifest(Rule):
+    code = "R010"
+    name = "ring layout literals must match the ABI manifest"
+    rationale = (
+        "The ring header and descriptor structs are a wire ABI between "
+        "independently-built processes; Ring.attach can only reject a "
+        "stale peer if every layout change ships with an ABI_VERSION "
+        "bump. The manifest records each revision's layout; lint "
+        "fails when the live struct/offset literals drift from the "
+        "current entry, when the newest entry is not ABI_VERSION "
+        "(bump forgotten, or entry added without bumping), and when a "
+        "v2+ entry does not document the arg word's output_set_id "
+        "packing."
+    )
+    example_bad = (
+        "ABI_VERSION = 2\n"
+        "_PAYLOAD = struct.Struct(\"<QIIQQ\")   # field added...\n"
+        "_ABI_MANIFEST = {2: {\"payload\": \"<QIIQ\", ...}}  # ...no bump"
+    )
+    example_fix = (
+        "ABI_VERSION = 3\n"
+        "_PAYLOAD = struct.Struct(\"<QIIQQ\")\n"
+        "_ABI_MANIFEST = {2: {\"payload\": \"<QIIQ\", ...},\n"
+        "                 3: {\"payload\": \"<QIIQQ\",\n"
+        "                     \"arg\": \"output_set_id ...\", ...}}"
+    )
+
+    def check(self, sf, ctx):
+        consts = _module_constants(sf.tree)
+        if "ABI_VERSION" not in consts or "_PAYLOAD" not in consts:
+            return
+        abi_node = consts["ABI_VERSION"]
+        abi = _literal(abi_node)
+        if not isinstance(abi, int):
+            yield self.finding(
+                sf, abi_node,
+                "ABI_VERSION must be an int literal so attach-time "
+                "checks and this rule can read it")
+            return
+        if "_ABI_MANIFEST" not in consts:
+            yield self.finding(
+                sf, abi_node,
+                "module defines ABI_VERSION and a descriptor struct "
+                "but no _ABI_MANIFEST literal; add one entry per "
+                "revision so layout edits can't ship without a bump")
+            return
+        man_node = consts["_ABI_MANIFEST"]
+        manifest = _literal(man_node)
+        if (not isinstance(manifest, dict) or not manifest
+                or not all(isinstance(k, int) for k in manifest)):
+            yield self.finding(
+                sf, man_node,
+                "_ABI_MANIFEST must be a non-empty dict literal keyed "
+                "by int ABI revision")
+            return
+        newest = max(manifest)
+        if newest != abi:
+            yield self.finding(
+                sf, abi_node,
+                f"ABI_VERSION is {abi} but the newest _ABI_MANIFEST "
+                f"entry is {newest}; every layout revision needs a "
+                f"matching bump + entry (bump forgotten, or entry "
+                f"added without bumping)")
+            return
+        entry = manifest[abi]
+        if not isinstance(entry, dict):
+            yield self.finding(
+                sf, man_node,
+                f"_ABI_MANIFEST[{abi}] must be a dict of layout fields")
+            return
+        yield from self._check_entry(sf, consts, man_node, abi, entry)
+
+    def _check_entry(self, sf, consts, man_node, abi, entry):
+        for field, const in _FIELDS.items():
+            if field not in entry:
+                yield self.finding(
+                    sf, man_node,
+                    f"_ABI_MANIFEST[{abi}] is missing {field!r} "
+                    f"(mirrors {const})")
+                continue
+            if const not in consts:
+                yield self.finding(
+                    sf, man_node,
+                    f"_ABI_MANIFEST[{abi}][{field!r}] mirrors {const} "
+                    f"but the module does not define it")
+                continue
+            live = _literal(consts[const])
+            if live is not None and live != entry[field]:
+                yield self.finding(
+                    sf, consts[const],
+                    f"{const} = {live!r} disagrees with "
+                    f"_ABI_MANIFEST[{abi}][{field!r}] = "
+                    f"{entry[field]!r}; layout changed without an ABI "
+                    f"bump (or the new entry is wrong)")
+        yield from self._check_sanity(sf, man_node, abi, entry)
+
+    def _check_sanity(self, sf, man_node, abi, entry):
+        header = entry.get("header")
+        hbytes = entry.get("header_bytes")
+        offs = [entry.get(k) for k in ("head_off", "tail_off",
+                                       "door_off")]
+        if isinstance(header, str) and isinstance(hbytes, int):
+            try:
+                hsize = struct.calcsize(header)
+            except struct.error:
+                yield self.finding(
+                    sf, man_node,
+                    f"_ABI_MANIFEST[{abi}]['header'] = {header!r} is "
+                    f"not a valid struct format")
+                return
+            if hsize > hbytes:
+                yield self.finding(
+                    sf, man_node,
+                    f"_ABI_MANIFEST[{abi}]: packed header ({hsize} B) "
+                    f"overflows header_bytes ({hbytes})")
+        if all(isinstance(o, int) for o in offs) and isinstance(
+                hbytes, int):
+            head, tail, door = offs
+            if not (head < tail < door and door + 8 <= hbytes):
+                yield self.finding(
+                    sf, man_node,
+                    f"_ABI_MANIFEST[{abi}]: head/tail/door offsets "
+                    f"({head}/{tail}/{door}) must be ascending 8-byte "
+                    f"words inside header_bytes ({hbytes})")
+        if abi >= 2:
+            arg = entry.get("arg", "")
+            if "output_set_id" not in str(arg):
+                yield self.finding(
+                    sf, man_node,
+                    f"_ABI_MANIFEST[{abi}]: v2+ packs the output-set "
+                    f"id in the descriptor arg word; the 'arg' field "
+                    f"must document the output_set_id packing")

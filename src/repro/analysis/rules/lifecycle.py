@@ -1,0 +1,73 @@
+"""R008 — acquire/release lifecycle pairing.
+
+Built on :mod:`repro.analysis.lifecycle`: every ``pin``/``attach``/
+``create``/``start``/``acquire``/``compile_shm`` call site is found,
+its custody classified (with-block, escaped, self-stored, local), and
+the verdicts below become findings.  The leaks this guards against
+are the silent kind: an unpaired daemon pin holds worker plan state
+and pin-cache slots forever; an unpaired shm attach holds a mapping
+(and, for owners, the segment) past process exit; an unpaired start
+leaks processes the test harness then waits on.
+"""
+
+from __future__ import annotations
+
+from ..lifecycle import LEAK, NO_TEARDOWN, PAIRS, UNSAFE, acquire_sites
+from ..rule import Rule, register
+
+
+@register
+class LifecyclePairing(Rule):
+    code = "R008"
+    name = "every acquire must dominate a release on all paths"
+    rationale = (
+        "Daemon pins, ring/arena attaches, segment creates, and "
+        "process starts all hold resources that outlive the Python "
+        "reference; dropping the handle leaks worker state, shm "
+        "mappings, or processes with no error. A release that only "
+        "runs on the fall-through path is the same bug wearing a "
+        "disguise — the first exception between acquire and release "
+        "leaks. Acquires held in a with-block, released in a "
+        "finally:, stored on self with a class teardown path, or "
+        "handed off (returned/stored/passed on) are all fine; "
+        "anything else is a finding."
+    )
+    example_bad = (
+        "def price(name):\n"
+        "    ring = Ring.attach(name)\n"
+        "    ring.push(seq, plan, slab, arg)   # raises -> mapping leaks\n"
+        "    ring.close()"
+    )
+    example_fix = (
+        "def price(name):\n"
+        "    ring = Ring.attach(name)\n"
+        "    try:\n"
+        "        ring.push(seq, plan, slab, arg)\n"
+        "    finally:\n"
+        "        ring.close()"
+    )
+
+    def check(self, sf, ctx):
+        for acq in acquire_sites(sf):
+            releases = " or ".join(f"{r}()" for r in PAIRS[acq.kind])
+            where = (f"{acq.kind}() result"
+                     if acq.var is None else f"{acq.kind}() into "
+                     f"{'self.' if acq.custody == 'self' else ''}"
+                     f"{acq.var}")
+            if acq.verdict == LEAK:
+                yield self.finding(
+                    sf, acq.node,
+                    f"{where} is never released ({releases}); release "
+                    f"it in a finally: or hold it in a with block")
+            elif acq.verdict == UNSAFE:
+                yield self.finding(
+                    sf, acq.node,
+                    f"{where} is released only on the fall-through "
+                    f"path — an exception between acquire and release "
+                    f"leaks it; move the {releases} into a finally:")
+            elif acq.verdict == NO_TEARDOWN:
+                yield self.finding(
+                    sf, acq.node,
+                    f"{where} but the class has no teardown path "
+                    f"calling {releases}; add one (close/stop/"
+                    f"__exit__) so the owner can release it")

@@ -151,24 +151,31 @@ def measure_multi_output_overhead(backend: str, n_workers: int,
         single = ex.compile_shm(_noop_slab, n, bytes_per_item=bpi,
                                 sliced={"x": np.zeros(n)}, consts={},
                                 tag="noop1")
-        names = tuple(f"o{i}" for i in range(n_outputs))
-        multi = ex.compile_shm(_noop_slab, n, bytes_per_item=bpi,
-                               sliced={nm: np.zeros(n) for nm in names},
-                               writes=names,
-                               outputs={nm: (nm,) for nm in names},
-                               consts={}, tag="noop6")
-        single.run()                                          # warm-up
-        multi.run()
-        t_single, t_multi = [], []
-        for _ in range(rounds):
-            t0 = _time.perf_counter()
-            for _ in range(inner):
-                single.run()
-            t_single.append(_time.perf_counter() - t0)
-            t0 = _time.perf_counter()
-            for _ in range(inner):
+        try:
+            names = tuple(f"o{i}" for i in range(n_outputs))
+            multi = ex.compile_shm(
+                _noop_slab, n, bytes_per_item=bpi,
+                sliced={nm: np.zeros(n) for nm in names},
+                writes=names,
+                outputs={nm: (nm,) for nm in names},
+                consts={}, tag="noop6")
+            try:
+                single.run()                                  # warm-up
                 multi.run()
-            t_multi.append(_time.perf_counter() - t0)
+                t_single, t_multi = [], []
+                for _ in range(rounds):
+                    t0 = _time.perf_counter()
+                    for _ in range(inner):
+                        single.run()
+                    t_single.append(_time.perf_counter() - t0)
+                    t0 = _time.perf_counter()
+                    for _ in range(inner):
+                        multi.run()
+                    t_multi.append(_time.perf_counter() - t0)
+            finally:
+                multi.close()
+        finally:
+            single.close()
     single_us = summarize_times(t_single)[0] / inner * 1e6
     multi_us = summarize_times(t_multi)[0] / inner * 1e6
     return {

@@ -391,14 +391,29 @@ class _RingDispatcher:
             tasks = [(consts_list[i], int(a), int(b), i)
                      for i, (a, b) in enumerate(slabs)
                      if self._worker_of(i) == w]
-            reply = self._control(w, ("pin", plan_id, out_id, fn, specs,
-                                      tasks))
+            try:
+                reply = self._control(w, ("pin", plan_id, out_id, fn,
+                                          specs, tasks))
+            except Exception:
+                self._rollback_pin(plan_id, w)
+                raise
             if reply[0] != "ok":
+                self._rollback_pin(plan_id, w)
                 raise DaemonError(
                     f"worker {w} rejected pin of plan {plan_id}: {reply}")
         self._plans[plan_id] = len(slabs)
         self._plan_outs[plan_id] = out_id
         return plan_id
+
+    def _rollback_pin(self, plan_id: int, upto: int) -> None:
+        """Retire a half-applied pin: workers ``[0, upto)`` accepted it
+        and would hold the plan's body/specs/consts forever if the
+        failing pin escaped without this (best-effort, like unpin)."""
+        for w in range(upto):
+            try:
+                self._control(w, ("unpin", plan_id))
+            except (DaemonError, OSError, EOFError):
+                pass
 
     def update_consts(self, plan_id: int, consts_list) -> None:
         """Replace a pinned plan's per-slab constants (small pickle on

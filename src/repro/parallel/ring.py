@@ -80,6 +80,34 @@ _WORD = struct.Struct("<Q")
 _PAYLOAD = struct.Struct("<QIIQ")
 _SLOT_BYTES = 8 + _PAYLOAD.size          # per-slot seq word + payload
 
+#: One entry per ABI revision, newest last.  R010 (ring-abi-manifest)
+#: cross-checks the current entry against the live struct literals
+#: above: editing a layout constant without bumping ``ABI_VERSION``
+#: and appending an entry — or appending without bumping — is a lint
+#: failure, so a forgotten bump can never ship.  ``arg`` documents the
+#: descriptor arg-word semantics for the revision.
+_ABI_MANIFEST = {
+    1: {
+        "header": "<IIIIQQ",
+        "header_bytes": 64,
+        "head_off": 16,
+        "tail_off": 24,
+        "door_off": 32,
+        "payload": "<QIIQ",
+        "arg": "unused (zero)",
+    },
+    2: {
+        "header": "<IIIIQQ",
+        "header_bytes": 64,
+        "head_off": 16,
+        "tail_off": 24,
+        "door_off": 32,
+        "payload": "<QIIQ",
+        "arg": "output_set_id of the pinned plan on submit rings "
+               "(0 = legacy single-output), 0 on completion rings",
+    },
+}
+
 #: Producer/consumer backoff ladder: spin this many polls hot, then
 #: yield the CPU per poll, then sleep.  The hot window is short on
 #: purpose — a ring poll is pure memory (~2 µs) but burning hundreds

@@ -570,8 +570,16 @@ class SlabExecutor:
                 specs[name] = spec
                 (copy_back if name in writes else copy_in).append(
                     (name, arena.view(spec)))
-            plan_id = daemon.pin(fn, specs, consts_list, slabs,
-                                 outputs=output_names)
+            try:
+                plan_id = daemon.pin(fn, specs, consts_list, slabs,
+                                     outputs=output_names)
+            except Exception:
+                # A refused pin must not strand the roles staged above:
+                # no entry records them, so nothing would ever release
+                # the arena segments.
+                for nm in specs:
+                    arena.release(f"{prefix}.{nm}")
+                raise
             entry = {"plan_id": plan_id, "prefix": prefix,
                      "roles": [f"{prefix}.{nm}" for nm in specs],
                      "copy_in": copy_in, "copy_back": copy_back,
@@ -740,9 +748,17 @@ class CompiledDispatch:
         if self._pooled_daemon:
             # Pin once — the only pickle this dispatch ever pays; every
             # run() is then pure descriptor traffic.
-            self._plan_id = executor._get_daemon().pin(
-                fn, specs, self._consts, slabs,
-                outputs=plan.output_names)
+            try:
+                self._plan_id = executor._get_daemon().pin(
+                    fn, specs, self._consts, slabs,
+                    outputs=plan.output_names)
+            except Exception:
+                # Half-built dispatch: nothing holds a reference yet,
+                # so close() would never run — release the roles staged
+                # above here or they leak for the arena's lifetime.
+                for name in specs:
+                    arena.release(f"{tag}.{name}")
+                raise
 
     @property
     def n_slabs(self) -> int:

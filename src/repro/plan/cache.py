@@ -85,6 +85,11 @@ class PlanCache:
         return plan
 
     def put(self, key, plan) -> None:
+        displaced = self._plans.get(key)
+        if displaced is not None and displaced is not plan:
+            # Overwriting a live entry must retire it — the old plan's
+            # daemon pins and arena segments leak otherwise.
+            displaced.close()
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.maxsize:
@@ -92,6 +97,22 @@ class PlanCache:
             self.evictions += 1
             if evicted is not plan:
                 evicted.close()
+
+    def setdefault(self, key, plan):
+        """Cache ``plan`` under ``key`` unless one is already live; the
+        incumbent wins and the loser is closed.  This is the primitive
+        for concurrent compilers (gateway dispatch vs. eviction): two
+        contexts racing the same shape must not leak the runner-up's
+        pins."""
+        have = self._plans.get(key)
+        if have is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            if have is not plan:
+                plan.close()
+            return have
+        self.put(key, plan)
+        return plan
 
     def pop(self, key) -> bool:
         """Drop (and close) the plan cached under ``key``; ``True`` if

@@ -36,6 +36,7 @@ Control flow (all on one event loop, plus exactly one dispatch thread):
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
@@ -101,6 +102,11 @@ class PricingGateway:
         self.max_pending = int(max_pending)
         self.max_stagings = int(max_stagings)
         self._cache = PlanCache(maxsize=plan_cache_size)
+        # The cache is touched from the event loop (staging eviction),
+        # the dispatch thread (warm lookup/compile), and the teardown
+        # helper thread; the LRU's internal OrderedDict moves make
+        # even get() a mutation, so every access takes this lock.
+        self._cache_lock = threading.Lock()
         self._stagings: OrderedDict = OrderedDict()
         self._queues: dict = {}
         self._queued_requests = 0
@@ -168,9 +174,23 @@ class PricingGateway:
         # The stop sentinel sorts after every real deadline.
         self._seq += 1
         self._flush_q.put_nowait((float("inf"), self._seq, None))
-        await self._dispatcher
-        self._cache.clear()
-        self._stagings.clear()
+        try:
+            await self._dispatcher
+        finally:
+            # Teardown even when the dispatcher died mid-drain —
+            # otherwise a crashed drain leaks the pool thread and
+            # every daemon pin.  Plan close (unpins over the control
+            # socket) and pool shutdown (thread join) both block, so
+            # they run off the loop; stagings are plain arrays and
+            # clear inline.
+            self._stagings.clear()
+            await self._loop.run_in_executor(None,
+                                             self._teardown_blocking)
+
+    def _teardown_blocking(self) -> None:
+        """Blocking tail of close(); runs on a helper thread."""
+        with self._cache_lock:
+            self._cache.clear()
         self._pool.shutdown(wait=True)
         if self._owns_executor:
             self._executor.close()
@@ -315,7 +335,8 @@ class PricingGateway:
             _, old = self._stagings.popitem(last=False)
             # Retire the evicted shape's plan with it: close() unpins
             # its daemon dispatch and releases its shm segments.
-            self._cache.pop(self._plan_key(old))
+            with self._cache_lock:
+                self._cache.pop(self._plan_key(old))
         return staging
 
     def _plan_key(self, staging: Staging) -> tuple:
@@ -327,12 +348,14 @@ class PricingGateway:
         """Dispatch-thread body: warm plan lookup + fused batch run."""
         kernel, tier, _, _ = staging.signature
         key = self._plan_key(staging)
-        plan = self._cache.get(key)
+        with self._cache_lock:
+            plan = self._cache.get(key)
         if plan is None:
             plan = compile_plan(kernel, tier, staging.payload,
                                 backend=self.backend,
                                 executor=self._executor)
-            self._cache.put(key, plan)
+            with self._cache_lock:
+                plan = self._cache.setdefault(key, plan)
         if staging.adapter.needs_rebind \
                 or plan.payload is not staging.payload:
             # Scenario-style tiers re-expand their derived inputs; a

@@ -73,3 +73,75 @@ class TestLintCLI:
         assert main(["lint", str(bad), "--rules", "R003"]) == 0
         assert main(["lint", str(bad), "--rules", "R002"]) == 1
         capsys.readouterr()
+
+
+class TestGithubAnnotations:
+    def test_findings_become_error_commands(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import numpy as np\nz = np.random.rand(4)\n")
+        assert main(["lint", str(bad), "--github"]) == 1
+        out = capsys.readouterr().out
+        line = next(ln for ln in out.splitlines()
+                    if ln.startswith("::error "))
+        assert "file=bad.py" in line and "line=2" in line
+        assert "title=R002" in line and "::R002 " in line
+
+    def test_clean_run_emits_no_commands(self, tmp_path, capsys):
+        ok = tmp_path / "ok.py"
+        ok.write_text("x = 1\n")
+        assert main(["lint", str(ok), "--github"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+    def test_delimiters_escaped_in_properties(self, tmp_path, capsys):
+        from repro.analysis.report import render_github
+        from repro.analysis.findings import Finding
+        f = Finding(code="R006", path="a,b:c.py", line=3, column=0,
+                    message="50% slower\nnext", symbol="flush")
+        out = render_github([f])
+        assert "file=a%2Cb%3Ac.py" in out
+        assert "50%25 slower%0Anext" in out
+
+
+class TestChangedScope:
+    @pytest.fixture()
+    def repo(self, tmp_path, monkeypatch):
+        import subprocess
+
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                 *argv],
+                cwd=tmp_path, check=True, capture_output=True)
+
+        git("init", "-q")
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        git("add", ".")
+        git("commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_no_changes_exits_clean(self, repo, capsys):
+        assert main(["lint", str(repo), "--changed"]) == 0
+        assert "no Python files changed" in capsys.readouterr().out
+
+    def test_untracked_bad_file_is_linted(self, repo, capsys):
+        (repo / "bad.py").write_text(
+            "import numpy as np\nz = np.random.rand(4)\n")
+        assert main(["lint", str(repo), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out and "bad.py" in out
+
+    def test_committed_files_stay_out_of_scope(self, repo, capsys):
+        # Worsen a committed file without staging it, then fix it back:
+        # only the modified state is linted.
+        (repo / "clean.py").write_text(
+            "import numpy as np\nz = np.random.rand(4)\n")
+        assert main(["lint", str(repo), "--changed"]) == 1
+        (repo / "clean.py").write_text("x = 1\n")
+        assert main(["lint", str(repo), "--changed"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_ref_is_driver_error(self, repo, capsys):
+        assert main(["lint", str(repo), "--changed",
+                     "no-such-ref"]) == 2
+        assert "lint error" in capsys.readouterr().err

@@ -58,12 +58,62 @@ class TestSuppressions:
         assert lint_source(text) == []
 
 
+class TestConcurrencySuppressions:
+    """Edge cases for the R006-R010 era: multi-rule disables and
+    disables on decorated async defs."""
+
+    ASYNC_BAD = ("import time\n"
+                 "async def flush(name):\n"
+                 "    ring = Ring.attach(name)\n"      # R008: leak
+                 "    time.sleep(0.01)\n")             # R006: blocks loop
+
+    def test_multi_rule_disable_covers_both(self):
+        text = self.ASYNC_BAD.replace(
+            "async def flush(name):",
+            "# repro-lint: disable=R006,R008\n"
+            "async def flush(name):")
+        assert sorted(f.code for f in lint_source(self.ASYNC_BAD)) \
+            == ["R006", "R008"]
+        assert lint_source(text) == []
+
+    def test_one_code_leaves_the_other(self):
+        text = self.ASYNC_BAD.replace(
+            "async def flush(name):",
+            "# repro-lint: disable=R008\n"
+            "async def flush(name):")
+        assert [f.code for f in lint_source(text)] == ["R006"]
+
+    def test_disable_above_decorated_async_def(self):
+        text = ("import time\n"
+                "# repro-lint: disable=R006\n"
+                "@retry(3)\n"
+                "async def flush():\n"
+                "    time.sleep(0.01)\n")
+        assert lint_source(text) == []
+        undisabled = text.replace("# repro-lint: disable=R006\n", "")
+        assert [f.code for f in lint_source(undisabled)] == ["R006"]
+
+
 class TestFingerprints:
     def test_stable_under_line_shift(self):
         shifted = "# a new comment\n\n" + BAD_R004
         (f1,) = lint_source(BAD_R004)
         (f2,) = lint_source(shifted)
         assert f1.line != f2.line
+        assert f1.fingerprint == f2.fingerprint
+
+    def test_stable_across_unrelated_insertions(self):
+        # A new import and helper function above the offending def
+        # moves the finding but must not churn the baseline.
+        edited = ("import numpy as np\n"
+                  "import time\n"
+                  "def helper():\n"
+                  "    pass\n"
+                  "def kernel(n):\n"
+                  "    return np.empty(n)\n")
+        (f1,) = lint_source(BAD_R004)
+        (f2,) = lint_source(edited)
+        assert f2.line == f1.line + 3
         assert f1.fingerprint == f2.fingerprint
 
     def test_occurrences_distinguish_identical_lines(self):

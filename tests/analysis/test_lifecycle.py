@@ -1,0 +1,138 @@
+"""Unit tests for the acquire/release pairing analysis."""
+
+from repro.analysis.lifecycle import (LEAK, NO_TEARDOWN, OK, UNSAFE,
+                                      acquire_sites)
+from repro.analysis.source import SourceFile
+
+
+def sites(text):
+    return acquire_sites(SourceFile("<test>", text))
+
+
+def one(text):
+    (acq,) = sites(text)
+    return acq
+
+
+class TestCustody:
+    def test_with_block(self):
+        acq = one("def f(name):\n"
+                  "    with Ring.attach(name) as r:\n"
+                  "        pass\n")
+        assert (acq.custody, acq.verdict) == ("with", OK)
+
+    def test_local_variable(self):
+        acq = one("def f(name):\n"
+                  "    ring = Ring.attach(name)\n")
+        assert (acq.custody, acq.var) == ("local", "ring")
+
+    def test_self_attribute(self):
+        acq = one("class A:\n"
+                  "    def open(self, name):\n"
+                  "        self._ring = Ring.attach(name)\n")
+        assert (acq.custody, acq.var) == ("self", "_ring")
+
+    def test_receiver_statement(self):
+        acq = one("def f(proc):\n"
+                  "    proc.start()\n")
+        assert (acq.custody, acq.var) == ("receiver", "proc")
+
+    def test_discarded_result(self):
+        acq = one("def f(name):\n"
+                  "    get_ring().attach(name)\n")
+        assert (acq.custody, acq.verdict) == ("discard", LEAK)
+
+    def test_fed_into_call_escapes(self):
+        acq = one("def f(name):\n"
+                  "    register(Ring.attach(name))\n")
+        assert (acq.custody, acq.verdict) == ("escape", OK)
+
+    def test_returned_escapes(self):
+        acq = one("def f(name):\n"
+                  "    return Ring.attach(name)\n")
+        assert (acq.custody, acq.verdict) == ("escape", OK)
+
+
+class TestVerdicts:
+    def test_release_in_finally_ok(self):
+        acq = one("def f(name):\n"
+                  "    ring = Ring.attach(name)\n"
+                  "    try:\n"
+                  "        ring.push(1)\n"
+                  "    finally:\n"
+                  "        ring.close()\n")
+        assert acq.verdict == OK
+        assert acq.release is not None
+
+    def test_fall_through_release_unsafe(self):
+        acq = one("def f(name):\n"
+                  "    ring = Ring.attach(name)\n"
+                  "    ring.push(1)\n"
+                  "    ring.close()\n")
+        assert acq.verdict == UNSAFE
+
+    def test_no_release_leaks(self):
+        acq = one("def f(name):\n"
+                  "    ring = Ring.attach(name)\n"
+                  "    ring.push(1)\n")
+        assert acq.verdict == LEAK
+
+    def test_self_store_needs_class_teardown(self):
+        acq = one("class A:\n"
+                  "    def open(self, name):\n"
+                  "        self._ring = Ring.attach(name)\n")
+        assert acq.verdict == NO_TEARDOWN
+        acq = one("class A:\n"
+                  "    def open(self, name):\n"
+                  "        self._ring = Ring.attach(name)\n"
+                  "    def close(self):\n"
+                  "        self._ring.close()\n")
+        assert acq.verdict == OK
+
+    def test_release_by_argument(self):
+        acq = one("def f(daemon, schedule):\n"
+                  "    pid = daemon.pin(schedule)\n"
+                  "    try:\n"
+                  "        pass\n"
+                  "    finally:\n"
+                  "        daemon.unpin(pid)\n")
+        assert acq.verdict == OK
+
+    def test_alias_transfers_custody(self):
+        acq = one("def f(name, holder):\n"
+                  "    ring = Ring.attach(name)\n"
+                  "    holder.ring = ring\n")
+        assert acq.verdict == OK
+
+    def test_closure_capture_transfers_custody(self):
+        acq = one("def f(ex, schedule):\n"
+                  "    d = ex.compile_shm(schedule)\n"
+                  "    def run(z):\n"
+                  "        return d.run(z)\n"
+                  "    return run\n")
+        assert acq.verdict == OK
+
+
+class TestScope:
+    def test_suffix_verbs_match(self):
+        acq = one("def f(name):\n"
+                  "    m = _raw_attach(name)\n"
+                  "    try:\n"
+                  "        use(m)\n"
+                  "    finally:\n"
+                  "        m.close()\n")
+        assert (acq.kind, acq.verdict) == ("attach", OK)
+
+    def test_self_delegation_skipped(self):
+        # self.attach(...) delegates to the object's own lifecycle —
+        # the object, not this frame, owns the pairing.
+        assert sites("class A:\n"
+                     "    def open(self, name):\n"
+                     "        self.attach(name)\n") == []
+
+    def test_module_level_skipped(self):
+        assert sites("ring = Ring.attach('x')\n") == []
+
+    def test_non_verb_calls_ignored(self):
+        assert sites("def f(x):\n"
+                     "    return transform(x)\n") == []

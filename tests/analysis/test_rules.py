@@ -278,3 +278,206 @@ class TestR005Outputs:
         # No outputs= at all: the single-price contract, not a finding.
         findings = run_rule("R005", FIXTURES["R005"]["good"])
         assert findings == []
+
+
+class TestR006Scope:
+    def test_arbitrary_caller_exempt(self):
+        # Untagged sync code may block — it's the caller's problem.
+        text = ("import time\n"
+                "def helper():\n"
+                "    time.sleep(0.01)\n")
+        assert run_rule("R006", text) == []
+
+    def test_direct_call_edge_propagates(self):
+        text = ("import time\n"
+                "def _drain():\n"
+                "    time.sleep(0.01)\n"
+                "async def flush():\n"
+                "    _drain()\n")
+        findings = run_rule("R006", text)
+        assert len(findings) == 1
+        assert "_drain" in findings[0].message
+
+    def test_loop_callback_classified(self):
+        text = ("import time\n"
+                "def _tick():\n"
+                "    time.sleep(0.5)\n"
+                "def arm(loop):\n"
+                "    loop.call_soon(_tick)\n")
+        assert len(run_rule("R006", text)) == 1
+
+    def test_value_passing_creates_no_edge(self):
+        # A body handed to run_in_executor runs on a pool thread, not
+        # the loop, even though an async def registers it.
+        text = ("import time\n"
+                "def _work():\n"
+                "    time.sleep(0.5)\n"
+                "async def submit(loop, pool):\n"
+                "    await loop.run_in_executor(pool, _work)\n")
+        assert run_rule("R006", text) == []
+
+    def test_pool_shutdown_wait_false_allowed(self):
+        text = ("async def close(pool):\n"
+                "    pool.shutdown(wait=False)\n")
+        assert run_rule("R006", text) == []
+
+    def test_ring_push_in_async_fires(self):
+        text = ("async def flush(submit_ring, seq, plan, slab):\n"
+                "    submit_ring.push(seq, plan, slab, 0)\n")
+        findings = run_rule("R006", text)
+        assert len(findings) == 1
+        assert "ring" in findings[0].message
+
+
+class TestR007Scope:
+    def test_single_owner_context_clean(self):
+        text = ("import threading\n"
+                "def _dispatch_loop(submit_ring):\n"
+                "    submit_ring.push(1, 2, 3, 0)\n"
+                "def start():\n"
+                "    threading.Thread(target=_dispatch_loop).start()\n")
+        assert run_rule("R007", text) == []
+
+    def test_unclassified_pushes_ignored(self):
+        text = ("def helper(submit_ring):\n"
+                "    submit_ring.push(1, 2, 3, 0)\n")
+        assert run_rule("R007", text) == []
+
+    def test_non_ringish_receiver_ignored(self):
+        text = ("import threading\n"
+                "async def a(stash):\n"
+                "    stash.push(1)\n"
+                "def b(stash):\n"
+                "    stash.push(2)\n"
+                "def start():\n"
+                "    threading.Thread(target=b).start()\n")
+        assert run_rule("R007", text) == []
+
+    def test_per_spawn_attach_allowed(self):
+        # The good fixture's _worker_main: a multi-spawned context may
+        # push a ring it attached itself (one ring per spawn).
+        assert run_rule("R007", FIXTURES["R007"]["good"]) == []
+
+
+class TestR008Scope:
+    def test_escape_via_return_transfers_custody(self):
+        text = ("def make(name):\n"
+                "    ring = Ring.attach(name)\n"
+                "    return ring\n")
+        assert run_rule("R008", text) == []
+
+    def test_closure_capture_transfers_custody(self):
+        # compile_shm handles captured by a returned runner belong to
+        # the plan layer — the kernel planners' idiom.
+        text = ("def planner(ex, schedule):\n"
+                "    dispatch = ex.compile_shm(schedule)\n"
+                "    def run(z, out):\n"
+                "        return dispatch.run(z, out)\n"
+                "    return run\n")
+        assert run_rule("R008", text) == []
+
+    def test_self_store_without_teardown_fires(self):
+        text = ("class Holder:\n"
+                "    def open(self, name):\n"
+                "        self._ring = Ring.attach(name)\n")
+        findings = run_rule("R008", text)
+        assert len(findings) == 1
+        assert "no teardown" in findings[0].message
+
+    def test_self_store_with_teardown_clean(self):
+        text = ("class Holder:\n"
+                "    def open(self, name):\n"
+                "        self._ring = Ring.attach(name)\n"
+                "    def close(self):\n"
+                "        self._ring.close()\n")
+        assert run_rule("R008", text) == []
+
+    def test_release_via_argument_pairs(self):
+        # daemon.unpin(plan_id) releases the id daemon.pin returned.
+        text = ("def run(daemon, schedule):\n"
+                "    plan_id = daemon.pin(schedule)\n"
+                "    try:\n"
+                "        daemon.dispatch(plan_id)\n"
+                "    finally:\n"
+                "        daemon.unpin(plan_id)\n")
+        assert run_rule("R008", text) == []
+
+    def test_fall_through_release_fires(self):
+        text = ("def run(daemon, schedule):\n"
+                "    plan_id = daemon.pin(schedule)\n"
+                "    daemon.unpin(plan_id)\n")
+        findings = run_rule("R008", text)
+        assert len(findings) == 1
+        assert "fall-through" in findings[0].message
+
+
+class TestR009Scope:
+    def test_outside_serve_parallel_unscoped(self):
+        findings = run_rule("R009", FIXTURES["R009"]["bad"],
+                            assume_hot=False)
+        assert findings == []
+
+    def test_single_context_clean(self):
+        text = ("class GW:\n"
+                "    async def submit(self, item):\n"
+                "        self._pending = item\n"
+                "    async def flush(self):\n"
+                "        self._pending = None\n")
+        assert run_rule("R009", text) == []
+
+    def test_synchronizer_attrs_exempt(self):
+        # Mutating a queue from two contexts IS the mediation.
+        text = ("class GW:\n"
+                "    async def submit(self, item):\n"
+                "        self._queue.put(item)\n"
+                "    def _drain(self):\n"
+                "        self._queue.put(None)\n"
+                "    def start(self, loop):\n"
+                "        loop.run_in_executor(None, self._drain)\n")
+        assert run_rule("R009", text) == []
+
+    def test_init_mutations_exempt(self):
+        # Construction happens-before publication: __init__ writes
+        # never pair with post-publication mutations.
+        text = ("class GW:\n"
+                "    def __init__(self):\n"
+                "        self._cache = {}\n"
+                "    async def submit(self, k):\n"
+                "        self._cache[k] = k\n"
+                "    def start(self, loop):\n"
+                "        loop.run_in_executor(None, self._drain)\n"
+                "    def _drain(self):\n"
+                "        pass\n")
+        assert run_rule("R009", text) == []
+
+
+class TestR010Scope:
+    def test_modules_without_abi_skipped(self):
+        assert run_rule("R010", "x = 1\n") == []
+
+    def test_missing_manifest_fires(self):
+        text = ("import struct\n"
+                "ABI_VERSION = 1\n"
+                "_PAYLOAD = struct.Struct(\"<QIIQ\")\n")
+        findings = run_rule("R010", text)
+        assert len(findings) == 1
+        assert "no _ABI_MANIFEST" in findings[0].message
+
+    def test_forgotten_bump_fires(self):
+        text = FIXTURES["R010"]["good"].replace(
+            "ABI_VERSION = 2", "ABI_VERSION = 3")
+        findings = run_rule("R010", text)
+        assert any("newest" in f.message for f in findings)
+
+    def test_offset_sanity_checked(self):
+        text = FIXTURES["R010"]["good"].replace(
+            '"door_off": 32', '"door_off": 60')
+        findings = run_rule("R010", text)
+        assert any("ascending" in f.message for f in findings)
+
+    def test_arg_doc_required_from_v2(self):
+        text = FIXTURES["R010"]["good"].replace(
+            '"arg": "output_set_id of the pinned plan (0 = legacy)"',
+            '"arg": "whatever"')
+        findings = run_rule("R010", text)
+        assert any("output_set_id" in f.message for f in findings)
