@@ -1,0 +1,99 @@
+"""Design-space exploration + autotune gate, exported to ``BENCH_dse.json``.
+
+Standalone (not pytest-benchmark): sweeps the parametric machine model
+(cores x SIMD width x LLC x bandwidth) through the cost/roofline models
+to map each kernel's Ninja-gap and serial/parallel-crossover surfaces
+(SNB-EP/KNC anchor rows included), then runs the online autotuner for
+real on this host — per (kernel x workload) grid point the bandit races
+the fixed default dispatch configuration against inline/pool/modeled
+crossovers, and the deployed winner is re-measured head-to-head against
+the fixed default.  Exits non-zero when the acceptance gate fails:
+tuned throughput must be >= fixed on >= 80% of grid points, never worse
+than 5%, with every result digest bit-identical to the serial
+reference.
+
+Run ``python benchmarks/bench_dse.py`` for the real measurement or
+``--smoke`` for the seconds-long CI configuration.  ``--policy-out``
+writes the tuned policy table (default ``BENCH_policy.json`` next to
+the artifact; never the live ``~/.cache`` policy file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import dse_result, measure_dse, render  # noqa: E402
+from repro.config import SMALL_SIZES, SMOKE_SIZES  # noqa: E402
+from repro.tune import DEFAULT_AXES, SMOKE_AXES  # noqa: E402
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..",
+                           "BENCH_dse.json")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="smoke axes + SMOKE_SIZES workloads (CI mode)")
+    ap.add_argument("--kernels", default=None,
+                    help="comma-separated measured-grid kernel subset")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats for the head-to-head phase")
+    ap.add_argument("--samples-per-stage", type=int, default=3,
+                    help="bandit samples per arm per halving stage")
+    ap.add_argument("--n-workers", type=int, default=None)
+    ap.add_argument("--seed", type=int, default=2012)
+    ap.add_argument("--out", default=DEFAULT_OUT)
+    ap.add_argument("--policy-out", default=None,
+                    help="tuned policy table path (default: "
+                         "BENCH_policy.json beside --out)")
+    args = ap.parse_args(argv)
+
+    policy_out = args.policy_out or os.path.join(
+        os.path.dirname(os.path.abspath(args.out)), "BENCH_policy.json")
+    kernels = (tuple(k.strip() for k in args.kernels.split(","))
+               if args.kernels else None)
+    data = measure_dse(
+        axes=SMOKE_AXES if args.smoke else DEFAULT_AXES,
+        sizes=SMOKE_SIZES if args.smoke else SMALL_SIZES,
+        kernels=kernels,
+        repeats=args.repeats,
+        samples_per_stage=args.samples_per_stage,
+        n_workers=args.n_workers,
+        seed=args.seed,
+        policy_out=policy_out)
+    data["smoke"] = args.smoke
+
+    print(render(dse_result(data), "text"))
+    out = os.path.abspath(args.out)
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {out}")
+    print(f"wrote {os.path.abspath(policy_out)}")
+
+    acc = data["acceptance"]
+    if not acc["pass"]:
+        for m in acc["digest_mismatches"][:5]:
+            print(f"FAIL: digest mismatch: {m}", file=sys.stderr)
+        print(f"FAIL: tuned >= fixed on "
+              f"{acc['frac_tuned_ge_fixed']:.0%} of "
+              f"{acc['grid_points']} points "
+              f"(gate >= {acc['gate_frac']:.0%}), min ratio "
+              f"{acc['min_ratio']} (gate >= {acc['gate_min_ratio']})",
+              file=sys.stderr)
+        return 1
+    print(f"dse acceptance: tuned >= fixed on "
+          f"{acc['frac_tuned_ge_fixed']:.0%} of {acc['grid_points']} "
+          f"grid points, min ratio {acc['min_ratio']}, "
+          f"{acc['digests_checked']} digests identical to the serial "
+          f"reference [PASS]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

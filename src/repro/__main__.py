@@ -8,6 +8,7 @@ profile <kernel>        VTune-style cycle profile on one platform
 ninja                   the modeled Ninja-gap table
 sweep                   measure the Ninja gap: time every registered tier
 scaling                 measured core-scaling curves (workers x backends)
+dse                     design-space sweep + measured autotune gate
 greeks                  risk workloads: Greeks tiers, cold vs plan-compiled
 price ...               price one contract with every applicable engine
 platforms               the simulated machines (+ optional host calibration)
@@ -137,7 +138,7 @@ def _cmd_sweep(args) -> int:
     data = measure_ninja_sweep(
         sizes=sizes, backends=backends, n_workers=args.workers,
         slab_bytes=args.slab_bytes, repeats=args.repeats, seed=args.seed,
-        kernels=kernels)
+        kernels=kernels, policy=args.policy)
     print(render(sweep_detail_result(data), args.format))
     print()
     print(render(sweep_gap_result(data), args.format))
@@ -196,12 +197,56 @@ def _cmd_scaling(args) -> int:
     data = measure_scaling(
         sizes=sizes, backends=backends, worker_counts=workers,
         slab_bytes=args.slab_bytes, repeats=args.repeats, seed=args.seed,
-        kernels=kernels)
+        kernels=kernels, policy=args.policy)
     print(render(scaling_result(data), args.format))
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(data, fh, indent=2)
         print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    import json
+    import os
+
+    from .bench import dse_result, measure_dse, render
+    from .config import SMALL_SIZES, SMOKE_SIZES
+    from .tune import DEFAULT_AXES, SMOKE_AXES
+
+    kernels = (tuple(k.strip() for k in args.kernels.split(","))
+               if args.kernels else None)
+    policy_out = args.policy_out
+    if policy_out is None and args.out:
+        policy_out = os.path.join(
+            os.path.dirname(os.path.abspath(args.out)),
+            "BENCH_policy.json")
+    data = measure_dse(
+        axes=SMOKE_AXES if args.smoke else DEFAULT_AXES,
+        sizes=SMOKE_SIZES if args.smoke else SMALL_SIZES,
+        kernels=kernels, repeats=args.repeats,
+        samples_per_stage=args.samples_per_stage,
+        n_workers=args.workers, seed=args.seed,
+        policy_out=policy_out)
+    data["smoke"] = args.smoke
+    print(render(dse_result(data), args.format))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2)
+        print(f"wrote {args.out}")
+    if policy_out:
+        print(f"wrote {policy_out}")
+    acc = data["acceptance"]
+    if not acc["pass"]:
+        for m in acc["digest_mismatches"][:5]:
+            print(f"FAIL: digest mismatch: {m}", file=sys.stderr)
+        print(f"FAIL: tuned >= fixed on "
+              f"{acc['frac_tuned_ge_fixed']:.0%} of "
+              f"{acc['grid_points']} points "
+              f"(gate >= {acc['gate_frac']:.0%}), min ratio "
+              f"{acc['min_ratio']} (gate >= {acc['gate_min_ratio']})",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -275,10 +320,25 @@ def _cmd_daemon(args) -> int:
         return 0
 
     # status
+    import os
+
+    from .tune import PolicyTable, default_policy_path
     state = _read_state(state_path)
     status = _sock_call(state["socket"], "status")
+    # This machine's learned dispatch policy rides along: the daemon
+    # itself is policy-agnostic (gateways resolve policies client-side),
+    # so status reports what a policy-aware client would apply here.
+    policy_path = default_policy_path()
+    if os.path.exists(policy_path):
+        table = PolicyTable.load(policy_path)
+        policy = {"path": policy_path,
+                  "fingerprint": table.fingerprint,
+                  "entries": table.summary()}
+    else:
+        policy = {"path": policy_path, "mode": "fixed",
+                  "entries": {}}
     print(json.dumps({"state_path": state_path, "pid": state["pid"],
-                      **status}, indent=2))
+                      **status, "policy": policy}, indent=2))
     return 0
 
 
@@ -312,7 +372,8 @@ def _cmd_loadtest(args) -> int:
         budgets_ms=tuple(float(b) for b in args.budgets_ms.split(","))
         if args.budgets_ms else ((2.0,) if args.smoke
                                  else (1.0, 2.0, 5.0)),
-        seed=args.seed)
+        seed=args.seed,
+        policy=args.policy)
     data["smoke"] = args.smoke
     print(render(serving_result(data), args.format))
     if args.out:
@@ -451,6 +512,10 @@ def main(argv=None) -> int:
                    choices=["text", "json", "csv"])
     p.add_argument("--out", default="BENCH_ninja_measured.json",
                    help="raw measurement JSON path ('' to skip)")
+    p.add_argument("--policy", default="fixed",
+                   help="dispatch policy: fixed (historical constants), "
+                        "auto (this machine's tuned policy file), or a "
+                        "policy-file path")
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
@@ -500,7 +565,35 @@ def main(argv=None) -> int:
                    choices=["text", "json", "csv"])
     p.add_argument("--out", default="BENCH_scaling.json",
                    help="raw measurement JSON path ('' to skip)")
+    p.add_argument("--policy", default="fixed",
+                   help="dispatch policy: fixed, auto, or a "
+                        "policy-file path")
     p.set_defaults(fn=_cmd_scaling)
+
+    p = sub.add_parser(
+        "dse",
+        help="design-space exploration (modeled surfaces) + measured "
+             "autotune acceptance gate -> BENCH_dse.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="smoke axes + SMOKE_SIZES workloads (CI mode)")
+    p.add_argument("--kernels", default=None,
+                   help="comma-separated measured-grid kernel subset "
+                        "(default: all parallel-tier kernels)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of repeats for the head-to-head phase")
+    p.add_argument("--samples-per-stage", type=int, default=3,
+                   help="bandit samples per arm per halving stage")
+    p.add_argument("--seed", type=int, default=2012)
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "csv"])
+    p.add_argument("--out", default="BENCH_dse.json",
+                   help="raw measurement JSON path ('' to skip)")
+    p.add_argument("--policy-out", default=None,
+                   help="tuned policy table path (default: "
+                        "BENCH_policy.json beside --out; never the "
+                        "live policy file)")
+    p.set_defaults(fn=_cmd_dse)
 
     p = sub.add_parser(
         "daemon",
@@ -562,6 +655,9 @@ def main(argv=None) -> int:
                    choices=["text", "json", "csv"])
     p.add_argument("--out", default="BENCH_serving.json",
                    help="raw measurement JSON path ('' to skip)")
+    p.add_argument("--policy", default="fixed",
+                   help="gateway dispatch policy: fixed, auto (tune "
+                        "online + persist), or a policy-file path")
     p.set_defaults(fn=_cmd_loadtest)
 
     from .analysis.cli import add_lint_parser

@@ -9,7 +9,8 @@ a multicore scaling model.
 from .cache import CacheHierarchy, CacheLevel, CacheStats, working_set_fits
 from .cost import (CostBreakdown, CostModel, ExecutionContext,
                    cycles_per_item)
-from .host import calibrate_host, measure_flops, measure_stream_bandwidth
+from .host import (calibrate_host, host_facts, machine_fingerprint,
+                   measure_flops, measure_stream_bandwidth)
 from .memory import MemoryModel, Traffic, store_traffic
 from .roofline import (KernelResource, RooflineBound, attainable_gflops,
                        binomial_resource, black_scholes_resource,
@@ -33,4 +34,5 @@ __all__ = [
     "HwThread", "Placement", "enumerate_threads", "place",
     "placement_summary",
     "calibrate_host", "measure_flops", "measure_stream_bandwidth",
+    "host_facts", "machine_fingerprint",
 ]

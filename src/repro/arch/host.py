@@ -14,6 +14,12 @@ benchmarks that run through the same machinery.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import platform
+import socket
+import sys
 import time
 
 import numpy as np
@@ -58,6 +64,50 @@ def measure_flops(n: int = 1 << 15, repeats: int = 5,
             z += x                       # 2n flops per inner iteration
         best = min(best, time.perf_counter() - t0)
     return 2 * n * inner / best / 1e9
+
+
+def host_facts() -> dict:
+    """Stable identifying facts of *this* machine.
+
+    Only facts that survive a reboot and do not change run-to-run are
+    included (hostname, CPU identity, core count, LLC size, OS family,
+    python major.minor).  Transient state — load, frequency governor,
+    free memory — is deliberately excluded so the derived fingerprint
+    is stable across runs on one host.
+    """
+    from ..parallel.slab import host_llc_bytes
+
+    model = ""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        model = platform.processor()
+    return {
+        "hostname": socket.gethostname(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_model": model,
+        "cpu_count": os.cpu_count() or 1,
+        "llc_bytes": host_llc_bytes(),
+        "python": "%d.%d" % (sys.version_info[0], sys.version_info[1]),
+    }
+
+
+def machine_fingerprint(facts: dict | None = None) -> str:
+    """Short stable key for the persisted policy table.
+
+    Hash of the canonical JSON encoding of :func:`host_facts` — stable
+    across runs on one host, and distinct whenever any identifying fact
+    differs (the policy file keys per-machine sections on this value, so
+    collisions would cross-pollute tuned policies between hosts).
+    """
+    payload = json.dumps(facts if facts is not None else host_facts(),
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def calibrate_host(name: str = "HOST") -> ArchSpec:

@@ -5,6 +5,7 @@ from .export import FORMATS, from_json, render, to_csv, to_json
 from .experiments import (EXPERIMENTS, ExperimentResult, fig4, fig5, fig6,
                           fig8, ninja_gap, run_all, run_experiment, table1,
                           table2)
+from .dse import dse_result, measure_dse
 from .greeks import greeks_result, measure_greeks
 from .harness import (TimedRun, binomial_workload, brownian_randoms,
                       bs_workload, cn_workload, mc_workload,
@@ -37,6 +38,7 @@ __all__ = [
     "MeasuredNinjaGap", "measure_ninja_sweep", "measured_gaps",
     "sweep_gap_result", "sweep_detail_result",
     "measure_scaling", "scaling_result",
+    "measure_dse", "dse_result",
     "measure_greeks", "greeks_result",
     "PEAK_NOISE_BUDGET", "measure_steady_state", "steady_state_result",
     "measure_serving", "serving_result",

@@ -109,8 +109,16 @@ def measure_serving(*, backend: str = "serial",
                     n_signatures: int = 4,
                     max_batch: int = 4096,
                     seed: int = 2012,
-                    verify_digests: bool = True) -> dict:
-    """Run both phases; returns the ``BENCH_serving.json`` payload."""
+                    verify_digests: bool = True,
+                    policy="fixed") -> dict:
+    """Run both phases; returns the ``BENCH_serving.json`` payload.
+
+    ``policy`` is forwarded to every gateway under test (``"fixed"``,
+    ``"auto"``, or a policy-file path — see
+    :class:`~repro.serve.PricingGateway`); the solo serial reference
+    used for digest verification never consults a policy, so the
+    digest gate proves autotuned results bit-identical to it.
+    """
     if n_clients < 1 or capacity_requests < 1 or latency_requests < 1:
         raise ExperimentError("client/request counts must be >= 1")
     # The accept path (event loop) and the dispatch thread share the
@@ -123,7 +131,7 @@ def measure_serving(*, backend: str = "serial",
         return _measure(backend, n_workers, kernel, tier, n_clients,
                         capacity_requests, latency_requests, rates,
                         budgets_ms, opts_range, n_signatures, max_batch,
-                        seed, verify_digests)
+                        seed, verify_digests, policy)
     finally:
         sys.setswitchinterval(old_switch)
 
@@ -131,7 +139,7 @@ def measure_serving(*, backend: str = "serial",
 def _measure(backend, n_workers, kernel, tier, n_clients,
              capacity_requests, latency_requests, rates, budgets_ms,
              opts_range, n_signatures, max_batch, seed,
-             verify_digests) -> dict:
+             verify_digests, policy="fixed") -> dict:
     from ..parallel.slab import SlabExecutor
 
     mismatches: list = []
@@ -139,7 +147,7 @@ def _measure(backend, n_workers, kernel, tier, n_clients,
     ref_ex = SlabExecutor("serial") if verify_digests else None
 
     base_kw = dict(backend=backend, n_workers=n_workers,
-                   max_batch=max_batch)
+                   max_batch=max_batch, policy=policy)
 
     # ---- capacity phase --------------------------------------------
     cap_requests = synth_requests(
@@ -174,6 +182,7 @@ def _measure(backend, n_workers, kernel, tier, n_clients,
             "batches": stats["batches"],
             "service_ms": stats["service"],
             "plan_cache": stats["plan_cache"],
+            "policy": stats["policy"],
         }
     per_rps = capacity["per_request"]["sustained_rps"]
     speedup = (capacity["batched"]["sustained_rps"] / per_rps
@@ -239,6 +248,7 @@ def _measure(backend, n_workers, kernel, tier, n_clients,
         "n_signatures": n_signatures,
         "max_batch": max_batch,
         "capacity_wait_ms": CAPACITY_WAIT_MS,
+        "policy_mode": (policy if isinstance(policy, str) else "pinned"),
         "seed": seed,
         "capacity": capacity,
         "latency": latency_rows,

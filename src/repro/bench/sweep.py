@@ -63,7 +63,8 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
                         n_workers: int | None = None,
                         slab_bytes: int | None = None,
                         repeats: int = 3, seed: int = 2012,
-                        kernels: tuple | None = None) -> dict:
+                        kernels: tuple | None = None,
+                        policy="fixed") -> dict:
     """Time every registered (kernel × tier × backend) implementation.
 
     Per kernel the workload is built once (from ``sizes`` and ``seed``)
@@ -71,10 +72,21 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
     agreement check/digest and then ``repeats`` more times for the
     best-of wall clock.  Returns the JSON-ready dict behind
     ``BENCH_ninja_measured.json``.
+
+    ``policy`` (``"fixed"``/``"auto"``/path): under a non-fixed policy
+    each kernel's pooled executors take the policy's per-kernel
+    ``min_parallel_bytes`` before timing (recorded per kernel in the
+    output), so sweeps measure the same dispatch decisions the tuned
+    runtime would make; ``"fixed"`` pins the historical behaviour for
+    reproducible digest comparisons.  Digests are policy-invariant by
+    construction — inline-vs-pool never changes slab plans or values.
     """
     from .. import registry
     from ..parallel import SlabExecutor
+    from ..tune import load_policy
     from .ninja import ninja_gaps
+
+    table = load_policy(policy)
 
     for backend in backends:
         if backend not in registry.BACKENDS:
@@ -99,6 +111,13 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
     entries = []
     try:
         for kernel in names:
+            applied_mpb = None
+            if table is not None:
+                applied_mpb = table.min_parallel_bytes(kernel)
+                if applied_mpb is not None:
+                    for b, ex in executors.items():
+                        if b != "serial":
+                            ex.min_parallel_bytes = applied_mpb
             spec = registry.workload(kernel)
             payload = spec.build(sizes, seed=seed)
             items = spec.items(payload)
@@ -151,6 +170,7 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
                 "measured_gap": best["rate"] / ref_entry["rate"],
                 "modeled_gap": (ninja_gaps(kernel) if spec.modeled_gap
                                 else None),
+                "policy_min_parallel_bytes": applied_mpb,
                 "tiers": tiers,
             })
     finally:
@@ -164,6 +184,7 @@ def measure_ninja_sweep(sizes: WorkloadSizes = SMALL_SIZES,
         "slab_bytes": any_ex.slab_bytes,
         "repeats": repeats,
         "seed": seed,
+        "policy_mode": (policy if isinstance(policy, str) else "pinned"),
         "kernels": entries,
     }
 

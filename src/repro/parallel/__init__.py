@@ -14,11 +14,12 @@ from .safety import (WritePlan, freeze_write_plan, validate_slab_plan,
 from .shm import ArraySpec, ShmArena, run_slab_task
 from .slab import (BACKENDS, DEFAULT_LLC_BYTES, MEASURED_CROSSOVER_BYTES,
                    OUT_OF_PROCESS_BACKENDS, CompiledDispatch, SlabExecutor,
-                   default_executor, host_llc_bytes)
+                   default_crossover_bytes, default_executor,
+                   host_llc_bytes)
 
 __all__ = [
     "ChunkExecutor", "CompiledDispatch", "SlabExecutor",
-    "default_executor", "host_llc_bytes",
+    "default_crossover_bytes", "default_executor", "host_llc_bytes",
     "BACKENDS", "DEFAULT_LLC_BYTES", "MEASURED_CROSSOVER_BYTES",
     "OUT_OF_PROCESS_BACKENDS",
     "ArraySpec", "ShmArena", "run_slab_task",

@@ -86,7 +86,10 @@ DEFAULT_LLC_BYTES = 8 * 1024 * 1024
 #: brownian at 0.6 MiB: 1.4x, binomial at 32 options / ~0.8 MiB: the
 #: 0.95x that motivated the fallback), while at and above 2 MiB pooled
 #: was within noise of inline (rng at 2 MiB: 1.004x, binomial at
-#: 3.2 MiB: 1.003x).
+#: 3.2 MiB: 1.003x).  This constant is the documented *last resort*:
+#: :func:`default_crossover_bytes` prefers the ``REPRO_CROSSOVER_BYTES``
+#: env override, then this machine's tuned policy file
+#: (``repro.tune.policy``), and only then falls back here.
 MEASURED_CROSSOVER_BYTES = 1 << 21
 
 #: Sequence for per-compiled-dispatch shared-memory role prefixes, so
@@ -828,13 +831,31 @@ class CompiledDispatch:
 _DEFAULT: SlabExecutor | None = None
 
 
+def default_crossover_bytes(kernel: str | None = None,
+                            n: int | None = None) -> int:
+    """The inline/pool crossover for this machine.
+
+    Resolution order (ISSUE 10 satellite): the explicit
+    ``REPRO_CROSSOVER_BYTES`` env override wins; then a tuned policy
+    entry for this machine's fingerprint (consulted only when a policy
+    file already exists, so untuned machines keep the historical
+    behaviour bit for bit); finally the measured-once
+    :data:`MEASURED_CROSSOVER_BYTES` constant.
+    """
+    from ..tune.policy import resolve_crossover_bytes
+
+    return resolve_crossover_bytes(kernel=kernel, n=n,
+                                   default=MEASURED_CROSSOVER_BYTES)
+
+
 def default_executor() -> SlabExecutor:
     """The process-wide threaded executor the parallel-tier kernels use
     when none is passed: one persistent pool for the whole process.
-    Carries the measured crossover so incidental tiny dispatches do not
+    Carries this machine's resolved crossover (env override > tuned
+    policy > measured constant) so incidental tiny dispatches do not
     pay pool overhead."""
     global _DEFAULT
     if _DEFAULT is None or _DEFAULT._closed:
         _DEFAULT = SlabExecutor(
-            "thread", min_parallel_bytes=MEASURED_CROSSOVER_BYTES)
+            "thread", min_parallel_bytes=default_crossover_bytes())
     return _DEFAULT

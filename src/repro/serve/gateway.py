@@ -31,6 +31,21 @@ Control flow (all on one event loop, plus exactly one dispatch thread):
   flushed regardless of deadline, the dispatcher finishes its backlog,
   and only then do plans, stagings, the dispatch thread and the
   executor shut down.
+
+**Dispatch policy** (``policy=`` — ISSUE 10): ``"fixed"`` keeps the
+historical constants (power-of-two buckets, the executor's own
+crossover).  ``"auto"`` consults this machine's section of the policy
+file (:mod:`repro.tune.policy`, bootstrapped from the analytic model
+when empty) and *refines* it online: per (kernel, output set, shape
+bucket) an epsilon-greedy tuner picks the batch bucket among a small
+candidate set, scores it by measured per-option service time, and the
+surviving choices are persisted back to the policy file on close.  A
+path (or :class:`~repro.tune.PolicyTable`) pins a pre-tuned policy
+without refining.  The policy-resolved ``min_parallel_bytes`` enters
+the plan-cache key, so tuning never silently reuses a plan compiled
+under a different inline decision, and every choice only moves *where*
+a batch runs — padding and slab plans keep results bit-identical to
+the serial reference.
 """
 
 from __future__ import annotations
@@ -82,7 +97,8 @@ class PricingGateway:
                  max_pending: int = 1024,
                  plan_cache_size: int = 32,
                  max_stagings: int = 32,
-                 executor=None):
+                 executor=None,
+                 policy="fixed"):
         if max_wait_s < 0:
             raise ConfigurationError("max_wait_s must be >= 0")
         if max_batch < 1 or min_bucket < 1 or min_bucket > max_batch:
@@ -121,6 +137,9 @@ class PricingGateway:
         self._dispatcher = None
         self._closed = False
         self._started = False
+        self._policy_spec = policy
+        self._policy = None         # PolicyTable once started (non-fixed)
+        self._tuners = None         # TunerBank, "auto" mode only
         self._stat = {"requests": 0, "completed": 0, "shed": 0,
                       "failed": 0, "batches": 0}
         self._batch_requests_hist: dict = {}
@@ -131,26 +150,43 @@ class PricingGateway:
     async def start(self) -> "PricingGateway":
         if self._started:
             raise ConfigurationError("gateway already started")
+        self._loop = asyncio.get_running_loop()
+        if self._policy_spec not in (None, "fixed"):
+            from ..tune import TunerBank, load_policy
+            # Policy load touches the filesystem (and may bootstrap from
+            # the analytic model); keep it off the event loop.
+            self._policy = await self._loop.run_in_executor(
+                None, load_policy, self._policy_spec)
+            if self._policy_spec == "auto":
+                self._tuners = TunerBank(self._policy)
         from ..parallel.slab import SlabExecutor
+        # The policy's machine-wide crossover seeds every executor this
+        # gateway creates; per-kernel entries refine it at compile time
+        # (see _run_plan).  Borrowed executors keep their own value.
+        mpb = 0
+        if self._policy is not None:
+            mpb = self._policy.min_parallel_bytes(None) or 0
         if self._executor is None:
             backend = self.backend
             if backend == "auto":
                 try:
                     self._executor = SlabExecutor(
-                        "daemon", attach=True, slab_bytes=self.slab_bytes)
+                        "daemon", attach=True, slab_bytes=self.slab_bytes,
+                        min_parallel_bytes=mpb)
                     backend = "daemon"
                 except DaemonError:
                     self._executor = SlabExecutor(
                         "serial", n_workers=self.n_workers,
-                        slab_bytes=self.slab_bytes)
+                        slab_bytes=self.slab_bytes,
+                        min_parallel_bytes=mpb)
                     backend = "serial"
                 self.backend = backend
             else:
                 self._executor = SlabExecutor(
                     backend, n_workers=self.n_workers,
                     slab_bytes=self.slab_bytes,
-                    attach=(backend == "daemon"))
-        self._loop = asyncio.get_running_loop()
+                    attach=(backend == "daemon"),
+                    min_parallel_bytes=mpb)
         self._pool = ThreadPoolExecutor(max_workers=1,
                                         thread_name_prefix="repro-gateway")
         self._flush_q = asyncio.PriorityQueue()
@@ -189,6 +225,16 @@ class PricingGateway:
 
     def _teardown_blocking(self) -> None:
         """Blocking tail of close(); runs on a helper thread."""
+        if self._tuners is not None:
+            # Persist what this serving run learned: tuner incumbents
+            # become "tuned" policy entries for this machine's
+            # fingerprint.  Best-effort — an unwritable cache dir must
+            # not fail the drain.
+            self._tuners.flush_to_policy()
+            try:
+                self._policy.save()
+            except OSError:
+                pass
         with self._cache_lock:
             self._cache.clear()
         self._pool.shutdown(wait=True)
@@ -295,13 +341,17 @@ class PricingGateway:
         requests = [req for req, _ in batch]
         total = sum(r.n for r in requests)
         try:
-            width = bucket_width(total, self.min_bucket, self.max_batch)
+            width, tuner, arm = self._bucket_for(sig, total)
             staging = self._get_staging(sig, width)
             offsets = staging.pack(requests)
             t0 = time.perf_counter()
             value = await self._loop.run_in_executor(
                 self._pool, self._run_plan, staging)
             service = time.perf_counter() - t0
+            if tuner is not None:
+                # Score the chosen bucket by per-option service time so
+                # a bucket covering mixed batch totals compares fairly.
+                tuner.observe(arm, service / total)
             results = staging.scatter(value, offsets)
         except Exception as exc:                  # deliver, don't die
             self._stat["failed"] += len(batch)
@@ -322,6 +372,45 @@ class PricingGateway:
             if not fut.done():
                 fut.set_result(res)
 
+    def _bucket_for(self, sig, total: int):
+        """``(width, tuner, arm)`` for one batch.
+
+        Fixed policy: the canonical power-of-two bucket, no tuner.
+        Pinned policy: the policy entry's bucket when one exists.
+        Auto: an epsilon-greedy tuner chooses between the canonical
+        bucket and the next wider one (fewer distinct plans under mixed
+        totals, at the cost of padding) — scored by live timings.
+        """
+        base = bucket_width(total, self.min_bucket, self.max_batch)
+        if self._policy is None:
+            return base, None, None
+        kernel, tier, _, _ = sig
+        outputs = adapter_for(kernel, tier).outputs
+        if self._tuners is None:
+            bucket = self._policy.value("bucket_width", kernel, outputs,
+                                        n=total)
+            if bucket is not None:
+                return max(base, min(int(bucket), self.max_batch)), \
+                    None, None
+            return base, None, None
+        from ..tune import Candidate
+        candidates = [Candidate(name=f"w{base}", bucket_width=base)]
+        if base * 2 <= self.max_batch:
+            candidates.append(
+                Candidate(name=f"w{base * 2}", bucket_width=base * 2))
+        tuner = self._tuners.tuner(kernel, outputs, base, candidates)
+        chosen = tuner.choose()
+        return chosen.bucket_width, tuner, chosen.name
+
+    def _policy_crossover(self, staging: Staging) -> int | None:
+        """The policy's ``min_parallel_bytes`` for a staging's kernel
+        and width, or None when no policy (or no entry) applies."""
+        if self._policy is None:
+            return None
+        kernel, tier, _, _ = staging.signature
+        return self._policy.min_parallel_bytes(
+            kernel, staging.adapter.outputs, n=staging.width)
+
     def _get_staging(self, sig, width: int) -> Staging:
         key = (sig, width)
         staging = self._stagings.get(key)
@@ -341,8 +430,12 @@ class PricingGateway:
 
     def _plan_key(self, staging: Staging) -> tuple:
         kernel, tier, _, _ = staging.signature
+        # The policy-resolved crossover is part of the key: a plan
+        # compiled under one inline decision is never reused for
+        # another, so tuning updates can't churn or cross-wire plans.
         return plan_key(kernel, tier, self.backend,
-                        self._executor.n_workers, staging.payload)
+                        self._executor.n_workers, staging.payload) \
+            + (self._policy_crossover(staging),)
 
     def _run_plan(self, staging: Staging):
         """Dispatch-thread body: warm plan lookup + fused batch run."""
@@ -351,6 +444,14 @@ class PricingGateway:
         with self._cache_lock:
             plan = self._cache.get(key)
         if plan is None:
+            mpb = self._policy_crossover(staging)
+            if mpb is not None \
+                    and self._executor.min_parallel_bytes != mpb:
+                # compile_shm freezes the inline decision into the
+                # dispatch, so the per-kernel policy value must be on
+                # the executor *before* the compile below.
+                with self._cache_lock:
+                    self._executor.min_parallel_bytes = mpb
             plan = compile_plan(kernel, tier, staging.payload,
                                 backend=self.backend,
                                 executor=self._executor)
@@ -365,15 +466,33 @@ class PricingGateway:
         return plan.run()
 
     # -- observability -------------------------------------------------
-    def reset_stats(self) -> None:
+    def reset_stats(self) -> dict:
         """Zero the counters and histograms (plans and stagings stay
-        warm).  Benchmarks call this after warmup dispatches so the
-        one-time first-kernel-run cost never skews service percentiles."""
+        warm) and return the active policy snapshot — what the tuner
+        chose per signature up to this point survives the reset, so
+        benchmarks that reset after warmup still see which arm won.
+        Benchmarks call this after warmup dispatches so the one-time
+        first-kernel-run cost never skews service percentiles."""
         for key in self._stat:
             self._stat[key] = 0
         self._batch_requests_hist.clear()
         self._batch_options_hist.clear()
         self._service_s.clear()
+        return self.policy_summary()
+
+    def policy_summary(self) -> dict:
+        """The active dispatch policy, per signature: chosen
+        tier/backend/bucket plus exploration-vs-exploitation counts."""
+        if self._policy is None:
+            return {"mode": "fixed"}
+        summary = {
+            "mode": "auto" if self._tuners is not None else "pinned",
+            "fingerprint": self._policy.fingerprint,
+            "entries": self._policy.summary(),
+        }
+        if self._tuners is not None:
+            summary["tuners"] = self._tuners.snapshot()
+        return summary
 
     @property
     def stats(self) -> dict:
@@ -395,4 +514,5 @@ class PricingGateway:
             "plan_cache": self._cache.stats,
             "stagings": len(self._stagings),
             "backend": self.backend,
+            "policy": self.policy_summary(),
         }

@@ -1,0 +1,38 @@
+"""Design-space exploration and online autotuning.
+
+Two halves of one idea — the paper's best code shape is per-kernel and
+per-platform, so the runtime's dispatch constants should be data:
+
+* :mod:`repro.tune.space` sweeps the parametric machine model (cores ×
+  SIMD width × LLC × bandwidth) and maps where each kernel's Ninja gap
+  and serial/parallel crossover move (``python -m repro dse``);
+* :mod:`repro.tune.policy` persists per-machine dispatch policies keyed
+  by :func:`~repro.arch.host.machine_fingerprint`;
+* :mod:`repro.tune.autotuner` refines those policies from live timings
+  (epsilon-greedy with successive-halving elimination).
+"""
+
+from .autotuner import (EPSILON, SAMPLES_PER_STAGE, Candidate,
+                        CandidateTuner, TunerBank)
+from .policy import (BOOTSTRAP_MAX_BYTES, BOOTSTRAP_MIN_BYTES,
+                     CROSSOVER_ENV, POLICY_PATH_ENV, PolicyEntry,
+                     PolicyTable, bootstrap, default_policy_path,
+                     entry_key, load_policy, resolve_crossover_bytes,
+                     shape_bucket)
+from .space import (DEFAULT_AXES, DISPATCH_OVERHEAD_S, SMOKE_AXES,
+                    DesignPoint, anchor_rows, crossover_items,
+                    design_grid, host_like_spec, kernel_surface,
+                    modeled_crossover_bytes, rebuild_model, variant_for)
+
+__all__ = [
+    "Candidate", "CandidateTuner", "TunerBank",
+    "EPSILON", "SAMPLES_PER_STAGE",
+    "PolicyEntry", "PolicyTable", "bootstrap", "default_policy_path",
+    "entry_key", "load_policy", "resolve_crossover_bytes", "shape_bucket",
+    "CROSSOVER_ENV", "POLICY_PATH_ENV",
+    "BOOTSTRAP_MIN_BYTES", "BOOTSTRAP_MAX_BYTES",
+    "DesignPoint", "design_grid", "variant_for", "kernel_surface",
+    "anchor_rows", "crossover_items", "modeled_crossover_bytes",
+    "rebuild_model", "host_like_spec",
+    "DEFAULT_AXES", "SMOKE_AXES", "DISPATCH_OVERHEAD_S",
+]

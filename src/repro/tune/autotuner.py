@@ -1,0 +1,249 @@
+"""Online autotuner: epsilon-greedy bandit with successive halving.
+
+The measured runtime's dispatch knobs (backend, ``min_parallel_bytes``,
+gateway batch bucket, slab width) form a small discrete candidate set
+per (kernel, output set, shape bucket).  A :class:`CandidateTuner` keeps
+one bandit over that set: it explores with probability ``epsilon``,
+exploits the empirically-best arm otherwise, and after every arm has a
+minimum number of samples it *halves* — eliminating the slower half —
+until one survivor remains.  Successive halving bounds the exploration
+cost: a bad arm is timed ``samples_per_stage`` times, not forever.
+
+Timings are noisy, so arms score by their *best* observed time (the
+same best-of-repeats convention as ``bench.harness.time_run``).
+
+Thread safety: the gateway observes timings on its dispatch path while
+stats readers snapshot from other threads, so all mutation happens under
+an internal lock.  Randomness is a seeded :class:`random.Random` —
+tuning runs are reproducible for a fixed arrival order.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .policy import PolicyEntry, PolicyTable, entry_key
+
+#: Default exploration probability while more than one arm survives.
+EPSILON = 0.2
+
+#: Samples every surviving arm needs before a halving round.
+SAMPLES_PER_STAGE = 3
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One configuration the tuner may pick.
+
+    Unset knobs (None) mean "keep the runtime's current value" — a
+    candidate only competes on the knobs it sets.
+    """
+
+    name: str
+    tier: str | None = None
+    backend: str | None = None
+    min_parallel_bytes: int | None = None
+    slab_bytes: int | None = None
+    bucket_width: int | None = None
+
+
+@dataclass
+class _Arm:
+    candidate: Candidate
+    pulls: int = 0              # samples in the current halving stage
+    total_pulls: int = 0        # samples over the arm's lifetime
+    best_s: float = float("inf")
+    alive: bool = True
+
+
+@dataclass
+class CandidateTuner:
+    """Epsilon-greedy + successive-halving over one candidate set."""
+
+    candidates: tuple
+    epsilon: float = EPSILON
+    samples_per_stage: int = SAMPLES_PER_STAGE
+    seed: int = 0
+    explore: int = 0
+    exploit: int = 0
+    _arms: dict = field(default_factory=dict)
+    _rng: random.Random = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __post_init__(self):
+        if not self.candidates:
+            raise ConfigurationError("tuner needs at least one candidate")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigurationError("epsilon must be in [0, 1]")
+        if self.samples_per_stage < 1:
+            raise ConfigurationError("samples_per_stage must be >= 1")
+        names = [c.name for c in self.candidates]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate candidate names: {names}")
+        self._arms = {c.name: _Arm(c) for c in self.candidates}
+        self._rng = random.Random(self.seed)
+
+    # -- bandit --------------------------------------------------------
+
+    def choose(self) -> Candidate:
+        """The next configuration to run.
+
+        Converged tuners always return the single survivor (counted as
+        exploitation).  Otherwise arms missing samples for the current
+        stage are explored round-robin-by-need; once the stage is fully
+        sampled, epsilon-greedy picks between the best arm and a random
+        other survivor.
+        """
+        with self._lock:
+            alive = [a for a in self._arms.values() if a.alive]
+            if len(alive) == 1:
+                self.exploit += 1
+                return alive[0].candidate
+            needy = [a for a in alive if a.pulls < self.samples_per_stage]
+            if needy:
+                self.explore += 1
+                return min(needy, key=lambda a: a.pulls).candidate
+            best = min(alive, key=lambda a: a.best_s)
+            if self._rng.random() < self.epsilon:
+                others = [a for a in alive if a is not best]
+                self.explore += 1
+                return self._rng.choice(others).candidate
+            self.exploit += 1
+            return best.candidate
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Fold one timing into an arm; halve when the stage is full."""
+        if seconds < 0:
+            raise ConfigurationError("seconds must be non-negative")
+        with self._lock:
+            try:
+                arm = self._arms[name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown candidate {name!r}; have "
+                    f"{sorted(self._arms)}"
+                ) from None
+            arm.pulls += 1
+            arm.total_pulls += 1
+            arm.best_s = min(arm.best_s, seconds)
+            self._maybe_halve()
+
+    def _maybe_halve(self) -> None:
+        alive = [a for a in self._arms.values() if a.alive]
+        if len(alive) <= 1:
+            return
+        if any(a.pulls < self.samples_per_stage for a in alive):
+            return
+        alive.sort(key=lambda a: a.best_s)
+        keep = max(1, len(alive) // 2)
+        for arm in alive[keep:]:
+            arm.alive = False
+        # Survivors need fresh samples before the next halving round.
+        for arm in alive[:keep]:
+            arm.pulls = 0
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def converged(self) -> bool:
+        with self._lock:
+            return sum(a.alive for a in self._arms.values()) == 1
+
+    def best(self) -> Candidate:
+        """The current incumbent (survivor, or best-timed so far)."""
+        with self._lock:
+            alive = [a for a in self._arms.values() if a.alive]
+            return min(alive, key=lambda a: a.best_s).candidate
+
+    def best_seconds(self) -> float:
+        with self._lock:
+            return min(a.best_s for a in self._arms.values())
+
+    def snapshot(self) -> dict:
+        """Observable state for stats/status reporting."""
+        with self._lock:
+            best = min((a for a in self._arms.values() if a.alive),
+                       key=lambda a: a.best_s)
+            return {
+                "chosen": best.candidate.name,
+                "converged": sum(
+                    a.alive for a in self._arms.values()) == 1,
+                "explore": self.explore,
+                "exploit": self.exploit,
+                "arms": {
+                    name: {
+                        "alive": a.alive, "pulls": a.total_pulls,
+                        "best_s": (None if a.best_s == float("inf")
+                                   else a.best_s),
+                    }
+                    for name, a in sorted(self._arms.items())
+                },
+            }
+
+
+class TunerBank:
+    """A keyed collection of :class:`CandidateTuner` backed by a policy.
+
+    One tuner per (kernel, output set, shape bucket); results flush into
+    the owning :class:`~repro.tune.policy.PolicyTable` as ``tuned``
+    entries (pinned entries are never overwritten).
+    """
+
+    def __init__(self, policy: PolicyTable, epsilon: float = EPSILON,
+                 samples_per_stage: int = SAMPLES_PER_STAGE,
+                 seed: int = 0):
+        self.policy = policy
+        self.epsilon = epsilon
+        self.samples_per_stage = samples_per_stage
+        self.seed = seed
+        self._tuners = {}
+        self._lock = threading.Lock()
+
+    def tuner(self, kernel: str, outputs, bucket: int,
+              candidates) -> CandidateTuner:
+        """The tuner for one key, created on first use."""
+        key = entry_key(kernel, outputs, bucket)
+        with self._lock:
+            t = self._tuners.get(key)
+            if t is None:
+                t = CandidateTuner(
+                    candidates=tuple(candidates), epsilon=self.epsilon,
+                    samples_per_stage=self.samples_per_stage,
+                    # Decorrelate exploration across keys while keeping
+                    # each key's sequence reproducible (crc32, not
+                    # hash(): str hashing is salted per process).
+                    seed=self.seed ^ (zlib.crc32(key.encode()) & 0xFFFF),
+                )
+                self._tuners[key] = t
+            return t
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = list(self._tuners.items())
+        return {key: t.snapshot() for key, t in items}
+
+    def flush_to_policy(self) -> PolicyTable:
+        """Write each tuner's incumbent into the policy table."""
+        with self._lock:
+            items = list(self._tuners.items())
+        for key, t in items:
+            existing = self.policy.entries.get(key)
+            if existing is not None and existing.source == "pinned":
+                continue
+            c = t.best()
+            snap = t.snapshot()
+            self.policy.entries[key] = PolicyEntry(
+                tier=c.tier, backend=c.backend,
+                min_parallel_bytes=c.min_parallel_bytes,
+                slab_bytes=c.slab_bytes, bucket_width=c.bucket_width,
+                source="tuned", explore=snap["explore"],
+                exploit=snap["exploit"],
+                samples=sum(a["pulls"] for a in snap["arms"].values()),
+                best_s=(None if t.best_seconds() == float("inf")
+                        else t.best_seconds()),
+            )
+        return self.policy

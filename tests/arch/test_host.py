@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.arch import (calibrate_host, measure_flops,
-                        measure_stream_bandwidth, ridge_intensity,
-                        roofline, black_scholes_resource)
+from repro.arch import (calibrate_host, host_facts, machine_fingerprint,
+                        measure_flops, measure_stream_bandwidth,
+                        ridge_intensity, roofline, black_scholes_resource)
 from repro.errors import ConfigurationError
 
 
@@ -38,3 +38,40 @@ class TestCalibratedSpec:
     def test_single_core(self, host):
         assert host.total_cores == 1
         assert host.total_threads == 1
+
+
+class TestFingerprint:
+    def test_facts_cover_the_identity_axes(self):
+        facts = host_facts()
+        for key in ("hostname", "machine", "system", "cpu_model",
+                    "cpu_count", "llc_bytes", "python"):
+            assert key in facts
+        assert facts["cpu_count"] >= 1
+        assert facts["llc_bytes"] > 0
+
+    def test_stable_on_one_host(self):
+        # Same machine, same session: the policy-file key must not
+        # wander between calls.
+        assert machine_fingerprint() == machine_fingerprint()
+        assert machine_fingerprint(host_facts()) == machine_fingerprint()
+
+    def test_shape_is_short_hex(self):
+        fp = machine_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)
+
+    def test_distinct_inputs_give_distinct_keys(self):
+        base = host_facts()
+        seen = {machine_fingerprint(base)}
+        for mutate in ({"cpu_count": base["cpu_count"] + 1},
+                       {"llc_bytes": base["llc_bytes"] * 2},
+                       {"hostname": base["hostname"] + "-other"},
+                       {"python": "2.7"}):
+            fp = machine_fingerprint({**base, **mutate})
+            assert fp not in seen
+            seen.add(fp)
+
+    def test_key_order_does_not_matter(self):
+        facts = {"b": 2, "a": 1}
+        assert machine_fingerprint(facts) == \
+            machine_fingerprint({"a": 1, "b": 2})

@@ -1,0 +1,99 @@
+"""measure_dse: surfaces, autotune gate, policy artifact, rendering.
+
+One measured run (smoke axes, smoke sizes, two kernels) shared by the
+class — the autotune phase times real dispatches, so it is the slow
+part and runs once.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import dse_result, measure_dse
+from repro.bench.export import render
+from repro.config import SMOKE_SIZES
+from repro.errors import ExperimentError
+from repro.tune import SMOKE_AXES, PolicyTable, design_grid
+
+
+KERNELS = ("black_scholes", "binomial")
+
+
+class TestMeasureDse:
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("dse") / "policy.json")
+        data = measure_dse(axes=SMOKE_AXES, sizes=SMOKE_SIZES,
+                           kernels=KERNELS, repeats=2,
+                           samples_per_stage=2, policy_out=out)
+        return data, out
+
+    def test_surfaces_cover_every_modeled_kernel(self, run):
+        data, _ = run
+        from repro.bench import GAP_KERNELS
+        assert set(data["surfaces"]) == set(GAP_KERNELS)
+        n_grid = len(design_grid(SMOKE_AXES))
+        for surf in data["surfaces"].values():
+            assert len(surf["grid"]) == n_grid
+            assert {a["platform"] for a in surf["anchors"]} == \
+                {"SNB-EP", "KNC"}
+
+    def test_anchor_gaps_match_registered_models(self, run):
+        data, _ = run
+        from repro.kernels import build_model
+        km = build_model("black_scholes")
+        anchors = {a["platform"]: a
+                   for a in data["surfaces"]["black_scholes"]["anchors"]}
+        assert anchors["SNB-EP"]["ninja_gap"] == pytest.approx(
+            km.ninja_gap("SNB-EP"))
+
+    def test_autotune_grid_and_gate_shape(self, run):
+        data, _ = run
+        assert [row["kernel"] for row in data["autotune"]] == list(KERNELS)
+        for row in data["autotune"]:
+            assert "fixed" in row["candidates"]
+            assert row["deployed"] in row["candidates"]
+            # The deployed config is never slower than the fixed
+            # default — a losing bandit pick falls back.
+            assert row["ratio"] >= 1.0
+            if row["fell_back"] or row["chosen"] == "fixed":
+                assert row["deployed"] == "fixed"
+        acc = data["acceptance"]
+        assert acc["digests_ok"]
+        assert acc["grid_points"] == len(KERNELS)
+        assert 0.0 <= acc["frac_tuned_ge_fixed"] <= 1.0
+        assert acc["pass"]
+
+    def test_policy_artifact_written_and_loadable(self, run):
+        data, out = run
+        doc = json.load(open(out))
+        assert data["fingerprint"] in doc["machines"]
+        table = PolicyTable.load(out, fingerprint=data["fingerprint"])
+        for kernel in KERNELS:
+            mpb = table.min_parallel_bytes(kernel)
+            assert mpb is not None
+            assert table.lookup(kernel).source == "tuned"
+        # Every entry deploys what the grid measured.
+        by_kernel = {row["kernel"]: row for row in data["autotune"]}
+        for kernel, row in by_kernel.items():
+            assert table.min_parallel_bytes(kernel) == \
+                row["deployed_min_parallel_bytes"]
+
+    def test_result_renders_with_acceptance_note(self, run):
+        data, _ = run
+        text = render(dse_result(data), "text")
+        assert "acceptance:" in text
+        assert "PASS" in text
+        for kernel in KERNELS:
+            assert kernel in text
+        render(dse_result(data), "json")       # alt formats stay valid
+        render(dse_result(data), "csv")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ExperimentError):
+            measure_dse(axes=SMOKE_AXES, sizes=SMOKE_SIZES,
+                        kernels=("nope",))
+
+    def test_bad_repeats_rejected(self):
+        with pytest.raises(ExperimentError):
+            measure_dse(axes=SMOKE_AXES, sizes=SMOKE_SIZES, repeats=0)

@@ -9,6 +9,16 @@ from repro.rng import MT19937, NormalGenerator
 from repro.simd import VectorMachine
 
 
+@pytest.fixture(autouse=True)
+def _isolated_dispatch_policy(tmp_path, monkeypatch):
+    """Keep dispatch-policy resolution hermetic: a developer's real
+    ``~/.cache/repro/policy.json`` or exported ``REPRO_CROSSOVER_BYTES``
+    must never leak into test behaviour — and a test that *writes* the
+    policy file (gateway auto mode) must not leak into later tests."""
+    monkeypatch.setenv("REPRO_POLICY_PATH", str(tmp_path / "policy.json"))
+    monkeypatch.delenv("REPRO_CROSSOVER_BYTES", raising=False)
+
+
 @pytest.fixture
 def snb():
     return SNB_EP

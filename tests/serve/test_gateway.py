@@ -239,3 +239,86 @@ class TestDaemonChurn:
             asyncio.run(main())
             # Gateway close released every gateway pin.
             assert len(ex._daemon._plans) == 0
+
+
+class TestDispatchPolicy:
+    """ISSUE 10: the gateway consults a learned dispatch policy instead
+    of the global crossover constant — and tuning must never change a
+    result bit."""
+
+    def _drive(self, policy, n_requests=24):
+        async def main():
+            async with PricingGateway(backend="serial", max_wait_s=0.0,
+                                      policy=policy) as gw:
+                digests = []
+                for i in range(n_requests):
+                    req = _req(8 + (i % 3) * 8, vol=0.2 + 0.01 * (i % 2))
+                    res = await gw.submit(req)
+                    digests.append(res.digest())
+                return digests, gw.stats
+        return asyncio.run(main())
+
+    def test_fixed_mode_reports_fixed_policy(self):
+        digests, stats = self._drive("fixed")
+        assert stats["policy"] == {"mode": "fixed"}
+
+    def test_auto_digests_bit_identical_to_fixed(self):
+        fixed, _ = self._drive("fixed")
+        auto, stats = self._drive("auto")
+        assert auto == fixed
+        assert stats["policy"]["mode"] == "auto"
+
+    def test_auto_reports_tuner_state_per_signature(self):
+        _, stats = self._drive("auto")
+        policy = stats["policy"]
+        from repro.arch import machine_fingerprint
+        assert policy["fingerprint"] == machine_fingerprint()
+        assert policy["entries"]        # bootstrapped from the model
+        assert policy["tuners"]         # the driven signatures
+        for snap in policy["tuners"].values():
+            assert snap["explore"] + snap["exploit"] > 0
+            assert snap["chosen"] in snap["arms"]
+
+    def test_reset_stats_returns_policy_summary(self):
+        async def main():
+            async with PricingGateway(backend="serial", max_wait_s=0.0,
+                                      policy="auto") as gw:
+                await gw.submit(_req(8))
+                summary = gw.reset_stats()
+                assert summary["mode"] == "auto"
+                assert gw.stats["requests"] == 0
+                # The tuner's learning survives the counter reset.
+                assert summary["tuners"]
+        asyncio.run(main())
+
+    def test_auto_persists_tuned_entries_on_close(self):
+        import json
+        import os
+
+        from repro.tune import default_policy_path
+        path = default_policy_path()   # conftest: per-run tmp file
+        self._drive("auto")
+        assert os.path.exists(path)
+        doc = json.load(open(path))
+        from repro.arch import machine_fingerprint
+        section = doc["machines"][machine_fingerprint()]
+        sources = {e.get("source") for e in section["entries"].values()}
+        assert "tuned" in sources      # flushed bucket choices
+        # A second gateway reloads what the first one learned.
+        digests, stats = self._drive("auto")
+        assert any(e["source"] == "tuned"
+                   for e in stats["policy"]["entries"].values())
+
+    def test_pinned_policy_file_applies_without_tuning(self, tmp_path):
+        from repro.tune import PolicyEntry, PolicyTable
+        path = str(tmp_path / "pinned.json")
+        table = PolicyTable()
+        table.set("black_scholes", PolicyEntry(min_parallel_bytes=4096,
+                                               bucket_width=64,
+                                               source="pinned"))
+        table.save(path)
+        digests, stats = self._drive(path)
+        assert stats["policy"]["mode"] == "pinned"
+        assert "tuners" not in stats["policy"]
+        fixed, _ = self._drive("fixed")
+        assert digests == fixed

@@ -106,6 +106,33 @@ class TestCLI:
         assert "rng" in out and "black_scholes" not in out
         assert not (tmp_path / "BENCH_ninja_measured.json").exists()
 
+    def test_dse_smoke_subset(self, capsys, tmp_path, monkeypatch):
+        import json
+        monkeypatch.chdir(tmp_path)
+        assert main(["dse", "--smoke", "--repeats", "1",
+                     "--samples-per-stage", "1",
+                     "--kernels", "black_scholes"]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space exploration" in out
+        assert "acceptance:" in out
+        data = json.loads((tmp_path / "BENCH_dse.json").read_text())
+        assert data["acceptance"]["pass"]
+        # The tuned policy lands beside the artifact, never in the
+        # live policy file.
+        assert (tmp_path / "BENCH_policy.json").exists()
+
+    def test_loadtest_policy_auto(self, capsys, tmp_path):
+        import json
+        out_json = tmp_path / "BENCH_serving.json"
+        assert main(["loadtest", "--smoke", "--clients", "4",
+                     "--requests", "24", "--rates", "400",
+                     "--budgets-ms", "2", "--policy", "auto",
+                     "--out", str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        assert data["digests_ok"]
+        assert data["policy_mode"] == "auto"
+        assert data["capacity"]["batched"]["policy"]["mode"] == "auto"
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig9"])

@@ -1,0 +1,149 @@
+"""CandidateTuner/TunerBank: bandit sampling, halving, policy flush."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tune import Candidate, CandidateTuner, PolicyTable, TunerBank
+
+
+def _tuner(names=("a", "b", "c", "d"), **kw):
+    kw.setdefault("samples_per_stage", 2)
+    return CandidateTuner(
+        candidates=tuple(Candidate(name=n, min_parallel_bytes=i)
+                         for i, n in enumerate(names)), **kw)
+
+
+def _run(tuner, seconds, max_pulls=200):
+    """Drive the tuner with deterministic per-arm timings."""
+    pulls = 0
+    while not tuner.converged and pulls < max_pulls:
+        c = tuner.choose()
+        tuner.observe(c.name, seconds[c.name])
+        pulls += 1
+    return pulls
+
+
+class TestValidation:
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CandidateTuner(candidates=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CandidateTuner(candidates=(Candidate(name="a"),
+                                       Candidate(name="a")))
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _tuner(epsilon=1.5)
+
+    def test_unknown_arm_rejected(self):
+        t = _tuner()
+        with pytest.raises(ConfigurationError):
+            t.observe("zzz", 1.0)
+
+    def test_negative_time_rejected(self):
+        t = _tuner()
+        with pytest.raises(ConfigurationError):
+            t.observe("a", -1.0)
+
+
+class TestConvergence:
+    def test_halving_converges_on_fastest(self):
+        t = _tuner(seed=7)
+        seconds = {"a": 0.4, "b": 0.1, "c": 0.3, "d": 0.2}
+        pulls = _run(t, seconds)
+        assert t.converged
+        assert t.best().name == "b"
+        assert t.best_seconds() == pytest.approx(0.1)
+        # 4 arms x 2-sample stages halve 4->2->1: bounded exploration.
+        assert pulls <= 4 * 2 + 2 * 2 + 4
+
+    def test_converged_tuner_always_exploits_survivor(self):
+        t = _tuner(seed=7)
+        _run(t, {"a": 0.4, "b": 0.1, "c": 0.3, "d": 0.2})
+        before = t.exploit
+        for _ in range(5):
+            assert t.choose().name == "b"
+        assert t.exploit == before + 5
+
+    def test_single_candidate_is_converged_immediately(self):
+        t = _tuner(names=("only",))
+        assert t.converged
+        assert t.choose().name == "only"
+
+    def test_needy_arms_sampled_before_greedy(self):
+        t = _tuner(seed=0)
+        # Until every arm has samples_per_stage pulls, choose() must
+        # round-robin the under-sampled arms (all counted as explore).
+        seen = []
+        for _ in range(8):
+            c = t.choose()
+            seen.append(c.name)
+            t.observe(c.name, 1.0 + len(seen) * 0.0)  # ties: no halve bias
+        assert sorted(seen[:4]) == ["a", "b", "c", "d"]
+        assert t.explore >= 4
+
+    def test_deterministic_for_fixed_seed(self):
+        seconds = {"a": 0.4, "b": 0.1, "c": 0.3, "d": 0.2}
+        trace1, trace2 = [], []
+        for trace in (trace1, trace2):
+            t = _tuner(seed=42)
+            while not t.converged:
+                c = t.choose()
+                trace.append(c.name)
+                t.observe(c.name, seconds[c.name])
+        assert trace1 == trace2
+
+
+class TestSnapshot:
+    def test_snapshot_reports_lifetime_pulls(self):
+        t = _tuner(seed=7)
+        _run(t, {"a": 0.4, "b": 0.1, "c": 0.3, "d": 0.2})
+        snap = t.snapshot()
+        assert snap["chosen"] == "b"
+        assert snap["converged"]
+        # Halving resets per-stage pulls; the snapshot must report the
+        # lifetime total, which equals explore + exploit.
+        total = sum(a["pulls"] for a in snap["arms"].values())
+        assert total == snap["explore"] + snap["exploit"]
+        assert snap["arms"]["b"]["alive"]
+        assert not snap["arms"]["a"]["alive"]
+
+
+class TestBank:
+    def test_tuner_per_key_and_flush(self):
+        policy = PolicyTable(fingerprint="f", facts={})
+        bank = TunerBank(policy, samples_per_stage=1)
+        cands = (Candidate(name="x", min_parallel_bytes=1),
+                 Candidate(name="y", min_parallel_bytes=2))
+        t1 = bank.tuner("bs", ("price",), 64, cands)
+        assert bank.tuner("bs", ("price",), 64, cands) is t1
+        assert bank.tuner("bs", ("price",), 128, cands) is not t1
+        t1.observe("x", 0.5)
+        t1.observe("y", 0.1)
+        bank.flush_to_policy()
+        entry = policy.entries["bs[price]@64"]
+        assert entry.source == "tuned"
+        assert entry.min_parallel_bytes == 2
+        assert entry.best_s == pytest.approx(0.1)
+
+    def test_flush_never_overwrites_pinned(self):
+        from repro.tune import PolicyEntry
+        policy = PolicyTable(fingerprint="f", facts={})
+        policy.entries["bs[price]@64"] = PolicyEntry(
+            min_parallel_bytes=777, source="pinned")
+        bank = TunerBank(policy, samples_per_stage=1)
+        t = bank.tuner("bs", ("price",), 64,
+                       (Candidate(name="x", min_parallel_bytes=1),))
+        t.observe("x", 0.5)
+        bank.flush_to_policy()
+        assert policy.entries["bs[price]@64"].min_parallel_bytes == 777
+
+    def test_keys_get_decorrelated_seeds(self):
+        policy = PolicyTable(fingerprint="f", facts={})
+        bank = TunerBank(policy, seed=3)
+        cands = (Candidate(name="x"), Candidate(name="y"))
+        t1 = bank.tuner("bs", ("price",), 64, cands)
+        t2 = bank.tuner("bs", ("price",), 128, cands)
+        assert t1.seed != t2.seed
